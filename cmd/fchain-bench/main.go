@@ -1,0 +1,66 @@
+// Command fchain-bench regenerates the tables and figures of the FChain
+// paper's evaluation (ICDCS 2013, §III) on the simulated testbed.
+//
+// Usage:
+//
+//	fchain-bench -all                 # every table and figure
+//	fchain-bench -exp fig6 -runs 30   # one experiment, 30 runs per fault
+//	fchain-bench -list                # list experiment identifiers
+//
+// The paper uses 30-40 runs per fault; the shapes stabilize from ~10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fchain/scenario"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment to run (fig2..fig12, table1, table2)")
+		runs = flag.Int("runs", 10, "fault-injection runs per fault for accuracy experiments")
+		all  = flag.Bool("all", false, "run every experiment")
+		list = flag.Bool("list", false, "list experiment identifiers")
+	)
+	flag.Parse()
+	if err := run(*exp, *runs, *all, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "fchain-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, runs int, all, list bool) error {
+	switch {
+	case list:
+		for _, id := range scenario.Experiments() {
+			fmt.Println(id)
+		}
+		return nil
+	case all:
+		for _, id := range scenario.Experiments() {
+			if err := runOne(id, runs); err != nil {
+				return err
+			}
+		}
+		return nil
+	case exp != "":
+		return runOne(exp, runs)
+	default:
+		return fmt.Errorf("nothing to do: pass -exp <id>, -all, or -list")
+	}
+}
+
+func runOne(id string, runs int) error {
+	start := time.Now()
+	out, err := scenario.Run(id, runs)
+	if err != nil {
+		return fmt.Errorf("%s: %w", id, err)
+	}
+	fmt.Print(out)
+	fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	return nil
+}

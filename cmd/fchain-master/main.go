@@ -1,0 +1,97 @@
+// Command fchain-master runs the FChain master daemon: it accepts slave
+// registrations over TCP and triggers fault localization on demand.
+//
+// Usage:
+//
+//	fchain-master -listen 0.0.0.0:7070
+//
+// Commands are read from stdin, one per line:
+//
+//	slaves            print registered slaves
+//	localize <tv>     run fault localization for violation time tv
+//	quit              shut down
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"fchain"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7070", "listen address")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-localization slave timeout")
+		deps    = flag.String("deps", "", "dependency graph file from offline discovery (optional)")
+	)
+	flag.Parse()
+	if err := run(*listen, *timeout, *deps); err != nil {
+		fmt.Fprintln(os.Stderr, "fchain-master:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, timeout time.Duration, depsPath string) error {
+	var deps *fchain.DependencyGraph
+	if depsPath != "" {
+		g, err := fchain.LoadDependencies(depsPath)
+		if err != nil {
+			return err
+		}
+		deps = g
+		fmt.Printf("loaded dependency graph: %s\n", deps)
+	}
+	master := fchain.NewMaster(fchain.DefaultConfig(), deps)
+	if err := master.Start(listen); err != nil {
+		return err
+	}
+	defer master.Close()
+	fmt.Printf("fchain-master listening on %s\n", master.Addr())
+	fmt.Println("commands: slaves | localize <tv> | history | quit")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "slaves":
+			for _, s := range master.Slaves() {
+				fmt.Println(" ", s)
+			}
+			fmt.Printf("  (%d components total)\n", len(master.Components()))
+		case "localize":
+			if len(fields) != 2 {
+				fmt.Println("usage: localize <tv>")
+				continue
+			}
+			tv, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				fmt.Println("bad tv:", err)
+				continue
+			}
+			diag, err := master.Localize(tv, timeout)
+			if err != nil {
+				fmt.Println("localize failed:", err)
+				continue
+			}
+			fmt.Println(diag)
+		case "history":
+			for _, rec := range master.History() {
+				fmt.Printf("  tv=%d %s\n", rec.TV, rec.Diagnosis)
+			}
+		case "quit", "exit":
+			return nil
+		default:
+			fmt.Printf("unknown command %q\n", fields[0])
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,113 @@
+// Command fchain-slave runs the FChain slave daemon for one host: it feeds
+// metric samples into the per-component online models and answers the
+// master's analyze requests.
+//
+// Samples are read from stdin as CSV lines:
+//
+//	component,time,metric,value
+//	db,1041,cpu,37.2
+//
+// where metric is one of cpu, memory, net_in, net_out, disk_read,
+// disk_write. A production deployment would replace the stdin feed with a
+// libvirt/libxenstat collector, which is exactly the boundary the paper's
+// slave daemon sits at.
+//
+// Usage:
+//
+//	some-collector | fchain-slave -name host1 -components web,app1 -master 10.0.0.1:7070
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fchain"
+)
+
+func main() {
+	var (
+		name       = flag.String("name", "", "slave name (default: hostname)")
+		components = flag.String("components", "", "comma-separated component names monitored by this host")
+		master     = flag.String("master", "127.0.0.1:7070", "master address")
+		skew       = flag.Int64("skew", 0, "simulated clock skew in seconds (testing)")
+	)
+	flag.Parse()
+	if err := run(*name, *components, *master, *skew); err != nil {
+		fmt.Fprintln(os.Stderr, "fchain-slave:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name, components, master string, skew int64) error {
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			return fmt.Errorf("no -name and no hostname: %w", err)
+		}
+		name = host
+	}
+	comps := strings.Split(components, ",")
+	if components == "" || len(comps) == 0 {
+		return fmt.Errorf("-components is required")
+	}
+	var opts []fchain.SlaveOption
+	if skew != 0 {
+		opts = append(opts, fchain.WithClockSkew(skew))
+	}
+	slave := fchain.NewSlave(name, comps, fchain.DefaultConfig(), opts...)
+	if err := slave.Connect(master); err != nil {
+		return err
+	}
+	defer slave.Close()
+	fmt.Printf("fchain-slave %s registered with %s, monitoring %v\n", name, master, comps)
+
+	sc := bufio.NewScanner(os.Stdin)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		comp, t, kind, value, err := parseSample(text)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "line %d: %v\n", line, err)
+			continue
+		}
+		if err := slave.Observe(comp, t, kind, value); err != nil {
+			fmt.Fprintf(os.Stderr, "line %d: %v\n", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	// The sample feed ended, but the daemon keeps serving the master's
+	// analyze requests until it is terminated.
+	fmt.Println("sample feed drained; continuing to serve analyze requests")
+	select {}
+}
+
+// parseSample parses "component,time,metric,value".
+func parseSample(text string) (string, int64, fchain.Kind, float64, error) {
+	parts := strings.Split(text, ",")
+	if len(parts) != 4 {
+		return "", 0, 0, 0, fmt.Errorf("want component,time,metric,value, got %q", text)
+	}
+	t, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+	if err != nil {
+		return "", 0, 0, 0, fmt.Errorf("bad time: %w", err)
+	}
+	kind, err := fchain.ParseKind(strings.TrimSpace(parts[2]))
+	if err != nil {
+		return "", 0, 0, 0, err
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(parts[3]), 64)
+	if err != nil {
+		return "", 0, 0, 0, fmt.Errorf("bad value: %w", err)
+	}
+	return strings.TrimSpace(parts[0]), t, kind, v, nil
+}

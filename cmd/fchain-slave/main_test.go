@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"fchain"
+)
+
+func TestParseSample(t *testing.T) {
+	comp, ts, kind, v, err := parseSample("db, 1041 , cpu , 37.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp != "db" || ts != 1041 || kind != fchain.CPU || v != 37.2 {
+		t.Errorf("parsed %q %d %v %v", comp, ts, kind, v)
+	}
+}
+
+func TestParseSampleErrors(t *testing.T) {
+	tests := []string{
+		"db,1041,cpu",         // missing field
+		"db,notanumber,cpu,1", // bad time
+		"db,1,bogus,1",        // bad metric
+		"db,1,cpu,notafloat",  // bad value
+	}
+	for _, give := range tests {
+		if _, _, _, _, err := parseSample(give); err == nil {
+			t.Errorf("parseSample(%q) should error", give)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package fchain_test
+
+import (
+	"fmt"
+	"math"
+
+	"fchain"
+)
+
+// Example demonstrates the whole pipeline on a hand-built metric stream:
+// three components with learned periodic behaviour, one of which develops a
+// sustained CPU anomaly shortly before the SLO violation at tv=899.
+func Example() {
+	components := []string{"app", "db", "web"}
+	loc := fchain.NewLocalizer(fchain.DefaultConfig(), components)
+
+	// Feed 900 seconds of 1 Hz samples. Every component carries the same
+	// periodic workload signature; "db" gains a +40% CPU step at t=850.
+	for t := int64(0); t < 900; t++ {
+		for _, comp := range components {
+			base := 30 + 10*math.Sin(2*math.Pi*float64(t)/60)
+			cpu := base
+			if comp == "db" && t >= 850 {
+				cpu += 40
+			}
+			if err := loc.Observe(comp, t, fchain.CPU, cpu); err != nil {
+				fmt.Println("observe:", err)
+				return
+			}
+			// The remaining metrics stay quiet.
+			for _, k := range []fchain.Kind{fchain.Memory, fchain.NetIn, fchain.NetOut, fchain.DiskRead, fchain.DiskWrite} {
+				if err := loc.Observe(comp, t, k, 100); err != nil {
+					fmt.Println("observe:", err)
+					return
+				}
+			}
+		}
+	}
+
+	// The dependency graph from offline discovery: web -> app -> db.
+	deps := fchain.NewDependencyGraph()
+	deps.AddEdge("web", "app", 1)
+	deps.AddEdge("app", "db", 1)
+
+	diag := loc.Localize(899, deps)
+	fmt.Println(diag)
+	// Output:
+	// culprits: db(onset=850,source)
+}

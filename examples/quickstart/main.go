@@ -1,0 +1,77 @@
+// Quickstart: localize a memory leak in a three-tier web application.
+//
+// This is the smallest end-to-end FChain run: build the RUBiS benchmark
+// simulation, inject a memory leak into the database VM, wait for the SLO
+// violation, feed the collected metrics into a Localizer, and print the
+// diagnosis.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fchain"
+	"fchain/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. A distributed application: web -> {app1, app2} -> db, driven by a
+	// realistic (diurnal + bursty) workload trace.
+	sys, err := scenario.RUBiS(42)
+	if err != nil {
+		return err
+	}
+
+	// 2. Inject a memory-leak bug into the database VM at t=1500s.
+	const inject = 1500
+	if err := sys.Inject(scenario.NewMemLeak(inject, 30, "db")); err != nil {
+		return err
+	}
+
+	// 3. Run until the mean response time exceeds the 100ms SLO.
+	sys.RunUntil(inject + 1000)
+	tv, found := sys.FirstViolation(inject, 8)
+	if !found {
+		return fmt.Errorf("no SLO violation — unexpected for this scenario")
+	}
+	fmt.Printf("SLO violated at t=%d (leak injected at t=%d)\n", tv, inject)
+
+	// 4. Feed every metric sample (6 metrics x 4 components x 1Hz) into
+	// FChain. In production this loop is your metrics collector.
+	loc := fchain.NewLocalizer(fchain.DefaultConfig(), sys.Components())
+	for _, comp := range sys.Components() {
+		for _, kind := range fchain.Kinds() {
+			series, err := sys.Series(comp, kind)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < series.Len() && series.TimeAt(i) <= tv; i++ {
+				if err := loc.Observe(comp, series.TimeAt(i), kind, series.At(i)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// 5. Discover inter-component dependencies from a passive packet trace
+	// (offline, cached in real deployments).
+	deps := fchain.DiscoverDependencies(sys.DependencyTrace(600, 42), fchain.DiscoverConfig{})
+	fmt.Println("discovered dependencies:", deps)
+
+	// 6. Localize.
+	diag := loc.Localize(tv, deps)
+	fmt.Println("propagation chain (component @ manifestation onset):")
+	for _, r := range diag.Chain {
+		fmt.Printf("  %-6s @ t=%d  (abnormal metrics: %v)\n", r.Component, r.Onset, r.AbnormalMetrics())
+	}
+	fmt.Println("diagnosis:", diag)
+	return nil
+}

@@ -1,0 +1,137 @@
+// RUBiS campaign: run every RUBiS fault from the paper's catalog
+// (single-component MemLeak/CpuHog/NetHog and multi-component
+// OffloadBug/LBBug) across several seeds and report FChain's precision and
+// recall per fault — a miniature of the paper's Figs. 6 and 8.
+//
+//	go run ./examples/rubis [-runs 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fchain"
+	"fchain/scenario"
+)
+
+// faultCase names one injectable fault with its ground truth.
+type faultCase struct {
+	name  string
+	truth []string
+	make  func(start int64, rng *rand.Rand) scenario.Fault
+}
+
+func catalog() []faultCase {
+	return []faultCase{
+		{"memleak@db", []string{"db"}, func(start int64, rng *rand.Rand) scenario.Fault {
+			return scenario.NewMemLeak(start, 28+4*rng.Float64(), "db")
+		}},
+		{"cpuhog@db", []string{"db"}, func(start int64, rng *rand.Rand) scenario.Fault {
+			return scenario.NewCPUHog(start, 1.6+0.2*rng.Float64(), "db")
+		}},
+		{"nethog@web", []string{"web"}, func(start int64, rng *rand.Rand) scenario.Fault {
+			return scenario.NewNetHog(start, 98.4+0.9*rng.Float64(), "web")
+		}},
+		{"offloadbug", []string{"app1", "app2"}, func(start int64, rng *rand.Rand) scenario.Fault {
+			return scenario.NewOffloadBug(start, "app1", "app2", 0.06+0.01*rng.Float64())
+		}},
+		{"lbbug", []string{"app1", "app2"}, func(start int64, rng *rand.Rand) scenario.Fault {
+			return scenario.NewLBBug(start, "web", map[string]float64{"app1": 0.97, "app2": 0.03}, 2.5)
+		}},
+	}
+}
+
+func main() {
+	runs := flag.Int("runs", 5, "fault-injection runs per fault")
+	flag.Parse()
+	if err := run(*runs); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(runs int) error {
+	fmt.Printf("RUBiS fault localization campaign, %d runs per fault\n\n", runs)
+	for _, fc := range catalog() {
+		var tp, fp, fn, skipped int
+		for seed := int64(1); seed <= int64(runs); seed++ {
+			hit, miss, alarm, ok, err := trial(fc, seed)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				skipped++
+				continue
+			}
+			tp += hit
+			fn += miss
+			fp += alarm
+		}
+		precision, recall := 0.0, 0.0
+		if tp+fp > 0 {
+			precision = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			recall = float64(tp) / float64(tp+fn)
+		}
+		fmt.Printf("%-12s precision=%.2f recall=%.2f (tp=%d fp=%d fn=%d, %d runs without violation)\n",
+			fc.name, precision, recall, tp, fp, fn, skipped)
+	}
+	return nil
+}
+
+// trial runs one fault injection and scores FChain's diagnosis.
+func trial(fc faultCase, seed int64) (tp, fn, fp int, ok bool, err error) {
+	sys, err := scenario.RUBiS(seed)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	inject := int64(1200 + rng.Intn(1200))
+	if err := sys.Inject(fc.make(inject, rng)); err != nil {
+		return 0, 0, 0, false, err
+	}
+	sys.RunUntil(inject + 1100)
+	tv, found := sys.FirstViolation(inject, 8)
+	if !found {
+		return 0, 0, 0, false, nil
+	}
+	loc := fchain.NewLocalizer(fchain.DefaultConfig(), sys.Components())
+	for _, comp := range sys.Components() {
+		for _, kind := range fchain.Kinds() {
+			series, err := sys.Series(comp, kind)
+			if err != nil {
+				return 0, 0, 0, false, err
+			}
+			for i := 0; i < series.Len() && series.TimeAt(i) <= tv; i++ {
+				if err := loc.Observe(comp, series.TimeAt(i), kind, series.At(i)); err != nil {
+					return 0, 0, 0, false, err
+				}
+			}
+		}
+	}
+	deps := fchain.DiscoverDependencies(sys.DependencyTrace(600, seed), fchain.DiscoverConfig{})
+	diag := loc.Localize(tv, deps)
+	pinned := make(map[string]bool)
+	for _, c := range diag.CulpritNames() {
+		pinned[c] = true
+	}
+	truth := make(map[string]bool)
+	for _, c := range fc.truth {
+		truth[c] = true
+	}
+	for c := range pinned {
+		if truth[c] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	for c := range truth {
+		if !pinned[c] {
+			fn++
+		}
+	}
+	return tp, fn, fp, true, nil
+}

@@ -1,0 +1,90 @@
+// Stream-processing diagnosis: localize a fault in the IBM System S
+// benchmark, where black-box dependency discovery finds *nothing* (the
+// continuous tuple traffic has no inter-packet gaps to delimit flows) and
+// FChain must rely on abnormal-change propagation order alone — including
+// the paper's Fig. 2 back-pressure path PE3 → PE6 → PE2 through the join.
+//
+//	go run ./examples/streams
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fchain"
+	"fchain/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := scenario.SystemS(2)
+	if err != nil {
+		return err
+	}
+
+	// A memory leak in PE3 — the Fig. 2 scenario. PE6 joins the PE3 and
+	// PE2 streams, so starving its PE3 input back-pressures PE2.
+	const inject = 1400
+	if err := sys.Inject(scenario.NewMemLeak(inject, 30, "pe3")); err != nil {
+		return err
+	}
+	sys.RunUntil(inject + 600)
+	tv, found := sys.FirstViolation(inject, 8)
+	if !found {
+		return fmt.Errorf("no SLO violation")
+	}
+	fmt.Printf("per-tuple processing SLO violated at t=%d\n", tv)
+
+	// Dependency discovery fails on streams: demonstrate it.
+	deps := fchain.DiscoverDependencies(sys.DependencyTrace(300, 2), fchain.DiscoverConfig{})
+	fmt.Printf("dependency discovery: %d edges (continuous tuple traffic defeats flow extraction)\n", deps.Edges())
+
+	loc := fchain.NewLocalizer(fchain.DefaultConfig(), sys.Components())
+	for _, comp := range sys.Components() {
+		for _, kind := range fchain.Kinds() {
+			series, err := sys.Series(comp, kind)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < series.Len() && series.TimeAt(i) <= tv; i++ {
+				if err := loc.Observe(comp, series.TimeAt(i), kind, series.At(i)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	diag := loc.Localize(tv, deps) // empty graph: propagation order only
+	fmt.Println("diagnosis at detection time:", diag)
+
+	// The full Fig. 2 propagation picture needs the cascade to complete;
+	// re-analyze two minutes later with a wider window to watch the
+	// anomaly travel PE3 -> PE6 -> PE2 (back-pressure through the join).
+	sys.RunUntil(tv + 120)
+	wide := fchain.Config{LookBack: 300}
+	loc2 := fchain.NewLocalizer(wide, sys.Components())
+	for _, comp := range sys.Components() {
+		for _, kind := range fchain.Kinds() {
+			series, err := sys.Series(comp, kind)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < series.Len(); i++ {
+				if err := loc2.Observe(comp, series.TimeAt(i), kind, series.At(i)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	later := loc2.Localize(tv+120, deps)
+	fmt.Println("propagation chain two minutes in:")
+	for _, r := range later.Chain {
+		fmt.Printf("  %-4s @ t=%d\n", r.Component, r.Onset)
+	}
+	fmt.Println("final diagnosis:", later)
+	return nil
+}

@@ -1,0 +1,211 @@
+// Package fchain is a black-box online fault localization library for
+// distributed cloud applications, reproducing "FChain: Toward Black-box
+// Online Fault Localization for Cloud Systems" (Nguyen, Shen, Tan, Gu —
+// ICDCS 2013).
+//
+// FChain pinpoints the faulty components of a distributed application
+// immediately after a performance anomaly (SLO violation) is detected,
+// using nothing but per-component system-level metrics (CPU, memory,
+// network in/out, disk read/write) sampled once per second. It needs no
+// application instrumentation, no topology knowledge, and no training data
+// for anomalies, so it diagnoses previously unseen faults.
+//
+// # Pipeline
+//
+// Feed every metric sample into a Localizer as it is collected; the
+// per-metric online Markov models continuously learn each metric's normal
+// fluctuation. When your anomaly detector reports an SLO violation at time
+// tv, call Localize: each component's look-back window is scanned for
+// abnormal change points (CUSUM+bootstrap change points, filtered by a
+// burstiness-adaptive predictability test), the abnormal components are
+// sorted into a propagation chain by manifestation onset, and the chain's
+// source — plus concurrent faults and dependency-isolated independents —
+// is pinpointed.
+//
+//	loc := fchain.NewLocalizer(fchain.DefaultConfig(), []string{"web", "app", "db"})
+//	for sample := range samples {
+//	    loc.Observe(sample.Component, sample.Time, sample.Kind, sample.Value)
+//	}
+//	// ... SLO violation detected at tv ...
+//	diag := loc.Localize(tv, deps) // deps from DiscoverDependencies, may be nil
+//	fmt.Println(diag.CulpritNames())
+//
+// Optionally run online pinpointing validation (Validate/ApplyValidation)
+// against a system that supports per-component resource scaling, and use
+// the cluster types (NewMaster/NewSlave) for the distributed master/slave
+// deployment of the paper's Fig. 1.
+//
+// The sibling package fchain/scenario provides the paper's three simulated
+// benchmark systems (RUBiS, IBM System S, Hadoop) and regenerates every
+// table and figure of its evaluation.
+package fchain
+
+import (
+	"fchain/internal/cluster"
+	"fchain/internal/core"
+	"fchain/internal/depgraph"
+	"fchain/internal/metric"
+)
+
+// Kind identifies one of the six monitored system metrics.
+type Kind = metric.Kind
+
+// The six system-level metrics FChain monitors (paper §III-A).
+const (
+	CPU       = metric.CPU
+	Memory    = metric.Memory
+	NetIn     = metric.NetIn
+	NetOut    = metric.NetOut
+	DiskRead  = metric.DiskRead
+	DiskWrite = metric.DiskWrite
+)
+
+// ParseKind returns the Kind named by s ("cpu", "memory", "net_in",
+// "net_out", "disk_read", "disk_write").
+func ParseKind(s string) (Kind, error) { return metric.ParseKind(s) }
+
+// Kinds lists every monitored metric in canonical order.
+func Kinds() []Kind {
+	out := make([]Kind, len(metric.Kinds))
+	copy(out, metric.Kinds)
+	return out
+}
+
+// Config holds FChain's tuning knobs; the zero value takes the paper's
+// defaults (W=100s look-back, 2s concurrency threshold, Q=20s burst
+// window, top 90% frequencies, 90th-percentile burst magnitude).
+type Config = core.Config
+
+// DefaultConfig returns the paper's default parameters.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Diagnosis is the output of fault localization: the pinpointed culprits,
+// the abnormal-change propagation chain, and the external-factor verdict.
+type Diagnosis = core.Diagnosis
+
+// Culprit is one pinpointed faulty component.
+type Culprit = core.Culprit
+
+// ComponentReport is one component's abnormal change point report.
+type ComponentReport = core.ComponentReport
+
+// AbnormalChange describes one selected abnormal change point.
+type AbnormalChange = core.AbnormalChange
+
+// Localizer is the whole FChain pipeline behind two calls: Observe for
+// every metric sample, Localize when a performance anomaly is detected.
+// It is not safe for concurrent use; run one per collection loop.
+type Localizer struct {
+	inner *core.Localizer
+}
+
+// NewLocalizer creates a localizer monitoring the given components.
+func NewLocalizer(cfg Config, components []string) *Localizer {
+	return &Localizer{inner: core.NewLocalizer(cfg, components)}
+}
+
+// Components returns the monitored component names, sorted.
+func (l *Localizer) Components() []string { return l.inner.Components() }
+
+// Config returns the effective configuration after defaulting.
+func (l *Localizer) Config() Config { return l.inner.Config() }
+
+// Observe feeds one sample: component, sample time (seconds), metric kind,
+// and value. Samples must arrive in nondecreasing time order per metric.
+func (l *Localizer) Observe(component string, t int64, k Kind, v float64) error {
+	return l.inner.Observe(component, t, k, v)
+}
+
+// Analyze returns every component's abnormal change point report for the
+// look-back window ending at tv, without running the diagnosis step.
+func (l *Localizer) Analyze(tv int64) []ComponentReport { return l.inner.Analyze(tv) }
+
+// Localize runs the full pipeline at SLO-violation time tv. deps is the
+// inter-component dependency graph from offline discovery and may be nil
+// or empty (FChain then relies on propagation order alone, as it must for
+// continuous stream-processing systems).
+func (l *Localizer) Localize(tv int64, deps *DependencyGraph) Diagnosis {
+	return l.inner.Localize(tv, deps)
+}
+
+// Diagnose runs only the master-side integrated diagnosis over
+// already-computed component reports (as the distributed master does).
+// totalComponents is the application's component count.
+func Diagnose(reports []ComponentReport, totalComponents int, deps *DependencyGraph, cfg Config) Diagnosis {
+	return core.Diagnose(reports, totalComponents, deps, cfg)
+}
+
+// DependencyGraph is a directed inter-component dependency graph.
+type DependencyGraph = depgraph.Graph
+
+// NewDependencyGraph returns an empty graph; add edges with AddEdge.
+func NewDependencyGraph() *DependencyGraph { return depgraph.NewGraph() }
+
+// Packet is one passively captured network packet, the input to black-box
+// dependency discovery.
+type Packet = depgraph.Packet
+
+// DiscoverConfig controls black-box dependency discovery.
+type DiscoverConfig = depgraph.DiscoverConfig
+
+// DiscoverDependencies infers the inter-component dependency graph from a
+// passive packet capture (Sherlock-style). Continuous streaming traffic
+// yields an empty graph — pass it to Localize anyway; FChain falls back to
+// propagation-order-only localization.
+func DiscoverDependencies(packets []Packet, cfg DiscoverConfig) *DependencyGraph {
+	return depgraph.Discover(packets, cfg)
+}
+
+// LoadDependencies reads a dependency graph previously stored with its Save
+// method. The paper runs discovery offline and caches the result in a file,
+// since application dependencies rarely change at runtime (§II-C).
+func LoadDependencies(path string) (*DependencyGraph, error) {
+	return depgraph.Load(path)
+}
+
+// Adjuster is the resource-scaling surface that online pinpointing
+// validation drives: scale a culprit's implicated resource, run, and watch
+// the SLO.
+type Adjuster = core.Adjuster
+
+// ValidationResult records the outcome of validating one culprit.
+type ValidationResult = core.ValidationResult
+
+// Validate runs online pinpointing validation on every culprit: mk must
+// return a fresh trial system (in simulation, a clone; in production, the
+// live system with later rollback).
+func Validate(mk func() (Adjuster, error), diag Diagnosis, cfg Config) ([]ValidationResult, error) {
+	return core.Validate(mk, diag, cfg)
+}
+
+// ApplyValidation retains only confirmed culprits (FChain+VAL, Fig. 11).
+func ApplyValidation(diag Diagnosis, results []ValidationResult) Diagnosis {
+	return core.ApplyValidation(diag, results)
+}
+
+// Master is the distributed master daemon (paper Fig. 1): it accepts slave
+// registrations and runs the integrated diagnosis over their reports.
+type Master = cluster.Master
+
+// NewMaster creates a master with the given configuration and dependency
+// graph; call Start to listen.
+func NewMaster(cfg Config, deps *DependencyGraph) *Master {
+	return cluster.NewMaster(cfg, deps)
+}
+
+// Slave is the per-host slave daemon: it models normal fluctuation for its
+// components and answers the master's analyze requests.
+type Slave = cluster.Slave
+
+// SlaveOption configures a Slave.
+type SlaveOption = cluster.SlaveOption
+
+// WithClockSkew simulates a clock offset (seconds) on the slave's samples,
+// for testing FChain's tolerance to imperfect time synchronization.
+func WithClockSkew(seconds int64) SlaveOption { return cluster.WithClockSkew(seconds) }
+
+// NewSlave creates a slave monitoring the given components; call Connect
+// to register with a master.
+func NewSlave(name string, components []string, cfg Config, opts ...SlaveOption) *Slave {
+	return cluster.NewSlave(name, components, cfg, opts...)
+}

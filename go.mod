@@ -1,0 +1,3 @@
+module fchain
+
+go 1.22

@@ -1,0 +1,321 @@
+// Package apps defines the three benchmark applications the FChain paper
+// evaluates on — the RUBiS multi-tier online auction (EJB version), the
+// Hadoop sorting job, and the IBM System S tax-calculation stream job — as
+// cloudsim application specs, together with each application's fault
+// catalog (paper §III-A).
+//
+// Topologies, SLOs, and fault points follow the paper:
+//
+//   - RUBiS (Fig. 5): web server → {app server 1, app server 2} → database;
+//     SLO violation when mean response time exceeds 100 ms. Workload
+//     modulated by a NASA-'95-like trace.
+//   - Hadoop sort: three map nodes and six reduce nodes processing a fixed
+//     input; SLO violation when the job makes no progress for 30 s.
+//   - System S (Fig. 2): seven processing elements (PEs); PE6 joins the
+//     PE3 and PE2 streams, which is what lets a fault at PE3 propagate
+//     PE3 → PE6 → PE2 with the last hop caused by back-pressure; SLO
+//     violation when mean per-tuple processing time exceeds 20 ms.
+//     Workload modulated by a ClarkNet-'95-like trace.
+package apps
+
+import (
+	"math/rand"
+
+	"fchain/internal/cloudsim"
+	"fchain/internal/workload"
+)
+
+// Component names used across the scenarios.
+const (
+	Web  = "web"
+	App1 = "app1"
+	App2 = "app2"
+	DB   = "db"
+)
+
+// FaultCase describes one injectable fault type of a scenario: a factory
+// producing a concrete fault (with randomized targets/parameters drawn from
+// rng) starting at the given tick.
+type FaultCase struct {
+	// Name is the fault label used in the paper's figures (e.g. "memleak").
+	Name string
+	// Multi marks multi-component concurrent faults.
+	Multi bool
+	// LookBack overrides the FChain look-back window for this fault when
+	// non-zero (the paper uses W=500 for the Hadoop DiskHog, W=100
+	// otherwise).
+	LookBack int
+	// Make builds the fault.
+	Make func(start int64, rng *rand.Rand) cloudsim.Fault
+}
+
+// RUBiS returns the three-tier auction benchmark spec. The workload trace
+// is realized from the NASA-like profile with the given seed.
+func RUBiS(seed int64) cloudsim.AppSpec {
+	profile := workload.NASA()
+	profile.Base = 80
+	trace := workload.NewSynthetic(profile, 3600, seed)
+	appTier := func(name string) cloudsim.ComponentSpec {
+		return cloudsim.ComponentSpec{
+			Name: name, CPUCores: 2, MemoryMB: 2048, NetMBps: 100, DiskMBps: 50,
+			CPUCostPerReq: 0.016, MemPerReq: 0.8, NetInPerReq: 0.01, NetOutPerReq: 0.008,
+			BaseMemMB: 500, ServiceTime: 0.008, QueueCap: 300,
+			Downstream: []cloudsim.Edge{{To: DB, Kind: cloudsim.EdgeBalanced, Weight: 1}},
+		}
+	}
+	return cloudsim.AppSpec{
+		Name: "rubis",
+		Components: []cloudsim.ComponentSpec{
+			{
+				Name: Web, CPUCores: 2, MemoryMB: 2048, NetMBps: 100, DiskMBps: 50,
+				CPUCostPerReq: 0.003, MemPerReq: 0.4, NetInPerReq: 0.02, NetOutPerReq: 0.02,
+				BaseMemMB: 300, ServiceTime: 0.002, QueueCap: 500,
+				Downstream: []cloudsim.Edge{
+					{To: App1, Kind: cloudsim.EdgeBalanced, Weight: 1},
+					{To: App2, Kind: cloudsim.EdgeBalanced, Weight: 1},
+				},
+			},
+			appTier(App1),
+			appTier(App2),
+			{
+				Name: DB, CPUCores: 2, MemoryMB: 3072, NetMBps: 100, DiskMBps: 60,
+				CPUCostPerReq: 0.005, MemPerReq: 1.0, NetInPerReq: 0.004, NetOutPerReq: 0.01,
+				DiskReadPerReq: 0.02, DiskWritePerReq: 0.01,
+				BaseMemMB: 800, ServiceTime: 0.015, QueueCap: 400,
+			},
+		},
+		Entries:          []string{Web},
+		Style:            cloudsim.RequestReply,
+		SLO:              cloudsim.SLOSpec{Kind: cloudsim.SLOLatency, Threshold: 0.1},
+		Trace:            trace,
+		MeasurementNoise: 0.03,
+	}
+}
+
+// RUBiSFaults returns the paper's RUBiS fault catalog: single-component
+// MemLeak (database), CpuHog (database), NetHog (web), and multi-component
+// OffloadBug (JBoss JBAS-1442) and LBBug (mod_jk 1.2.30).
+func RUBiSFaults() []FaultCase {
+	return []FaultCase{
+		{
+			Name: "memleak",
+			Make: func(start int64, rng *rand.Rand) cloudsim.Fault {
+				return cloudsim.NewMemLeak(start, 28+4*rng.Float64(), DB)
+			},
+		},
+		{
+			Name: "cpuhog",
+			Make: func(start int64, rng *rand.Rand) cloudsim.Fault {
+				return cloudsim.NewCPUHog(start, 1.6+0.2*rng.Float64(), DB)
+			},
+		},
+		{
+			Name: "nethog",
+			Make: func(start int64, rng *rand.Rand) cloudsim.Fault {
+				return cloudsim.NewNetHog(start, 98.4+0.9*rng.Float64(), Web)
+			},
+		},
+		{
+			Name:  "offloadbug",
+			Multi: true,
+			Make: func(start int64, rng *rand.Rand) cloudsim.Fault {
+				return cloudsim.NewOffloadBug(start, App1, App2, 0.06+0.01*rng.Float64())
+			},
+		},
+		{
+			Name:  "lbbug",
+			Multi: true,
+			Make: func(start int64, rng *rand.Rand) cloudsim.Fault {
+				return cloudsim.NewLBBug(start, Web, map[string]float64{App1: 0.97, App2: 0.03}, 2.5+0.5*rng.Float64())
+			},
+		},
+	}
+}
+
+// SystemSPEs lists the seven processing elements of the tax-calculation
+// application (Fig. 2).
+var SystemSPEs = []string{"pe1", "pe2", "pe3", "pe4", "pe5", "pe6", "pe7"}
+
+// SystemS returns the IBM System S stream-processing benchmark spec.
+//
+// Topology (two source PEs, one join, a linear tail):
+//
+//	pe1 → pe3 ─┐
+//	           ├→ pe6 (join) → pe5 → pe7
+//	pe4 → pe2 ─┘
+//
+// PE6 joins the PE3 and PE2 streams. When a fault slows PE3, the join
+// starves on the PE3 input; tuples from PE2 pile up in PE6's per-source
+// buffer until it fills and back-pressures PE2 — reproducing the paper's
+// Fig. 2 propagation PE3 → PE6 → PE2, with the last hop caused by
+// back-pressure. The continuous tuple traffic defeats black-box dependency
+// discovery (paper §II-C).
+func SystemS(seed int64) cloudsim.AppSpec {
+	profile := workload.ClarkNet()
+	trace := workload.NewSynthetic(profile, 3600, seed)
+	pe := func(name string, cost, svc float64, down ...cloudsim.Edge) cloudsim.ComponentSpec {
+		return cloudsim.ComponentSpec{
+			Name: name, CPUCores: 2, MemoryMB: 2048, NetMBps: 200, DiskMBps: 80,
+			CPUCostPerReq: cost, MemPerReq: 0.5, NetInPerReq: 0.003, NetOutPerReq: 0.003,
+			BaseMemMB: 300, ServiceTime: svc, QueueCap: 600,
+			Downstream: down,
+		}
+	}
+	pe6 := pe("pe6", 0.004, 0.003, cloudsim.Edge{To: "pe5", Kind: cloudsim.EdgeAll})
+	pe6.Join = true
+	return cloudsim.AppSpec{
+		Name: "systems",
+		Components: []cloudsim.ComponentSpec{
+			pe("pe1", 0.003, 0.002, cloudsim.Edge{To: "pe3", Kind: cloudsim.EdgeAll}),
+			pe("pe4", 0.003, 0.002, cloudsim.Edge{To: "pe2", Kind: cloudsim.EdgeAll}),
+			pe("pe3", 0.003, 0.002, cloudsim.Edge{To: "pe6", Kind: cloudsim.EdgeAll}),
+			pe("pe2", 0.003, 0.002, cloudsim.Edge{To: "pe6", Kind: cloudsim.EdgeAll}),
+			pe6,
+			pe("pe5", 0.003, 0.002, cloudsim.Edge{To: "pe7", Kind: cloudsim.EdgeAll}),
+			pe("pe7", 0.003, 0.002),
+		},
+		Entries:          []string{"pe1", "pe4"},
+		Style:            cloudsim.Streaming,
+		SLO:              cloudsim.SLOSpec{Kind: cloudsim.SLOLatency, Threshold: 0.02},
+		Trace:            trace,
+		MeasurementNoise: 0.03,
+	}
+}
+
+// SystemSFaults returns the paper's System S fault catalog: MemLeak,
+// CpuHog, and Bottleneck in a randomly selected PE, plus concurrent
+// MemLeak and concurrent CpuHog in two randomly selected PEs.
+func SystemSFaults() []FaultCase {
+	pick := func(rng *rand.Rand, n int) []string {
+		idx := rng.Perm(len(SystemSPEs))[:n]
+		out := make([]string, n)
+		for i, j := range idx {
+			out[i] = SystemSPEs[j]
+		}
+		return out
+	}
+	return []FaultCase{
+		{
+			Name: "memleak",
+			Make: func(start int64, rng *rand.Rand) cloudsim.Fault {
+				return cloudsim.NewMemLeak(start, 26+4*rng.Float64(), pick(rng, 1)...)
+			},
+		},
+		{
+			Name: "cpuhog",
+			Make: func(start int64, rng *rand.Rand) cloudsim.Fault {
+				return cloudsim.NewCPUHog(start, 1.75+0.15*rng.Float64(), pick(rng, 1)...)
+			},
+		},
+		{
+			Name: "bottleneck",
+			Make: func(start int64, rng *rand.Rand) cloudsim.Fault {
+				return cloudsim.NewBottleneck(start, 0.08+0.04*rng.Float64(), pick(rng, 1)...)
+			},
+		},
+		{
+			Name:  "concurrent-memleak",
+			Multi: true,
+			Make: func(start int64, rng *rand.Rand) cloudsim.Fault {
+				return cloudsim.NewMemLeak(start, 26+4*rng.Float64(), pick(rng, 2)...)
+			},
+		},
+		{
+			Name:  "concurrent-cpuhog",
+			Multi: true,
+			Make: func(start int64, rng *rand.Rand) cloudsim.Fault {
+				return cloudsim.NewCPUHog(start, 1.75+0.15*rng.Float64(), pick(rng, 2)...)
+			},
+		},
+	}
+}
+
+// HadoopMaps and HadoopReduces name the Hadoop sorting job's nodes: three
+// map nodes processing 12 GB of RandomWriter input, six reduce nodes.
+var (
+	HadoopMaps    = []string{"map1", "map2", "map3"}
+	HadoopReduces = []string{"reduce1", "reduce2", "reduce3", "reduce4", "reduce5", "reduce6"}
+)
+
+// Hadoop returns the Hadoop sorting benchmark spec. Hadoop's metrics are
+// much more dynamic than the other applications (bursty disk I/O), which is
+// what defeats simple change-point schemes in the paper's Fig. 10.
+func Hadoop(seed int64) cloudsim.AppSpec {
+	profile := workload.Profile{
+		Name:      "hadoop-splits",
+		Base:      90,
+		NoiseFrac: 0.15,
+		NoisePhi:  0.7,
+		ShortAmp:  0.15, ShortPeriod: 60,
+		BurstRate: 0.015, BurstAmp: 0.35, BurstLen: 6,
+	}
+	trace := workload.NewSynthetic(profile, 3600, seed)
+	var comps []cloudsim.ComponentSpec
+	var entries []string
+	for _, m := range HadoopMaps {
+		var shuffle []cloudsim.Edge
+		for _, r := range HadoopReduces {
+			shuffle = append(shuffle, cloudsim.Edge{To: r, Kind: cloudsim.EdgeBalanced, Weight: 1})
+		}
+		comps = append(comps, cloudsim.ComponentSpec{
+			Name: m, CPUCores: 2, MemoryMB: 2048, NetMBps: 120, DiskMBps: 60,
+			CPUCostPerReq: 0.02, MemPerReq: 0.4, NetInPerReq: 0.01, NetOutPerReq: 0.05,
+			DiskReadPerReq: 0.5, DiskWritePerReq: 0.3,
+			BaseMemMB: 400, ServiceTime: 0.05, QueueCap: 250,
+			// Shuffle waves: map output moves in periodic bulk transfers.
+			// The job's maps share one wave cadence, so concurrent faults
+			// manifest with the same shape on every map.
+			DispatchEvery: 18, DispatchPhase: 0,
+			Downstream: shuffle,
+		})
+		entries = append(entries, m)
+	}
+	for _, r := range HadoopReduces {
+		comps = append(comps, cloudsim.ComponentSpec{
+			Name: r, CPUCores: 2, MemoryMB: 2048, NetMBps: 120, DiskMBps: 60,
+			CPUCostPerReq: 0.03, MemPerReq: 1.2, NetInPerReq: 0.05, NetOutPerReq: 0.02,
+			DiskReadPerReq: 0.1, DiskWritePerReq: 0.4,
+			BaseMemMB: 450, ServiceTime: 0.08, QueueCap: 800,
+		})
+	}
+	return cloudsim.AppSpec{
+		Name:             "hadoop",
+		Components:       comps,
+		Entries:          entries,
+		Style:            cloudsim.RequestReply,
+		SLO:              cloudsim.SLOSpec{Kind: cloudsim.SLOProgress, StallWindow: 30, StallFraction: 0.12},
+		Trace:            trace,
+		MeasurementNoise: 0.08,
+	}
+}
+
+// HadoopFaults returns the paper's Hadoop fault catalog: concurrent
+// MemLeak, CpuHog (infinite loop), and DiskHog (Domain-0 disk-intensive
+// program) injected into all three map nodes. The DiskHog manifests slowly,
+// so it carries a 500 s look-back override.
+func HadoopFaults() []FaultCase {
+	return []FaultCase{
+		{
+			Name:  "concurrent-memleak",
+			Multi: true,
+			Make: func(start int64, rng *rand.Rand) cloudsim.Fault {
+				return cloudsim.NewMemLeak(start, 38+6*rng.Float64(), HadoopMaps...)
+			},
+		},
+		{
+			Name:  "concurrent-cpuhog",
+			Multi: true,
+			Make: func(start int64, rng *rand.Rand) cloudsim.Fault {
+				return cloudsim.NewCPUHog(start, 1.96+0.03*rng.Float64(), HadoopMaps...)
+			},
+		},
+		{
+			Name:     "concurrent-diskhog",
+			Multi:    true,
+			LookBack: 500,
+			Make: func(start int64, rng *rand.Rand) cloudsim.Fault {
+				return cloudsim.NewDiskHog(start, 59+0.8*rng.Float64(), 280+40*rng.Float64(), HadoopMaps...)
+			},
+		},
+	}
+}

@@ -1,0 +1,237 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"fchain/internal/cloudsim"
+	"fchain/internal/depgraph"
+	"fchain/internal/metric"
+)
+
+func TestSpecsValidate(t *testing.T) {
+	for _, spec := range []cloudsim.AppSpec{RUBiS(1), SystemS(1), Hadoop(1)} {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestHealthyBaselines(t *testing.T) {
+	// Without faults, none of the benchmarks may produce sustained SLO
+	// violations under their realistic workload traces.
+	builders := map[string]func(int64) cloudsim.AppSpec{
+		"rubis": RUBiS, "systems": SystemS, "hadoop": Hadoop,
+	}
+	for name, build := range builders {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				sim, err := cloudsim.New(build(seed), seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sim.Step(1200)
+				if tv, found := sim.FirstViolation(60, 5); found {
+					t.Errorf("seed %d: healthy %s violated SLO at t=%d", seed, name, tv)
+				}
+			}
+		})
+	}
+}
+
+// violatesWithin injects the fault at t=600 and reports whether a sustained
+// SLO violation follows within horizon ticks.
+func violatesWithin(t *testing.T, spec cloudsim.AppSpec, fc FaultCase, seed int64, horizon int64) (int64, bool) {
+	t.Helper()
+	sim, err := cloudsim.New(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := fc.Make(600, rng)
+	if err := sim.Inject(f); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(600 + horizon)
+	return sim.FirstViolation(600, 3)
+}
+
+func TestRUBiSFaultsViolate(t *testing.T) {
+	for _, fc := range RUBiSFaults() {
+		fc := fc
+		t.Run(fc.Name, func(t *testing.T) {
+			t.Parallel()
+			ok := false
+			for seed := int64(1); seed <= 3; seed++ {
+				if _, found := violatesWithin(t, RUBiS(seed), fc, seed, 900); found {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("RUBiS %s never violated the SLO", fc.Name)
+			}
+		})
+	}
+}
+
+func TestSystemSFaultsViolate(t *testing.T) {
+	for _, fc := range SystemSFaults() {
+		fc := fc
+		t.Run(fc.Name, func(t *testing.T) {
+			t.Parallel()
+			hits := 0
+			for seed := int64(1); seed <= 4; seed++ {
+				if _, found := violatesWithin(t, SystemS(seed), fc, seed, 900); found {
+					hits++
+				}
+			}
+			if hits < 3 {
+				t.Errorf("System S %s violated in only %d/4 runs", fc.Name, hits)
+			}
+		})
+	}
+}
+
+func TestHadoopFaultsViolate(t *testing.T) {
+	for _, fc := range HadoopFaults() {
+		fc := fc
+		t.Run(fc.Name, func(t *testing.T) {
+			t.Parallel()
+			ok := false
+			for seed := int64(1); seed <= 3; seed++ {
+				if _, found := violatesWithin(t, Hadoop(seed), fc, seed, 1200); found {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("Hadoop %s never violated the progress SLO", fc.Name)
+			}
+		})
+	}
+}
+
+func TestRUBiSDependencyDiscoverable(t *testing.T) {
+	sim, err := cloudsim.New(RUBiS(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := depgraph.Discover(sim.DependencyTrace(600, 1), depgraph.DiscoverConfig{})
+	for _, e := range [][2]string{{Web, App1}, {Web, App2}, {App1, DB}, {App2, DB}} {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Errorf("missing edge %s->%s in %s", e[0], e[1], g)
+		}
+	}
+}
+
+func TestSystemSDependencyUndiscoverable(t *testing.T) {
+	sim, err := cloudsim.New(SystemS(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := depgraph.Discover(sim.DependencyTrace(300, 1), depgraph.DiscoverConfig{})
+	if !g.Empty() {
+		t.Errorf("System S streaming traffic should defeat discovery, got %s", g)
+	}
+}
+
+func TestSystemSFig2Propagation(t *testing.T) {
+	// Fig. 2: a memory leak at PE3 propagates PE3 -> PE6 -> PE2, the last
+	// hop via back-pressure (PE2 is upstream of the join PE6).
+	sim, err := cloudsim.New(SystemS(2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const inject = 400
+	if err := sim.Inject(cloudsim.NewMemLeak(inject, 30, "pe3")); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(1400)
+	if _, found := sim.FirstViolation(inject, 3); !found {
+		t.Fatal("PE3 memleak should violate the SLO")
+	}
+	onset := func(comp string, k metric.Kind, rel float64) int {
+		s, err := sim.Series(comp, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := s.Values()
+		base := mean(vals[200:380])
+		for i := inject; i < len(vals); i++ {
+			if vals[i] > base*rel {
+				return i
+			}
+		}
+		return -1
+	}
+	pe3 := onset("pe3", metric.Memory, 1.2)
+	pe6 := onset("pe6", metric.Memory, 1.2)
+	pe2 := onset("pe2", metric.Memory, 1.2)
+	if pe3 < 0 || pe6 < 0 || pe2 < 0 {
+		t.Fatalf("onsets not all found: pe3=%d pe6=%d pe2=%d", pe3, pe6, pe2)
+	}
+	if !(pe3 < pe6 && pe6 < pe2) {
+		t.Errorf("propagation order wrong: pe3=%d pe6=%d pe2=%d, want pe3<pe6<pe2", pe3, pe6, pe2)
+	}
+}
+
+func mean(vals []float64) float64 {
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+func TestRUBiSBackPressureFromDB(t *testing.T) {
+	// MemHog/CpuHog at the db make the *upstream* tiers abnormal — the
+	// effect that defeats the Topology and Dependency baselines (Fig. 6).
+	sim, err := cloudsim.New(RUBiS(3), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Inject(cloudsim.NewCPUHog(600, 1.7, DB)); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(1200)
+	app1Mem, _ := sim.Series(App1, metric.Memory)
+	before := mean(app1Mem.Values()[400:580])
+	after := mean(app1Mem.Values()[700:900])
+	if after < before*1.15 {
+		t.Errorf("app tier should show back-pressure symptoms: before=%v after=%v", before, after)
+	}
+}
+
+func TestHadoopMetricsAreDynamic(t *testing.T) {
+	// Hadoop's metrics must fluctuate more than RUBiS's (paper: "much more
+	// dynamic with highly fluctuating system metrics").
+	cv := func(spec cloudsim.AppSpec, comp string) float64 {
+		sim, err := cloudsim.New(spec, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Step(600)
+		s, err := sim.Series(comp, metric.DiskWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := s.Values()[100:]
+		m := mean(vals)
+		if m == 0 {
+			return 0
+		}
+		var ss float64
+		for _, v := range vals {
+			ss += (v - m) * (v - m)
+		}
+		return (ss / float64(len(vals))) / (m * m)
+	}
+	hadoop := cv(Hadoop(4), "map1")
+	rubis := cv(RUBiS(4), DB)
+	if hadoop <= rubis {
+		t.Errorf("hadoop disk variance (%v) should exceed rubis (%v)", hadoop, rubis)
+	}
+}

@@ -1,0 +1,281 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fchain/internal/depgraph"
+	"fchain/internal/metric"
+	"fchain/internal/timeseries"
+)
+
+// synthTrial fabricates a four-component trial (web -> {app1, app2} -> db)
+// with fully controllable metric series. fault injects a CPU step into the
+// named components at stepAt.
+func synthTrial(t *testing.T, stepAt int64, faulty ...string) *Trial {
+	t.Helper()
+	comps := []string{"app1", "app2", "db", "web"}
+	isFaulty := make(map[string]bool)
+	for _, f := range faulty {
+		isFaulty[f] = true
+	}
+	rng := rand.New(rand.NewSource(7))
+	const n = 1800
+	series := make(map[string]map[metric.Kind]*timeseries.Series, len(comps))
+	for _, comp := range comps {
+		series[comp] = make(map[metric.Kind]*timeseries.Series)
+		for _, k := range metric.Kinds {
+			vals := make([]float64, n)
+			base := 20 + 5*float64(k)
+			for i := range vals {
+				v := base + 0.3*math.Sin(2*math.Pi*float64(i)/120) + 0.6*rng.NormFloat64()
+				if isFaulty[comp] && k == metric.CPU && int64(i) >= stepAt {
+					v += 60
+				}
+				vals[i] = v
+			}
+			series[comp][k] = timeseries.New(0, vals)
+		}
+	}
+	topo := depgraph.NewGraph()
+	topo.AddEdge("web", "app1", 1)
+	topo.AddEdge("web", "app2", 1)
+	topo.AddEdge("app1", "db", 1)
+	topo.AddEdge("app2", "db", 1)
+	return &Trial{
+		Components: comps,
+		Series:     series,
+		TV:         n - 1,
+		LookBack:   100,
+		Topology:   topo,
+		Deps:       topo.Clone(),
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTrialWindow(t *testing.T) {
+	tr := synthTrial(t, 1750, "db")
+	w := tr.Window("db", metric.CPU)
+	if w.Len() != 101 || w.End() != tr.TV+1 {
+		t.Errorf("window len=%d end=%d, want the inclusive [tv-W, tv] window", w.Len(), w.End())
+	}
+	if tr.Window("ghost", metric.CPU) != nil {
+		t.Error("unknown component window should be nil")
+	}
+	if tr.SeriesOf("db", metric.Kind(99)) != nil {
+		t.Error("unknown kind should be nil")
+	}
+}
+
+func TestHistogramFindsGradualFault(t *testing.T) {
+	// Step at 1500: by tv=1799 the recent histogram diverges strongly.
+	tr := synthTrial(t, 1500, "db")
+	h := &Histogram{Threshold: 0.5}
+	got, err := h.Localize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(got, "db") {
+		t.Errorf("histogram missed db: %v", got)
+	}
+}
+
+func TestHistogramMissesFastFault(t *testing.T) {
+	// Step 10s before tv: only 10 of 100 window samples shifted, so the
+	// KL divergence is still small — the paper's CpuHog/NetHog weakness.
+	tr := synthTrial(t, 1790, "db")
+	h := &Histogram{Threshold: 0.5}
+	got, err := h.Localize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contains(got, "db") {
+		t.Errorf("histogram should miss a fast-manifesting fault at threshold 0.5: %v", got)
+	}
+	// With a permissive threshold it fires on everything instead.
+	h = &Histogram{Threshold: 0.0001}
+	got, err = h.Localize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 2 {
+		t.Errorf("permissive histogram should over-fire: %v", got)
+	}
+}
+
+func TestHistogramThresholdMonotone(t *testing.T) {
+	tr := synthTrial(t, 1600, "db")
+	prev := len(tr.Components) + 1
+	for _, thr := range []float64{0.01, 0.1, 0.5, 2, 10} {
+		h := &Histogram{Threshold: thr}
+		got, err := h.Localize(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) > prev {
+			t.Errorf("pinpointed set should shrink with threshold: %d > %d at %v", len(got), prev, thr)
+		}
+		prev = len(got)
+	}
+}
+
+func TestTopologyBlamesUpstream(t *testing.T) {
+	// db and app1 both abnormal; app1 is upstream of db, so Topology
+	// blames app1 — right when the fault is at app1, wrong under
+	// back-pressure from db.
+	tr := synthTrial(t, 1700, "db", "app1")
+	s := &Topology{}
+	got, err := s.Localize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(got, "app1") || contains(got, "db") {
+		t.Errorf("topology should blame the most-upstream abnormal component: %v", got)
+	}
+}
+
+func TestDependencyFallsBackToAllAbnormal(t *testing.T) {
+	tr := synthTrial(t, 1700, "db", "app1")
+	tr.Deps = depgraph.NewGraph() // discovery failed (stream system)
+	s := &Dependency{}
+	got, err := s.Localize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(got, "db") || !contains(got, "app1") {
+		t.Errorf("empty graph should output all abnormal components: %v", got)
+	}
+}
+
+func TestDependencyUsesDiscoveredGraph(t *testing.T) {
+	tr := synthTrial(t, 1700, "db", "app1")
+	s := &Dependency{}
+	got, err := s.Localize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(got, "app1") || contains(got, "db") {
+		t.Errorf("dependency scheme with a graph should blame upstream: %v", got)
+	}
+}
+
+func TestPALPinpointsEarliest(t *testing.T) {
+	tr := synthTrial(t, 1700, "db")
+	// Give app1 a later step so PAL must order them.
+	vals := tr.Series["app1"][metric.CPU].Values()
+	for i := 1760; i < len(vals); i++ {
+		vals[i] += 60
+	}
+	tr.Series["app1"][metric.CPU] = timeseries.New(0, vals)
+	s := &PAL{}
+	got, err := s.Localize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(got, "db") {
+		t.Errorf("PAL should pinpoint the earliest abnormal component: %v", got)
+	}
+	if contains(got, "app1") {
+		t.Errorf("PAL should not pinpoint the later victim: %v", got)
+	}
+}
+
+func TestNetMedicRanksFaulty(t *testing.T) {
+	tr := synthTrial(t, 1650, "db")
+	s := &NetMedic{Delta: 0.05}
+	got, err := s.Localize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(got, "db") {
+		t.Errorf("netmedic should rank the deviating component on top: %v", got)
+	}
+}
+
+func TestNetMedicDeltaWidensSet(t *testing.T) {
+	tr := synthTrial(t, 1650, "db")
+	narrow, err := (&NetMedic{Delta: 0.01}).Localize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := (&NetMedic{Delta: 0.95}).Localize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wide) < len(narrow) {
+		t.Errorf("larger delta should pinpoint at least as many: %d vs %d", len(wide), len(narrow))
+	}
+}
+
+func TestFChainSchemeOnSynthTrial(t *testing.T) {
+	tr := synthTrial(t, 1750, "db")
+	s := &FChain{}
+	got, err := s.Localize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "db" {
+		t.Errorf("fchain = %v, want [db]", got)
+	}
+	if s.Name() != "fchain" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if (&FChain{Validate: true}).Name() != "fchain+val" {
+		t.Error("fchain+val name wrong")
+	}
+}
+
+func TestFChainValRequiresSim(t *testing.T) {
+	tr := synthTrial(t, 1750, "db")
+	s := &FChain{Validate: true}
+	if _, err := s.Localize(tr); err == nil {
+		t.Error("fchain+val without a live sim should error")
+	}
+}
+
+func TestFixedFilterExtremes(t *testing.T) {
+	tr := synthTrial(t, 1750, "db")
+	// An absurdly high threshold filters everything.
+	high, err := (&FixedFilter{Threshold: 1e9}).Localize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(high) != 0 {
+		t.Errorf("huge threshold should pinpoint nothing, got %v", high)
+	}
+	// A sane mid threshold finds the fault.
+	mid, err := (&FixedFilter{Threshold: 10}).Localize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(mid, "db") {
+		t.Errorf("mid threshold should find db: %v", mid)
+	}
+}
+
+func TestSweepConstructors(t *testing.T) {
+	if got := HistogramSweep([]float64{1, 2, 3}); len(got) != 3 {
+		t.Errorf("HistogramSweep len = %d", len(got))
+	}
+	if got := NetMedicSweep([]float64{0.1}); len(got) != 1 {
+		t.Errorf("NetMedicSweep len = %d", len(got))
+	}
+	if got := FixedFilterSweep([]float64{1, 2}); len(got) != 2 {
+		t.Errorf("FixedFilterSweep len = %d", len(got))
+	}
+	// Names must encode the threshold for ROC labelling.
+	a := (&Histogram{Threshold: 0.5}).Name()
+	b := (&Histogram{Threshold: 1.5}).Name()
+	if a == b {
+		t.Error("histogram names should differ by threshold")
+	}
+}

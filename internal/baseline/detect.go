@@ -1,0 +1,109 @@
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+
+	"fchain/internal/changepoint"
+	"fchain/internal/metric"
+	"fchain/internal/timeseries"
+)
+
+// palDetector is the outlier change point detector from PAL that the
+// Topology, Dependency, and PAL baselines share: smoothing, CUSUM +
+// bootstrap change points, magnitude-outlier selection, and a fixed
+// relative-significance filter. It has no predictability filtering, which
+// is precisely what FChain adds on top.
+type palDetector struct {
+	SmoothWindow int
+	OutlierSigma float64
+	Bootstraps   int
+	Confidence   float64
+	// RelMagThreshold is the fixed significance filter: an outlier change
+	// point counts only when its magnitude exceeds RelMagThreshold × the
+	// window's standard deviation.
+	RelMagThreshold float64
+}
+
+func defaultPALDetector() palDetector {
+	return palDetector{
+		SmoothWindow:    5,
+		OutlierSigma:    1.5,
+		Bootstraps:      200,
+		Confidence:      0.95,
+		RelMagThreshold: 1.2,
+	}
+}
+
+// detection is a per-component result of PAL-style detection.
+type detection struct {
+	Component string
+	Abnormal  bool
+	// Earliest is the earliest significant outlier change point time.
+	Earliest int64
+}
+
+// detect runs the detector over every component of the trial and returns
+// per-component results keyed by name, plus the abnormal components sorted
+// by earliest change time.
+func (d palDetector) detect(tr *Trial) (map[string]detection, []detection) {
+	byName := make(map[string]detection, len(tr.Components))
+	var abnormal []detection
+	for _, comp := range tr.Components {
+		det := detection{Component: comp}
+		for _, k := range metric.Kinds {
+			w := tr.Window(comp, k)
+			if w == nil || w.Len() < d.SmoothWindow*3 {
+				continue
+			}
+			raw := w.Values()
+			smoothed := timeseries.Smooth(raw, d.SmoothWindow)
+			// Significance is judged against the raw window's variability;
+			// smoothing shrinks the standard deviation and would make the
+			// fixed filter overly permissive.
+			sd := timeseries.Std(raw)
+			points := changepoint.Detect(smoothed, changepoint.Config{
+				Bootstraps: d.Bootstraps,
+				Confidence: d.Confidence,
+				Rand:       rand.New(rand.NewSource(palSeed(comp, int64(k), tr.TV))),
+			})
+			if len(points) == 0 {
+				continue
+			}
+			for _, p := range changepoint.SelectOutliers(points, d.OutlierSigma) {
+				if sd > 0 && p.Magnitude < d.RelMagThreshold*sd {
+					continue
+				}
+				t := w.TimeAt(p.Index)
+				if !det.Abnormal || t < det.Earliest {
+					det.Earliest = t
+				}
+				det.Abnormal = true
+			}
+		}
+		byName[comp] = det
+		if det.Abnormal {
+			abnormal = append(abnormal, det)
+		}
+	}
+	sort.Slice(abnormal, func(i, j int) bool {
+		if abnormal[i].Earliest != abnormal[j].Earliest {
+			return abnormal[i].Earliest < abnormal[j].Earliest
+		}
+		return abnormal[i].Component < abnormal[j].Component
+	})
+	return byName, abnormal
+}
+
+func palSeed(s string, a, b int64) int64 {
+	h := int64(99991)
+	for _, c := range s {
+		h = h*31 + int64(c)
+	}
+	h = h*31 + a
+	h = h*31 + b
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

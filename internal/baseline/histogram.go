@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fchain/internal/metric"
+)
+
+// Histogram is the KL-divergence anomaly-score scheme (paper baseline 1,
+// following Oliner et al. [10]): for each metric it compares the histogram
+// of the look-back window against the histogram of the whole history and
+// pinpoints components whose largest divergence exceeds the threshold.
+//
+// Its characteristic weakness (paper §III-B): fast-manifesting faults
+// (CpuHog, NetHog) have contributed too few samples to the recent histogram
+// by the time the anomaly is detected, so the divergence is still small.
+type Histogram struct {
+	// Threshold is the anomaly-score cutoff; the ROC sweeps vary it.
+	Threshold float64
+	// Bins is the histogram resolution (default 20).
+	Bins int
+}
+
+var _ Scheme = (*Histogram)(nil)
+
+// Name implements Scheme.
+func (h *Histogram) Name() string { return fmt.Sprintf("histogram(t=%.2f)", h.Threshold) }
+
+// Localize implements Scheme.
+func (h *Histogram) Localize(tr *Trial) ([]string, error) {
+	bins := h.Bins
+	if bins <= 0 {
+		bins = 20
+	}
+	var out []string
+	for _, comp := range tr.Components {
+		score := 0.0
+		for _, k := range metric.Kinds {
+			full := tr.SeriesOf(comp, k)
+			recent := tr.Window(comp, k)
+			if full == nil || recent == nil || full.Len() < bins || recent.Len() < 4 {
+				continue
+			}
+			d := klDivergence(recent.Values(), full.Values(), bins)
+			if d > score {
+				score = d
+			}
+		}
+		if score > h.Threshold {
+			out = append(out, comp)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// klDivergence computes KL(P‖Q) where P is the histogram of recent and Q of
+// full, over shared bin edges spanning the full history's range, with
+// additive smoothing to keep the divergence finite.
+func klDivergence(recent, full []float64, bins int) float64 {
+	lo, hi := full[0], full[0]
+	for _, v := range full {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	for _, v := range recent {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi <= lo {
+		return 0
+	}
+	hist := func(vals []float64) []float64 {
+		counts := make([]float64, bins)
+		for _, v := range vals {
+			idx := int((v - lo) / (hi - lo) * float64(bins))
+			if idx >= bins {
+				idx = bins - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			counts[idx]++
+		}
+		// Additive smoothing.
+		total := float64(len(vals)) + float64(bins)*0.5
+		for i := range counts {
+			counts[i] = (counts[i] + 0.5) / total
+		}
+		return counts
+	}
+	p := hist(recent)
+	q := hist(full)
+	var kl float64
+	for i := range p {
+		kl += p[i] * math.Log(p[i]/q[i])
+	}
+	if kl < 0 {
+		kl = 0
+	}
+	return kl
+}
+
+// HistogramSweep returns Histogram schemes across the given thresholds, for
+// ROC construction.
+func HistogramSweep(thresholds []float64) []Scheme {
+	out := make([]Scheme, len(thresholds))
+	for i, t := range thresholds {
+		out[i] = &Histogram{Threshold: t}
+	}
+	return out
+}

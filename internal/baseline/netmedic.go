@@ -1,0 +1,211 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fchain/internal/metric"
+	"fchain/internal/timeseries"
+)
+
+// NetMedic reimplements the behaviour of Kandula et al.'s NetMedic [9] that
+// the paper compares against: application-agnostic multi-metric diagnosis
+// that assumes topology knowledge and estimates inter-component impact from
+// historical state similarity. For each component pair the current source
+// state is matched against history; when no similar historical state exists
+// (a previously *unseen* state — common during fault injection), NetMedic
+// assigns a default high impact of 0.8, which is the behaviour the paper
+// identifies as its weakness (§III-B fn. 5).
+//
+// The scheme emits a ranked list; the top component plus every component
+// whose normalized score is within Delta of the top are pinpointed, and the
+// ROC sweeps vary Delta.
+type NetMedic struct {
+	// Delta is the normalized score difference from the top-ranked
+	// component within which additional components are pinpointed.
+	Delta float64
+	// HistorySec is how much history the impact estimation uses
+	// (default 1800 s, as configured in the paper).
+	HistorySec int
+	// ChunkSec is the state-vector granularity (default 30 s).
+	ChunkSec int
+	// SimilarityThreshold is the maximum state distance for a historical
+	// chunk to count as "similar"; beyond it the state is unseen and the
+	// default impact applies (default 1.0).
+	SimilarityThreshold float64
+	// DefaultImpact is the impact assigned on unseen states (0.8 in the
+	// paper).
+	DefaultImpact float64
+}
+
+var _ Scheme = (*NetMedic)(nil)
+
+// Name implements Scheme.
+func (n *NetMedic) Name() string { return fmt.Sprintf("netmedic(d=%.2f)", n.Delta) }
+
+func (n *NetMedic) withDefaults() NetMedic {
+	out := *n
+	if out.HistorySec <= 0 {
+		out.HistorySec = 1800
+	}
+	if out.ChunkSec <= 0 {
+		out.ChunkSec = 30
+	}
+	if out.SimilarityThreshold <= 0 {
+		out.SimilarityThreshold = 1.0
+	}
+	if out.DefaultImpact <= 0 {
+		out.DefaultImpact = 0.8
+	}
+	return out
+}
+
+// state is a normalized per-component metric vector over one chunk.
+type nmState [metric.NumKinds]float64
+
+func nmDistance(a, b nmState) float64 {
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(a)))
+}
+
+// Localize implements Scheme.
+func (n *NetMedic) Localize(tr *Trial) ([]string, error) {
+	cfg := n.withDefaults()
+	from := tr.TV - int64(cfg.HistorySec)
+	if from < 0 {
+		from = 0
+	}
+
+	// Build normalized chunk states per component.
+	chunks := make(map[string][]nmState, len(tr.Components)) // historical
+	current := make(map[string]nmState, len(tr.Components))
+	abnormality := make(map[string]float64, len(tr.Components))
+	for _, comp := range tr.Components {
+		var mean, std [metric.NumKinds]float64
+		// Normalization statistics from the history.
+		for i, k := range metric.Kinds {
+			s := tr.SeriesOf(comp, k)
+			if s == nil {
+				continue
+			}
+			hist := s.Window(from, tr.TV+1).Values()
+			mean[i] = timeseries.Mean(hist)
+			std[i] = timeseries.Std(hist)
+			if std[i] == 0 {
+				std[i] = 1
+			}
+		}
+		normChunk := func(lo, hi int64) nmState {
+			var st nmState
+			for i, k := range metric.Kinds {
+				s := tr.SeriesOf(comp, k)
+				if s == nil {
+					continue
+				}
+				w := s.Window(lo, hi)
+				if w.Len() == 0 {
+					continue
+				}
+				st[i] = (timeseries.Mean(w.Values()) - mean[i]) / std[i]
+			}
+			return st
+		}
+		for lo := from; lo+int64(cfg.ChunkSec) <= tr.TV-int64(cfg.ChunkSec); lo += int64(cfg.ChunkSec) {
+			chunks[comp] = append(chunks[comp], normChunk(lo, lo+int64(cfg.ChunkSec)))
+		}
+		cur := normChunk(tr.TV-int64(cfg.ChunkSec), tr.TV+1)
+		current[comp] = cur
+		var norm float64
+		for _, v := range cur {
+			norm += v * v
+		}
+		abnormality[comp] = math.Sqrt(norm / float64(metric.NumKinds))
+	}
+
+	// Impact over topology edges (both directions: NetMedic's dependency
+	// graph is built from observed communication).
+	neighbors := make(map[string]map[string]bool, len(tr.Components))
+	addNeighbor := func(a, b string) {
+		if neighbors[a] == nil {
+			neighbors[a] = make(map[string]bool)
+		}
+		neighbors[a][b] = true
+	}
+	if tr.Topology != nil {
+		for _, a := range tr.Topology.Nodes() {
+			for _, b := range tr.Topology.Successors(a) {
+				addNeighbor(a, b)
+				addNeighbor(b, a)
+			}
+		}
+	}
+	impact := func(src, dst string) float64 {
+		// Find historical chunks where src looked like it does now.
+		var best []int
+		for i, st := range chunks[src] {
+			if nmDistance(st, current[src]) <= cfg.SimilarityThreshold {
+				best = append(best, i)
+			}
+		}
+		if len(best) == 0 {
+			// Previously unseen state: NetMedic's default high impact.
+			return cfg.DefaultImpact
+		}
+		// Impact = how closely dst's state tracked src's similar states:
+		// high similarity of dst's historical state to its current state
+		// means dst's condition is explainable by src's condition.
+		var sum float64
+		for _, i := range best {
+			if i < len(chunks[dst]) {
+				d := nmDistance(chunks[dst][i], current[dst])
+				sum += math.Max(0, 1-d/2)
+			}
+		}
+		return sum / float64(len(best))
+	}
+
+	// Global blame score.
+	scores := make(map[string]float64, len(tr.Components))
+	for _, comp := range tr.Components {
+		s := abnormality[comp]
+		var influence float64
+		for other := range neighbors[comp] {
+			influence += impact(comp, other) * abnormality[other]
+		}
+		scores[comp] = s * (1 + influence)
+	}
+
+	ranked := append([]string(nil), tr.Components...)
+	sort.Slice(ranked, func(i, j int) bool {
+		if scores[ranked[i]] != scores[ranked[j]] {
+			return scores[ranked[i]] > scores[ranked[j]]
+		}
+		return ranked[i] < ranked[j]
+	})
+	if len(ranked) == 0 || scores[ranked[0]] == 0 {
+		return nil, nil
+	}
+	top := scores[ranked[0]]
+	out := []string{ranked[0]}
+	for _, comp := range ranked[1:] {
+		if (top-scores[comp])/top <= cfg.Delta {
+			out = append(out, comp)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// NetMedicSweep returns NetMedic schemes across the given deltas.
+func NetMedicSweep(deltas []float64) []Scheme {
+	out := make([]Scheme, len(deltas))
+	for i, d := range deltas {
+		out[i] = &NetMedic{Delta: d}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+// Package baseline implements the black-box fault localization schemes the
+// FChain paper compares against (§III-A), plus scheme adapters for FChain
+// itself, behind one common interface:
+//
+//   - Histogram: Kullback-Leibler divergence between the look-back window's
+//     histogram and the full-history histogram, thresholded anomaly scores
+//     (Oliner et al. style [10]).
+//   - NetMedic [9]: topology-aware impact ranking from historical state
+//     similarity, with the characteristic 0.8 default impact for
+//     previously unseen states.
+//   - Topology: PAL-style outlier change point detection + ground-truth
+//     topology; blames the most-upstream abnormal component.
+//   - Dependency: same detection + the *discovered* dependency graph; when
+//     discovery found nothing (stream systems) it outputs every abnormal
+//     component.
+//   - PAL [13]: abnormal change propagation ordering without predictability
+//     filtering or dependency information.
+//   - Fixed-Filtering: the FChain pipeline with a fixed prediction-error
+//     threshold instead of the burstiness-adaptive one.
+//   - FChain / FChain+VAL: the real pipeline (core package), optionally
+//     with online pinpointing validation.
+package baseline
+
+import (
+	"fchain/internal/cloudsim"
+	"fchain/internal/depgraph"
+	"fchain/internal/metric"
+	"fchain/internal/timeseries"
+)
+
+// Trial is everything a localization scheme may consume for one fault run.
+// All schemes see identical data; what they do with it differs.
+type Trial struct {
+	// Components lists the application's component names.
+	Components []string
+	// Series holds each component's metric history from run start through
+	// the SLO violation time TV.
+	Series map[string]map[metric.Kind]*timeseries.Series
+	// TV is the time the performance anomaly was detected.
+	TV int64
+	// LookBack is the W to use for this fault (paper: 100, or 500 for the
+	// Hadoop DiskHog).
+	LookBack int
+	// Topology is the ground-truth application topology (only the
+	// Topology scheme and NetMedic may use it — FChain never does).
+	Topology *depgraph.Graph
+	// Deps is the black-box discovered dependency graph (may be empty).
+	Deps *depgraph.Graph
+	// Sim is the live simulation positioned at TV; only FChain+VAL uses it
+	// (for online validation clones). May be nil for schemes that do not
+	// validate.
+	Sim *cloudsim.Sim
+}
+
+// SeriesOf returns one component metric history (nil when absent).
+func (tr *Trial) SeriesOf(component string, k metric.Kind) *timeseries.Series {
+	m, ok := tr.Series[component]
+	if !ok {
+		return nil
+	}
+	return m[k]
+}
+
+// Window returns the look-back window [TV-LookBack, TV] of one metric.
+func (tr *Trial) Window(component string, k metric.Kind) *timeseries.Series {
+	s := tr.SeriesOf(component, k)
+	if s == nil {
+		return nil
+	}
+	return s.Window(tr.TV-int64(tr.LookBack), tr.TV+1)
+}
+
+// Scheme is a black-box fault localization algorithm: given a trial it
+// names the components it believes faulty.
+type Scheme interface {
+	// Name identifies the scheme (and its threshold, for swept schemes).
+	Name() string
+	// Localize returns the pinpointed faulty components.
+	Localize(tr *Trial) ([]string, error)
+}

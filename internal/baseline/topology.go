@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"sort"
+
+	"fchain/internal/depgraph"
+)
+
+// Topology is baseline 3: PAL-style outlier change point detection plus
+// ground-truth topology knowledge. Anomalies are assumed to propagate
+// downstream along request edges, so among the abnormal components it
+// blames the most-upstream ones (those with no abnormal component upstream
+// of them). Its characteristic failure is back-pressure (paper §III-B):
+// a faulty downstream tier (the RUBiS database) drives its *upstream*
+// callers abnormal, and this scheme then blames the upstream tier.
+type Topology struct {
+	Detector *palDetector
+}
+
+var _ Scheme = (*Topology)(nil)
+
+// Name implements Scheme.
+func (s *Topology) Name() string { return "topology" }
+
+// Localize implements Scheme.
+func (s *Topology) Localize(tr *Trial) ([]string, error) {
+	return blameUpstream(tr, tr.Topology, s.Detector), nil
+}
+
+// Dependency is baseline 4: identical detection, but using the black-box
+// *discovered* dependency graph instead of assumed topology. When discovery
+// found no dependencies (continuous stream systems), the scheme outputs
+// every abnormal component — the paper's explanation for its low precision
+// on System S.
+type Dependency struct {
+	Detector *palDetector
+}
+
+var _ Scheme = (*Dependency)(nil)
+
+// Name implements Scheme.
+func (s *Dependency) Name() string { return "dependency" }
+
+// Localize implements Scheme.
+func (s *Dependency) Localize(tr *Trial) ([]string, error) {
+	det := defaultPALDetector()
+	if s.Detector != nil {
+		det = *s.Detector
+	}
+	if tr.Deps == nil || tr.Deps.Empty() {
+		_, abnormal := det.detect(tr)
+		out := make([]string, 0, len(abnormal))
+		for _, a := range abnormal {
+			out = append(out, a.Component)
+		}
+		sort.Strings(out)
+		return out, nil
+	}
+	return blameUpstream(tr, tr.Deps, s.Detector), nil
+}
+
+// blameUpstream runs PAL-style detection and pinpoints abnormal components
+// with no abnormal upstream in the graph (anomaly flows downstream with the
+// requests).
+func blameUpstream(tr *Trial, g *depgraph.Graph, detector *palDetector) []string {
+	det := defaultPALDetector()
+	if detector != nil {
+		det = *detector
+	}
+	_, abnormal := det.detect(tr)
+	var out []string
+	for _, a := range abnormal {
+		explained := false
+		for _, b := range abnormal {
+			if a.Component == b.Component {
+				continue
+			}
+			if g != nil && g.HasDirectedPath(b.Component, a.Component) {
+				explained = true
+				break
+			}
+		}
+		if !explained {
+			out = append(out, a.Component)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PAL is baseline 5: the authors' earlier propagation-aware localizer. It
+// sorts abnormal components by their earliest *outlier* change point time
+// (no predictability-based selection, no tangent rollback, no dependency
+// information) and pinpoints the earliest plus any component within the
+// concurrency threshold.
+type PAL struct {
+	Detector             *palDetector
+	ConcurrencyThreshold int64
+}
+
+var _ Scheme = (*PAL)(nil)
+
+// Name implements Scheme.
+func (s *PAL) Name() string { return "pal" }
+
+// Localize implements Scheme.
+func (s *PAL) Localize(tr *Trial) ([]string, error) {
+	det := defaultPALDetector()
+	if s.Detector != nil {
+		det = *s.Detector
+	}
+	thr := s.ConcurrencyThreshold
+	if thr <= 0 {
+		thr = 2
+	}
+	_, abnormal := det.detect(tr)
+	if len(abnormal) == 0 {
+		return nil, nil
+	}
+	out := []string{abnormal[0].Component}
+	last := abnormal[0].Earliest
+	for _, a := range abnormal[1:] {
+		if a.Earliest-last <= thr {
+			out = append(out, a.Component)
+			last = a.Earliest
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,241 @@
+// Package changepoint implements the change point detection machinery used
+// by FChain and by the PAL-style baselines.
+//
+// The detector is the classic "CUSUM + Bootstrap" scheme (Basseville &
+// Nikiforov; Taylor's change-point analysis, cited as [21] in the paper):
+// a segment's cumulative sums of deviations from the mean peak at a change
+// point, and a bootstrap over shuffled copies of the segment estimates the
+// confidence that the observed peak is not random. Detected segments are
+// split recursively. On top of the raw detector the package provides the
+// magnitude-outlier filter (from PAL [13]) and the tangent-based rollback
+// that FChain uses to locate the precise onset of an abnormal change
+// (paper §II-B).
+package changepoint
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"fchain/internal/timeseries"
+)
+
+// Point is a detected change point.
+type Point struct {
+	Index      int     // sample index within the analyzed window
+	Confidence float64 // bootstrap confidence in [0,1]
+	Magnitude  float64 // |mean after − mean before|
+	Before     float64 // mean of the segment before the point
+	After      float64 // mean of the segment after the point
+}
+
+// Config controls detection.
+type Config struct {
+	// Bootstraps is the number of bootstrap reshuffles per segment
+	// (default 200).
+	Bootstraps int
+	// Confidence is the minimum bootstrap confidence to accept a change
+	// point (default 0.95).
+	Confidence float64
+	// MinSegment is the smallest segment (in samples) that is still
+	// searched for further change points (default 5).
+	MinSegment int
+	// Rand supplies the bootstrap shuffles; a deterministic source is used
+	// when nil.
+	Rand *rand.Rand
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bootstraps <= 0 {
+		c.Bootstraps = 200
+	}
+	if c.Confidence <= 0 || c.Confidence > 1 {
+		c.Confidence = 0.95
+	}
+	if c.MinSegment < 3 {
+		c.MinSegment = 5
+	}
+	if c.Rand == nil {
+		c.Rand = rand.New(rand.NewSource(1))
+	}
+	return c
+}
+
+// Detect finds change points in vals using CUSUM + bootstrap with recursive
+// segmentation, returning them in increasing index order.
+func Detect(vals []float64, cfg Config) []Point {
+	cfg = cfg.withDefaults()
+	var out []Point
+	detectSegment(vals, 0, cfg, &out)
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+func detectSegment(vals []float64, offset int, cfg Config, out *[]Point) {
+	if len(vals) < cfg.MinSegment {
+		return
+	}
+	idx, sdiff := cusumPeak(vals)
+	if idx <= 0 || idx >= len(vals)-1 {
+		return
+	}
+	conf := bootstrapConfidence(vals, sdiff, cfg)
+	if conf < cfg.Confidence {
+		return
+	}
+	before := timeseries.Mean(vals[:idx])
+	after := timeseries.Mean(vals[idx:])
+	*out = append(*out, Point{
+		Index:      offset + idx,
+		Confidence: conf,
+		Magnitude:  math.Abs(after - before),
+		Before:     before,
+		After:      after,
+	})
+	detectSegment(vals[:idx], offset, cfg, out)
+	detectSegment(vals[idx:], offset+idx, cfg, out)
+}
+
+// cusumPeak returns the index of the maximum |CUSUM| and the CUSUM range
+// (max − min), the statistic bootstrapped for significance.
+func cusumPeak(vals []float64) (idx int, sdiff float64) {
+	m := timeseries.Mean(vals)
+	var (
+		s        float64
+		maxS     = math.Inf(-1)
+		minS     = math.Inf(1)
+		maxAbs   float64
+		maxAbsAt int
+	)
+	for i, v := range vals {
+		s += v - m
+		if s > maxS {
+			maxS = s
+		}
+		if s < minS {
+			minS = s
+		}
+		if a := math.Abs(s); a > maxAbs {
+			maxAbs = a
+			maxAbsAt = i + 1 // change occurs after sample i
+		}
+	}
+	return maxAbsAt, maxS - minS
+}
+
+// bootstrapConfidence estimates the fraction of random reorderings of vals
+// whose CUSUM range falls below the observed one.
+func bootstrapConfidence(vals []float64, observed float64, cfg Config) float64 {
+	if observed == 0 {
+		return 0
+	}
+	shuffled := make([]float64, len(vals))
+	copy(shuffled, vals)
+	below := 0
+	for b := 0; b < cfg.Bootstraps; b++ {
+		cfg.Rand.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		if _, sd := cusumPeak(shuffled); sd < observed {
+			below++
+		}
+	}
+	return float64(below) / float64(cfg.Bootstraps)
+}
+
+// SelectOutliers keeps only change points whose magnitude is an outlier
+// among all detected change points of the window: magnitude > mean +
+// sigma*stddev of the magnitudes (PAL's magnitude-based filter; sigma is
+// typically 1.0–2.0). With fewer than 3 candidates all are kept, since no
+// meaningful outlier statistics exist.
+func SelectOutliers(points []Point, sigma float64) []Point {
+	if len(points) < 3 {
+		out := make([]Point, len(points))
+		copy(out, points)
+		return out
+	}
+	mags := make([]float64, len(points))
+	for i, p := range points {
+		mags[i] = p.Magnitude
+	}
+	mean := timeseries.Mean(mags)
+	sd := timeseries.Std(mags)
+	thresh := mean + sigma*sd
+	var out []Point
+	for _, p := range points {
+		if p.Magnitude > thresh {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		// Degenerate distribution (all magnitudes similar): fall back to
+		// the largest.
+		best := points[0]
+		for _, p := range points[1:] {
+			if p.Magnitude > best.Magnitude {
+				best = p
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+// RollbackOnset walks an abnormal change point backwards to the beginning of
+// the fault manifestation (paper §II-B): starting from the abnormal point,
+// compare the tangent (local slope of the smoothed series) at the current
+// point with the tangent at its preceding change point; while they are close
+// (difference < tol, e.g. 0.1, relative to the local value scale), roll back
+// to the preceding point. Returns the sample index of the manifestation
+// onset.
+//
+// vals is the (smoothed) window; points are all detected change points in
+// increasing index order; abnormalIdx is the index *within points* of the
+// selected abnormal change point.
+func RollbackOnset(vals []float64, points []Point, abnormalIdx int, tol float64) int {
+	if abnormalIdx < 0 || abnormalIdx >= len(points) {
+		return 0
+	}
+	if tol <= 0 {
+		tol = 0.1
+	}
+	cur := abnormalIdx
+	for cur > 0 {
+		prev := cur - 1
+		tanCur := timeseries.SlopeAt(vals, points[cur].Index, 2)
+		tanPrev := timeseries.SlopeAt(vals, points[prev].Index, 2)
+		// Compare tangents relative to their own scale, so tol is unit-free
+		// across metrics (bytes/s vs percent).
+		scale := math.Max(math.Abs(tanCur), math.Abs(tanPrev))
+		if scale == 0 {
+			scale = 1
+		}
+		if math.Abs(tanCur-tanPrev)/scale >= tol {
+			break
+		}
+		cur = prev
+	}
+	// Refine to the sample level: recursive CUSUM segmentation rarely
+	// leaves a change point exactly at the foot of a gradual ramp, so walk
+	// backwards while the local slope keeps the onset's direction and a
+	// substantial share of its steepness.
+	idx := points[cur].Index
+	ref := timeseries.SlopeAt(vals, idx, 2)
+	base := points[cur].Before
+	shift := points[cur].After - base
+	if ref != 0 {
+		for idx > 0 {
+			if timeseries.SlopeAt(vals, idx-1, 2)/ref < 0.3 {
+				break
+			}
+			// The onset cannot precede the point where the metric left its
+			// pre-change level: without this, a workload rise of similar
+			// slope just before the fault would absorb the walk.
+			if shift != 0 && (vals[idx-1]-base)/shift < 0.03 {
+				break
+			}
+			idx--
+		}
+	}
+	return idx
+}

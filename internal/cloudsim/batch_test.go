@@ -1,0 +1,173 @@
+package cloudsim
+
+import (
+	"testing"
+
+	"fchain/internal/metric"
+	"fchain/internal/workload"
+)
+
+// batchApp builds src -> sink where src flushes its output every `every`
+// seconds.
+func batchApp(every, phase int64, outCap int) AppSpec {
+	return AppSpec{
+		Name: "test-batch",
+		Components: []ComponentSpec{
+			{
+				Name: "src", CPUCores: 2, MemoryMB: 2048, NetMBps: 200, DiskMBps: 100,
+				CPUCostPerReq: 0.004, MemPerReq: 0.5, NetOutPerReq: 0.05,
+				BaseMemMB: 200, ServiceTime: 0.002, QueueCap: 500,
+				DispatchEvery: every, DispatchPhase: phase, OutBufCap: outCap,
+				Downstream: []Edge{{To: "sink", Kind: EdgeAll}},
+			},
+			{
+				Name: "sink", CPUCores: 2, MemoryMB: 2048, NetMBps: 200, DiskMBps: 100,
+				CPUCostPerReq: 0.004, NetInPerReq: 0.05, BaseMemMB: 200,
+				ServiceTime: 0.002, QueueCap: 5000,
+			},
+		},
+		Entries:          []string{"src"},
+		Style:            RequestReply,
+		SLO:              SLOSpec{Kind: SLOLatency, Threshold: 10},
+		Trace:            workload.Constant(30),
+		MeasurementNoise: 0.0001,
+	}
+}
+
+func TestBatchedDispatchWaves(t *testing.T) {
+	sim, err := New(batchApp(10, 0, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Step(100)
+	// The sink's net_in must be spiky: zero between flushes, large bursts
+	// on flush ticks.
+	in, err := sim.Series("sink", metric.NetIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zeros, spikes int
+	for i := 20; i < 100; i++ {
+		v := in.At(i)
+		switch {
+		case v < 0.5:
+			zeros++
+		case v > 5:
+			spikes++
+		}
+	}
+	if spikes < 6 || spikes > 10 {
+		t.Errorf("expected ~8 flush spikes in 80s at a 10s cadence, got %d", spikes)
+	}
+	if zeros < 60 {
+		t.Errorf("expected mostly-zero inter-wave traffic, got %d zero ticks", zeros)
+	}
+	// Conservation: everything produced eventually reaches the sink.
+	progress := sim.ProgressSeries()
+	total := progress.At(progress.Len() - 1)
+	if total < 30*80 {
+		t.Errorf("completed %v work units, want >= %v", total, 30*80)
+	}
+}
+
+func TestBatchedDispatchPhase(t *testing.T) {
+	a, err := New(batchApp(10, 0, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(batchApp(10, 5, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Step(60)
+	b.Step(60)
+	ain, _ := a.Series("sink", metric.NetIn)
+	bin, _ := b.Series("sink", metric.NetIn)
+	// Flush ticks must be offset by the phase.
+	spikeTicks := func(s interface{ At(int) float64 }) map[int]bool {
+		out := map[int]bool{}
+		for i := 20; i < 60; i++ {
+			if s.At(i) > 5 {
+				out[i%10] = true
+			}
+		}
+		return out
+	}
+	sa, sb := spikeTicks(ain), spikeTicks(bin)
+	for k := range sa {
+		if sb[k] {
+			t.Fatalf("phase-shifted flushes collide on tick offset %d", k)
+		}
+	}
+}
+
+func TestOutBufCapThrottles(t *testing.T) {
+	// A tiny output buffer must throttle processing between flushes — and
+	// the default (4x queue cap) must not.
+	tiny, err := New(batchApp(18, 0, 60), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny.Step(200)
+	c, _ := tiny.Component("src")
+	if c.Queue < 100 {
+		t.Errorf("tiny OutBufCap should throttle src (queue=%v)", c.Queue)
+	}
+	roomy, err := New(batchApp(18, 0, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roomy.Step(200)
+	r, _ := roomy.Component("src")
+	if r.Queue > 100 {
+		t.Errorf("default OutBufCap should not throttle src (queue=%v)", r.Queue)
+	}
+}
+
+func TestSLOMetricLatency(t *testing.T) {
+	sim, err := New(threeTier(workload.Constant(60)), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Inject(NewCPUHog(100, 1.9, "db")); err != nil {
+		t.Fatal(err)
+	}
+	sim.Step(300)
+	healthy := sim.SLOMetric(40, 90)
+	broken := sim.SLOMetric(200, 290)
+	if broken <= healthy*2 {
+		t.Errorf("SLO metric should grow under the fault: healthy=%v broken=%v", healthy, broken)
+	}
+}
+
+func TestSLOMetricProgress(t *testing.T) {
+	spec := threeTier(workload.Constant(60))
+	spec.SLO = SLOSpec{Kind: SLOProgress, StallWindow: 30, StallFraction: 0.1}
+	sim, err := New(spec, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Inject(NewCPUHog(200, 1.998, "web")); err != nil {
+		t.Fatal(err)
+	}
+	sim.Step(400)
+	healthy := sim.SLOMetric(100, 190)
+	stalled := sim.SLOMetric(300, 390)
+	if healthy > 0.2 {
+		t.Errorf("healthy progress shortfall = %v, want ~0", healthy)
+	}
+	if stalled < 0.8 {
+		t.Errorf("stalled progress shortfall = %v, want ~1", stalled)
+	}
+}
+
+func TestSLOMetricEmptyWindow(t *testing.T) {
+	sim, err := New(threeTier(workload.Constant(10)), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Step(10)
+	if got := sim.SLOMetric(100, 200); got != 0 {
+		t.Errorf("out-of-range window should yield 0, got %v", got)
+	}
+}

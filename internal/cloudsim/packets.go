@@ -1,0 +1,127 @@
+package cloudsim
+
+import (
+	"math/rand"
+
+	"fchain/internal/depgraph"
+)
+
+// DependencyTrace synthesizes the passive packet capture that FChain's
+// offline dependency discovery consumes (paper §II-C fn. 3: discovery is
+// performed offline over accumulated trace data and cached).
+//
+// For request/reply applications the capture contains sampled request
+// journeys: an external request enters an entry component, walks the
+// topology (balanced edges pick a weighted random target, fan-out edges
+// visit every target) with a small per-hop delay, and the next sampled
+// request follows after a think-time gap — exactly the structure gap-based
+// flow extraction needs.
+//
+// For streaming applications the capture is continuous tuple traffic on
+// every edge with sub-gap inter-packet spacing, so flow extraction sees one
+// endless flow per edge and discovery fails, reproducing the paper's
+// System S result.
+func (s *Sim) DependencyTrace(durationSec int, seed int64) []depgraph.Packet {
+	rng := rand.New(rand.NewSource(seed))
+	if s.spec.Style == Streaming {
+		return s.streamingTrace(durationSec)
+	}
+	return s.requestReplyTrace(durationSec, rng)
+}
+
+func (s *Sim) requestReplyTrace(durationSec int, rng *rand.Rand) []depgraph.Packet {
+	var pkts []depgraph.Packet
+	t := 0.0
+	const client = "external-client"
+	for t < float64(durationSec) {
+		t += 0.8 + rng.Float64() // think time well above the gap threshold
+		entry := s.spec.Entries[rng.Intn(len(s.spec.Entries))]
+		now := t
+		pkts = append(pkts, depgraph.Packet{Time: now, Src: client, Dst: entry})
+		now += 0.005
+		pkts = s.walkRequest(entry, now, rng, pkts, 0)
+	}
+	return pkts
+}
+
+// walkRequest emits the downstream packets of one sampled request.
+func (s *Sim) walkRequest(name string, now float64, rng *rand.Rand, pkts []depgraph.Packet, depth int) []depgraph.Packet {
+	if depth > len(s.comps) {
+		return pkts
+	}
+	c := s.comps[name]
+	var balanced []Edge
+	var totalW float64
+	for _, e := range c.Spec.Downstream {
+		if e.Kind == EdgeAll {
+			pkts = append(pkts, depgraph.Packet{Time: now, Src: name, Dst: e.To})
+			pkts = s.walkRequest(e.To, now+0.01, rng, pkts, depth+1)
+			// Reply packet.
+			pkts = append(pkts, depgraph.Packet{Time: now + 0.03, Src: e.To, Dst: name})
+			continue
+		}
+		w := e.Weight
+		if w <= 0 {
+			w = 1
+		}
+		if ov, ok := c.WeightOverride[e.To]; ok {
+			w = ov
+		}
+		balanced = append(balanced, e)
+		totalW += w
+	}
+	if len(balanced) > 0 && totalW > 0 {
+		pick := rng.Float64() * totalW
+		var acc float64
+		chosen := balanced[len(balanced)-1]
+		for _, e := range balanced {
+			w := e.Weight
+			if w <= 0 {
+				w = 1
+			}
+			if ov, ok := c.WeightOverride[e.To]; ok {
+				w = ov
+			}
+			acc += w
+			if pick <= acc {
+				chosen = e
+				break
+			}
+		}
+		pkts = append(pkts, depgraph.Packet{Time: now, Src: name, Dst: chosen.To})
+		pkts = s.walkRequest(chosen.To, now+0.01, rng, pkts, depth+1)
+		pkts = append(pkts, depgraph.Packet{Time: now + 0.03, Src: chosen.To, Dst: name})
+	}
+	return pkts
+}
+
+// streamingTrace emits continuous tuple traffic: a packet on every edge
+// every 50 ms for the whole capture, leaving no gaps for flow extraction.
+func (s *Sim) streamingTrace(durationSec int) []depgraph.Packet {
+	var pkts []depgraph.Packet
+	const interval = 0.05
+	steps := int(float64(durationSec) / interval)
+	for i := 0; i < steps; i++ {
+		now := float64(i) * interval
+		for _, name := range s.names {
+			for _, e := range s.comps[name].Spec.Downstream {
+				pkts = append(pkts, depgraph.Packet{Time: now, Src: name, Dst: e.To})
+			}
+		}
+	}
+	return pkts
+}
+
+// TopologyGraph returns the ground-truth application topology as a
+// dependency graph (edge X→Y when X calls Y). The Topology baseline assumes
+// this knowledge; FChain itself never uses it.
+func (s *Sim) TopologyGraph() *depgraph.Graph {
+	g := depgraph.NewGraph()
+	for _, name := range s.names {
+		g.AddNode(name)
+		for _, e := range s.comps[name].Spec.Downstream {
+			g.AddEdge(name, e.To, 1)
+		}
+	}
+	return g
+}

@@ -1,0 +1,236 @@
+// Package cloudsim is a discrete-time simulator of distributed applications
+// running in guest VMs on a shared cloud, standing in for the paper's
+// Xen/VCL testbed.
+//
+// FChain is a black-box system: it consumes only the six per-VM system
+// metrics (CPU, memory, net in/out, disk read/write) sampled at 1 s. The
+// simulator therefore has one job — produce those metric streams with the
+// dynamics that matter to fault localization:
+//
+//   - workload-driven normal fluctuation (from a workload trace),
+//   - utilization-dependent service latency and queueing,
+//   - inter-component request propagation along an application topology,
+//   - back-pressure: a saturated or slowed component fills its queue and
+//     stalls its *upstream* callers, so anomalies also propagate against
+//     the request direction (paper §II-C),
+//   - injectable faults (memory leak, CPU hog, net hog, disk hog,
+//     bottleneck caps, misrouting bugs),
+//   - per-component resource scaling, which the online pinpointing
+//     validation uses to confirm or refute a culprit.
+//
+// Time advances in 1-second ticks; each tick every component consumes
+// requests from its queue subject to its effective resources and the free
+// queue space of its downstream components, then dispatches derived
+// requests downstream (visible the next tick, so each hop adds at least one
+// second of propagation delay, consistent with the paper's observation that
+// anomaly propagation between dependent components takes at least several
+// seconds).
+package cloudsim
+
+import (
+	"fmt"
+
+	"fchain/internal/workload"
+)
+
+// EdgeKind selects how a component forwards derived requests downstream.
+type EdgeKind int
+
+const (
+	// EdgeBalanced distributes requests among this component's balanced
+	// downstream targets proportionally to their weights (a load
+	// balancer / router).
+	EdgeBalanced EdgeKind = iota + 1
+	// EdgeAll sends a derived request to every EdgeAll downstream target
+	// (fan-out, e.g. a stream operator feeding several consumers).
+	EdgeAll
+)
+
+// Edge is a directed link from one component to a downstream component.
+type Edge struct {
+	To     string
+	Kind   EdgeKind
+	Weight float64 // relative share for EdgeBalanced (default 1)
+	// Fanout is the number of derived downstream requests per processed
+	// request on this edge (default 1). Values < 1 model sampling.
+	Fanout float64
+}
+
+// ComponentSpec describes one application component (one guest VM).
+type ComponentSpec struct {
+	Name string
+
+	// Physical resources of the VM.
+	CPUCores float64 // e.g. 2.0
+	MemoryMB float64
+	NetMBps  float64
+	DiskMBps float64
+
+	// Per-request costs.
+	CPUCostPerReq   float64 // core-seconds consumed per request
+	MemPerReq       float64 // MB held per queued request
+	NetInPerReq     float64 // MB received per request
+	NetOutPerReq    float64 // MB sent per dispatched request
+	DiskReadPerReq  float64 // MB read per request
+	DiskWritePerReq float64 // MB written per request
+
+	BaseMemMB   float64 // idle memory footprint
+	ServiceTime float64 // base service latency (seconds) at low load
+
+	QueueCap int // max queued requests; 0 means a generous default
+
+	// DispatchEvery batches the component's output: processed work
+	// accumulates in an output buffer that is flushed downstream only
+	// every DispatchEvery seconds (0 or 1 = continuous dispatch). This
+	// models wave-style data movement such as Hadoop's shuffle, whose
+	// spiky transfer pattern is a defining trait of the paper's "much
+	// more dynamic" Hadoop metrics.
+	DispatchEvery int64
+	// DispatchPhase offsets the flush schedule so co-located components
+	// do not flush in lockstep.
+	DispatchPhase int64
+	// OutBufCap bounds the batched output buffer (default 4×QueueCap). It
+	// must exceed one wave's volume or the component throttles itself
+	// between flushes.
+	OutBufCap int
+
+	// Join makes the component a stream join: one unit of work consumes
+	// one queued tuple from *each* distinct upstream source, so starving
+	// one input stalls the component and back-pressures its other inputs
+	// (how a System S join PE behaves — the mechanism behind the paper's
+	// Fig. 2 PE6→PE2 back-pressure propagation).
+	Join bool
+
+	Downstream []Edge
+}
+
+func (c ComponentSpec) withDefaults() ComponentSpec {
+	if c.CPUCores <= 0 {
+		c.CPUCores = 2
+	}
+	if c.MemoryMB <= 0 {
+		c.MemoryMB = 4096
+	}
+	if c.NetMBps <= 0 {
+		c.NetMBps = 120
+	}
+	if c.DiskMBps <= 0 {
+		c.DiskMBps = 80
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 2000
+	}
+	if c.OutBufCap <= 0 {
+		c.OutBufCap = 4 * c.QueueCap
+	}
+	if c.ServiceTime <= 0 {
+		c.ServiceTime = 0.005
+	}
+	return c
+}
+
+// TrafficStyle describes the application's network traffic pattern, which
+// determines whether black-box dependency discovery can extract flows.
+type TrafficStyle int
+
+const (
+	// RequestReply traffic has think-time gaps between exchanges; the
+	// gap-based flow extraction works (RUBiS, Hadoop control traffic).
+	RequestReply TrafficStyle = iota + 1
+	// Streaming traffic is continuous with no inter-packet gaps; flow
+	// extraction fails and dependency discovery returns an empty graph
+	// (IBM System S), per the paper's §II-C observation.
+	Streaming
+)
+
+// SLOKind selects how the application's service level objective is judged.
+type SLOKind int
+
+const (
+	// SLOLatency marks a violation when the mean end-to-end latency
+	// exceeds Threshold seconds (RUBiS: 100 ms; System S per-tuple: 20 ms).
+	SLOLatency SLOKind = iota + 1
+	// SLOProgress marks a violation when job progress stalls: completed
+	// work over the last StallWindow seconds falls below StallFraction of
+	// the pre-fault baseline throughput (Hadoop: no progress for > 30 s).
+	SLOProgress
+)
+
+// SLOSpec configures SLO judgement.
+type SLOSpec struct {
+	Kind          SLOKind
+	Threshold     float64 // seconds, for SLOLatency
+	StallWindow   int     // seconds, for SLOProgress (default 30)
+	StallFraction float64 // fraction of baseline throughput (default 0.05)
+}
+
+func (s SLOSpec) withDefaults() SLOSpec {
+	if s.Kind == 0 {
+		s.Kind = SLOLatency
+	}
+	if s.Threshold <= 0 {
+		s.Threshold = 0.1
+	}
+	if s.StallWindow <= 0 {
+		s.StallWindow = 30
+	}
+	if s.StallFraction <= 0 {
+		s.StallFraction = 0.05
+	}
+	return s
+}
+
+// AppSpec describes a complete simulated application.
+type AppSpec struct {
+	Name       string
+	Components []ComponentSpec
+	// Entries are the components that receive external arrivals; the
+	// workload trace rate is split evenly among them.
+	Entries []string
+	Style   TrafficStyle
+	SLO     SLOSpec
+	Trace   workload.Trace
+	// MeasurementNoise is the relative std-dev of per-sample metric
+	// measurement noise (default 0.02).
+	MeasurementNoise float64
+}
+
+// Validate checks the spec for structural errors: unknown edge targets,
+// duplicate names, missing entries.
+func (a AppSpec) Validate() error {
+	if len(a.Components) == 0 {
+		return fmt.Errorf("cloudsim: app %q has no components", a.Name)
+	}
+	byName := make(map[string]bool, len(a.Components))
+	for _, c := range a.Components {
+		if c.Name == "" {
+			return fmt.Errorf("cloudsim: app %q has a component without a name", a.Name)
+		}
+		if byName[c.Name] {
+			return fmt.Errorf("cloudsim: app %q: duplicate component %q", a.Name, c.Name)
+		}
+		byName[c.Name] = true
+	}
+	for _, c := range a.Components {
+		for _, e := range c.Downstream {
+			if !byName[e.To] {
+				return fmt.Errorf("cloudsim: app %q: component %q has edge to unknown %q", a.Name, c.Name, e.To)
+			}
+			if e.To == c.Name {
+				return fmt.Errorf("cloudsim: app %q: component %q has a self edge", a.Name, c.Name)
+			}
+		}
+	}
+	if len(a.Entries) == 0 {
+		return fmt.Errorf("cloudsim: app %q has no entry components", a.Name)
+	}
+	for _, e := range a.Entries {
+		if !byName[e] {
+			return fmt.Errorf("cloudsim: app %q: unknown entry %q", a.Name, e)
+		}
+	}
+	if a.Trace == nil {
+		return fmt.Errorf("cloudsim: app %q has no workload trace", a.Name)
+	}
+	return nil
+}

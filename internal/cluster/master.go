@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"fchain/internal/core"
+	"fchain/internal/depgraph"
+)
+
+// Master is the FChain master daemon: it accepts slave registrations and,
+// when a performance anomaly is detected, fans an analyze request out to
+// every slave and runs the integrated diagnosis over their reports.
+type Master struct {
+	cfg  core.Config
+	deps *depgraph.Graph
+
+	ln net.Listener
+
+	mu         sync.Mutex
+	slaves     map[string]*slaveConn
+	known      map[string]bool // every component ever registered
+	closed     bool
+	reqCounter uint64
+	history    []DiagnosisRecord
+
+	wg sync.WaitGroup
+}
+
+// slaveConn is the master-side state of one registered slave.
+type slaveConn struct {
+	name       string
+	components []string
+	conn       net.Conn
+
+	mu      sync.Mutex
+	pending map[uint64]chan *envelope
+}
+
+// NewMaster creates a master with the given FChain configuration and
+// (possibly empty) dependency graph from offline discovery.
+func NewMaster(cfg core.Config, deps *depgraph.Graph) *Master {
+	return &Master{
+		cfg:    cfg,
+		deps:   deps,
+		slaves: make(map[string]*slaveConn),
+		known:  make(map[string]bool),
+	}
+}
+
+// Start begins listening on addr (e.g. "127.0.0.1:0"). It returns once the
+// listener is ready; connections are served in the background.
+func (m *Master) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: master listen: %w", err)
+	}
+	m.ln = ln
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return nil
+}
+
+// Addr returns the listening address, valid after Start.
+func (m *Master) Addr() string {
+	if m.ln == nil {
+		return ""
+	}
+	return m.ln.Addr().String()
+}
+
+func (m *Master) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one slave connection: registration, then responses.
+func (m *Master) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := newReader(conn)
+	env, err := readFrame(r)
+	if err != nil || env.Type != typeRegister || env.Slave == "" {
+		return // malformed or impatient peer; drop it
+	}
+	sc := &slaveConn{
+		name:       env.Slave,
+		components: append([]string(nil), env.Components...),
+		conn:       conn,
+		pending:    make(map[uint64]chan *envelope),
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.slaves[sc.name] = sc
+	for _, comp := range sc.components {
+		m.known[comp] = true
+	}
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		if m.slaves[sc.name] == sc {
+			delete(m.slaves, sc.name)
+		}
+		m.mu.Unlock()
+	}()
+
+	for {
+		env, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		switch env.Type {
+		case typeReports, typeError:
+			sc.mu.Lock()
+			ch, ok := sc.pending[env.ID]
+			if ok {
+				delete(sc.pending, env.ID)
+			}
+			sc.mu.Unlock()
+			if ok {
+				ch <- env
+			}
+		case typePing:
+			_ = writeFrame(conn, &envelope{Type: typePong, ID: env.ID}, 5*time.Second)
+		}
+	}
+}
+
+// Slaves returns the names of the registered slaves, sorted.
+func (m *Master) Slaves() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.slaves))
+	for name := range m.slaves {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Components returns every component monitored by a registered slave.
+func (m *Master) Components() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for _, sc := range m.slaves {
+		out = append(out, sc.components...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DiagnosisRecord is one past localization kept in the master's journal.
+type DiagnosisRecord struct {
+	TV        int64          `json:"tv"`
+	Diagnosis core.Diagnosis `json:"diagnosis"`
+}
+
+// History returns the master's past localizations, oldest first (bounded to
+// the most recent historyLimit entries).
+func (m *Master) History() []DiagnosisRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]DiagnosisRecord, len(m.history))
+	copy(out, m.history)
+	return out
+}
+
+// historyLimit bounds the master's diagnosis journal.
+const historyLimit = 128
+
+// ErrNoSlaves is returned by Localize when no slave is registered.
+var ErrNoSlaves = errors.New("cluster: no slaves registered")
+
+// Localize triggers the fault localization pipeline: every registered slave
+// analyzes its look-back window ending at tv and the master diagnoses the
+// combined reports. Slaves that fail to answer within timeout are skipped
+// (their components are still counted for the external-factor check, since
+// the application size is known from registration).
+func (m *Master) Localize(tv int64, timeout time.Duration) (core.Diagnosis, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	m.mu.Lock()
+	if len(m.slaves) == 0 {
+		m.mu.Unlock()
+		return core.Diagnosis{}, ErrNoSlaves
+	}
+	conns := make([]*slaveConn, 0, len(m.slaves))
+	for _, sc := range m.slaves {
+		conns = append(conns, sc)
+	}
+	// The application's size counts every component ever registered: a
+	// slave that died does not shrink the application, and the
+	// external-factor check must not misread a partial view as "all
+	// components abnormal".
+	totalComponents := len(m.known)
+	m.reqCounter++
+	reqID := m.reqCounter
+	m.mu.Unlock()
+
+	lookBack := m.cfg.LookBack
+	if lookBack <= 0 {
+		lookBack = core.DefaultConfig().LookBack
+	}
+	type answer struct {
+		reports []core.ComponentReport
+		err     error
+	}
+	answers := make(chan answer, len(conns))
+	for _, sc := range conns {
+		sc := sc
+		ch := make(chan *envelope, 1)
+		sc.mu.Lock()
+		sc.pending[reqID] = ch
+		sc.mu.Unlock()
+		go func() {
+			req := &envelope{Type: typeAnalyze, ID: reqID, TV: tv, LookBack: lookBack}
+			if err := writeFrame(sc.conn, req, timeout); err != nil {
+				answers <- answer{err: err}
+				return
+			}
+			select {
+			case env := <-ch:
+				if env.Type == typeError {
+					answers <- answer{err: errors.New(env.Err)}
+					return
+				}
+				answers <- answer{reports: env.Reports}
+			case <-time.After(timeout):
+				sc.mu.Lock()
+				delete(sc.pending, reqID)
+				sc.mu.Unlock()
+				answers <- answer{err: fmt.Errorf("cluster: slave %s timed out", sc.name)}
+			}
+		}()
+	}
+
+	var reports []core.ComponentReport
+	var errs []error
+	for range conns {
+		a := <-answers
+		if a.err != nil {
+			errs = append(errs, a.err)
+			continue
+		}
+		reports = append(reports, a.reports...)
+	}
+	if len(reports) == 0 && len(errs) > 0 {
+		return core.Diagnosis{}, fmt.Errorf("cluster: all slaves failed: %w", errs[0])
+	}
+	diag := core.Diagnose(reports, totalComponents, m.deps, m.cfg)
+	m.mu.Lock()
+	m.history = append(m.history, DiagnosisRecord{TV: tv, Diagnosis: diag})
+	if len(m.history) > historyLimit {
+		m.history = m.history[len(m.history)-historyLimit:]
+	}
+	m.mu.Unlock()
+	return diag, nil
+}
+
+// Close shuts the master down and waits for its goroutines.
+func (m *Master) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	for _, sc := range m.slaves {
+		_ = sc.conn.Close()
+	}
+	m.mu.Unlock()
+	var err error
+	if m.ln != nil {
+		err = m.ln.Close()
+	}
+	m.wg.Wait()
+	return err
+}

@@ -1,0 +1,93 @@
+// Package cluster implements FChain's decentralized runtime (paper Fig. 1):
+// slave daemons colocated with the monitored hosts run normal fluctuation
+// modeling and abnormal change point selection; a master daemon triggers
+// the slaves when a performance anomaly is detected, gathers their
+// per-component reports, and runs the integrated fault diagnosis.
+//
+// The wire protocol is newline-delimited JSON over TCP: a slave dials the
+// master, registers the components it monitors, and then answers analyze
+// requests. The paper relies on NTP to keep host clocks within a few
+// milliseconds; the slave supports an explicit clock-skew offset so tests
+// can verify FChain tolerates small skews (§II-B fn. 2).
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"fchain/internal/core"
+)
+
+// Message types exchanged between master and slaves.
+const (
+	typeRegister = "register"
+	typeAnalyze  = "analyze"
+	typeReports  = "reports"
+	typePing     = "ping"
+	typePong     = "pong"
+	typeError    = "error"
+)
+
+// envelope is the single frame shape for every message.
+type envelope struct {
+	Type string `json:"type"`
+	// ID correlates an analyze request with its reports response.
+	ID uint64 `json:"id,omitempty"`
+
+	// Register fields.
+	Slave      string   `json:"slave,omitempty"`
+	Components []string `json:"components,omitempty"`
+
+	// Analyze fields.
+	TV       int64 `json:"tv,omitempty"`
+	LookBack int   `json:"lookback,omitempty"`
+
+	// Reports fields.
+	Reports []core.ComponentReport `json:"reports,omitempty"`
+
+	// Error field.
+	Err string `json:"err,omitempty"`
+}
+
+// frameLimit bounds a single frame to keep a misbehaving peer from forcing
+// unbounded allocation.
+const frameLimit = 4 << 20
+
+// writeFrame marshals and writes one newline-terminated JSON frame.
+func writeFrame(conn net.Conn, env *envelope, timeout time.Duration) error {
+	data, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("cluster: marshal frame: %w", err)
+	}
+	data = append(data, '\n')
+	if timeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return fmt.Errorf("cluster: set write deadline: %w", err)
+		}
+	}
+	if _, err := conn.Write(data); err != nil {
+		return fmt.Errorf("cluster: write frame: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one newline-terminated JSON frame.
+func readFrame(r *bufio.Reader) (*envelope, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	var env envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return nil, fmt.Errorf("cluster: malformed frame: %w", err)
+	}
+	return &env, nil
+}
+
+// newReader returns a size-bounded buffered reader for frame parsing.
+func newReader(conn net.Conn) *bufio.Reader {
+	return bufio.NewReaderSize(conn, 64<<10)
+}

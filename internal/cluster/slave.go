@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fchain/internal/core"
+	"fchain/internal/metric"
+)
+
+// Slave is the FChain slave daemon for one host: it runs the normal
+// fluctuation models for the components (guest VMs) on that host and
+// answers the master's analyze requests with abnormal change point reports
+// (paper Fig. 1: the slave modules run inside Domain 0 of each cloud node).
+type Slave struct {
+	name string
+	cfg  core.Config
+
+	// skew simulates this host's clock error relative to the master: every
+	// recorded sample timestamp is shifted by skew seconds. The paper
+	// relies on NTP (sub-5 ms error) and notes FChain tolerates small
+	// skews because propagation delays between components are seconds.
+	skew int64
+
+	mu       sync.Mutex
+	monitors map[string]*core.Monitor
+	conn     net.Conn
+	wg       sync.WaitGroup
+
+	pingMu      sync.Mutex
+	pingCounter uint64
+	pingWaiters map[uint64]chan struct{}
+}
+
+// SlaveOption configures a Slave.
+type SlaveOption interface {
+	apply(*Slave)
+}
+
+type skewOption int64
+
+func (o skewOption) apply(s *Slave) { s.skew = int64(o) }
+
+// WithClockSkew sets a simulated clock skew (in seconds) for the slave's
+// sample timestamps.
+func WithClockSkew(seconds int64) SlaveOption { return skewOption(seconds) }
+
+// NewSlave creates a slave monitoring the given components.
+func NewSlave(name string, components []string, cfg core.Config, opts ...SlaveOption) *Slave {
+	s := &Slave{
+		name:        name,
+		cfg:         cfg,
+		monitors:    make(map[string]*core.Monitor, len(components)),
+		pingWaiters: make(map[uint64]chan struct{}),
+	}
+	for _, c := range components {
+		s.monitors[c] = core.NewMonitor(c, cfg)
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	return s
+}
+
+// Name returns the slave's registration name.
+func (s *Slave) Name() string { return s.name }
+
+// Observe feeds one metric sample into the slave's models. It may be called
+// before or after Connect; collection is local and continuous.
+func (s *Slave) Observe(component string, t int64, k metric.Kind, v float64) error {
+	s.mu.Lock()
+	mon, ok := s.monitors[component]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: slave %s does not monitor %q", s.name, component)
+	}
+	return mon.Observe(t+s.skew, k, v)
+}
+
+// Analyze runs abnormal change point selection locally for every monitored
+// component (exported for in-process use and tests; the master normally
+// triggers it over the wire).
+func (s *Slave) Analyze(tv int64) []core.ComponentReport {
+	s.mu.Lock()
+	monitors := make([]*core.Monitor, 0, len(s.monitors))
+	for _, mon := range s.monitors {
+		monitors = append(monitors, mon)
+	}
+	s.mu.Unlock()
+	reports := make([]core.ComponentReport, 0, len(monitors))
+	for _, mon := range monitors {
+		reports = append(reports, mon.Analyze(tv+s.skew))
+	}
+	return reports
+}
+
+// Connect dials the master, registers, and starts answering analyze
+// requests in the background until Close is called or the connection drops.
+func (s *Slave) Connect(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("cluster: slave dial: %w", err)
+	}
+	s.mu.Lock()
+	components := make([]string, 0, len(s.monitors))
+	for c := range s.monitors {
+		components = append(components, c)
+	}
+	s.conn = conn
+	s.mu.Unlock()
+	reg := &envelope{Type: typeRegister, Slave: s.name, Components: components}
+	if err := writeFrame(conn, reg, 10*time.Second); err != nil {
+		conn.Close()
+		return err
+	}
+	s.wg.Add(1)
+	go s.serveLoop(conn)
+	return nil
+}
+
+func (s *Slave) serveLoop(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	r := newReader(conn)
+	for {
+		env, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		switch env.Type {
+		case typeAnalyze:
+			reports := s.analyzeWithWindow(env.TV, env.LookBack)
+			resp := &envelope{Type: typeReports, ID: env.ID, Reports: reports}
+			if err := writeFrame(conn, resp, 30*time.Second); err != nil {
+				return
+			}
+		case typePong:
+			s.pingMu.Lock()
+			if ch, ok := s.pingWaiters[env.ID]; ok {
+				delete(s.pingWaiters, env.ID)
+				close(ch)
+			}
+			s.pingMu.Unlock()
+		default:
+			resp := &envelope{Type: typeError, ID: env.ID, Err: fmt.Sprintf("unknown request %q", env.Type)}
+			if err := writeFrame(conn, resp, 10*time.Second); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// analyzeWithWindow honors the master's per-request look-back override: the
+// monitors retain RingCapacity samples, so any window up to that bound can
+// be analyzed regardless of the slave's configured default.
+func (s *Slave) analyzeWithWindow(tv int64, lookBack int) []core.ComponentReport {
+	s.mu.Lock()
+	monitors := make([]*core.Monitor, 0, len(s.monitors))
+	for _, mon := range s.monitors {
+		monitors = append(monitors, mon)
+	}
+	s.mu.Unlock()
+	reports := make([]core.ComponentReport, 0, len(monitors))
+	for _, mon := range monitors {
+		reports = append(reports, mon.AnalyzeWindow(tv+s.skew, lookBack))
+	}
+	return reports
+}
+
+// Ping verifies the master connection is alive: it sends a heartbeat and
+// waits up to timeout for the response.
+func (s *Slave) Ping(timeout time.Duration) error {
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("cluster: slave %s is not connected", s.name)
+	}
+	s.pingMu.Lock()
+	s.pingCounter++
+	id := s.pingCounter
+	ch := make(chan struct{})
+	s.pingWaiters[id] = ch
+	s.pingMu.Unlock()
+	if err := writeFrame(conn, &envelope{Type: typePing, ID: id}, timeout); err != nil {
+		s.pingMu.Lock()
+		delete(s.pingWaiters, id)
+		s.pingMu.Unlock()
+		return err
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-time.After(timeout):
+		s.pingMu.Lock()
+		delete(s.pingWaiters, id)
+		s.pingMu.Unlock()
+		return fmt.Errorf("cluster: ping to master timed out after %v", timeout)
+	}
+}
+
+// Close terminates the slave's connection and waits for its goroutine.
+func (s *Slave) Close() error {
+	s.mu.Lock()
+	conn := s.conn
+	s.conn = nil
+	s.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,246 @@
+// Package core implements FChain's fault localization pipeline — the
+// paper's primary contribution:
+//
+//   - normal fluctuation modeling (slave side): an online Markov-chain
+//     predictor per (component, metric) learns normal workload-driven
+//     fluctuation (model.go);
+//   - abnormal change point selection (slave side): CUSUM+bootstrap change
+//     points, magnitude-outlier filtering, predictability filtering with a
+//     burstiness-adaptive FFT threshold, and tangent-based rollback to the
+//     manifestation onset (select.go);
+//   - integrated fault diagnosis (master side): sorting components into an
+//     abnormal-change propagation chain, concurrent-fault grouping,
+//     external-factor (workload change) detection, and dependency-based
+//     filtering of spurious propagation paths (diagnose.go);
+//   - online pinpointing validation: scaling the implicated resource on
+//     each pinpointed component and watching the SLO (validate.go).
+package core
+
+// Config holds every FChain tuning knob, with defaults matching the paper's
+// §III-A configuration.
+type Config struct {
+	// LookBack is W, the look-back window in seconds examined before the
+	// SLO violation time tv (default 100; the paper uses 500 for the
+	// slow-manifesting Hadoop DiskHog).
+	LookBack int
+	// ConcurrencyThreshold is the maximum difference (seconds) between two
+	// components' abnormal-change onsets for them to be treated as
+	// concurrent faults (default 2).
+	ConcurrencyThreshold int64
+	// BurstWindow is Q, the half-window in seconds around a change point
+	// used for FFT burst extraction (default 20).
+	BurstWindow int
+	// TopFreqFrac is the fraction of the frequency spectrum treated as
+	// high frequencies when synthesizing the burst signal (default 0.9).
+	TopFreqFrac float64
+	// BurstPercentile is the percentile of the burst magnitude used as the
+	// expected prediction error (default 90).
+	BurstPercentile float64
+	// TangentTol is the relative tangent difference below which adjacent
+	// change points are considered part of the same manifestation during
+	// rollback (default 0.1).
+	TangentTol float64
+	// SmoothWindow is the moving-average width applied before change point
+	// detection (default 5).
+	SmoothWindow int
+	// OutlierSigma is the magnitude-outlier threshold in standard
+	// deviations for PAL-style filtering (default 1.5).
+	OutlierSigma float64
+	// Bootstraps and CPConfidence configure CUSUM+bootstrap change point
+	// detection (defaults 200 and 0.95).
+	Bootstraps   int
+	CPConfidence float64
+	// MarkovBins and MarkovDecay configure the online prediction model
+	// (defaults 40 and 0.999).
+	MarkovBins  int
+	MarkovDecay float64
+	// RingCapacity bounds the per-metric sample history kept by a slave
+	// (default LookBack + 2*BurstWindow + 1300: the extra history lets the
+	// selection stage calibrate against fluctuation patterns the model has
+	// already seen — it must span several workload burst cycles or a burst
+	// after a calm stretch reads as abnormal).
+	RingCapacity int
+	// TrendNoiseFrac controls external-factor trend classification
+	// (default 0.5 standard deviations).
+	TrendNoiseFrac float64
+	// SelfCalibration scales the recent-history prediction-error
+	// percentile that augments the FFT expected error: a metric whose
+	// model was already erring badly before the look-back window gets a
+	// proportionally higher selection bar (default 2.0).
+	SelfCalibration float64
+	// ContextMaxFactor scales the largest prediction error seen in the
+	// pre-window context into a selection floor: a change whose error
+	// stays below the error ceiling the model already exhibited on this
+	// metric matches fluctuation that was "seen before" (the paper's
+	// predictability intuition) and is not abnormal (default 1.05).
+	ContextMaxFactor float64
+	// SelectionMargin is the factor by which the prediction error must
+	// exceed the expected error for a change point to be selected; it
+	// suppresses threshold-kissing selections on ordinary workload
+	// fluctuations (default 1.3).
+	SelectionMargin float64
+	// MagnitudeFactor admits a change point whose mean-shift magnitude
+	// exceeds MagnitudeFactor × the FFT expected error even when its
+	// per-step prediction error does not, provided the shift persists to
+	// the end of the window: gradual manifestations (memory leaks,
+	// bottleneck queue growth) move the metric far beyond anything the
+	// model predicted while keeping each one-second step small, whereas a
+	// transient workload burst has reverted by the time the anomaly is
+	// analyzed (default 2.5).
+	MagnitudeFactor float64
+	// PersistFraction is the fraction of the mean shift that must remain
+	// at the window's final sample for the magnitude bypass to apply
+	// (default 0.8).
+	PersistFraction float64
+	// EscapeDwell is the number of trailing seconds the (smoothed) metric
+	// must dwell above its historical 99th percentile for the range-escape
+	// selection path to fire. Workload bursts visit extreme levels only
+	// briefly; a fault that pins a metric at a level the model almost
+	// never saw, for several times any burst duration, is abnormal even
+	// when each one-second step looks unremarkable (default 10).
+	EscapeDwell int
+	// ValueStdFactor additionally requires the bypassing shift to exceed
+	// ValueStdFactor × the metric's historical value variability, so that
+	// ordinary periodic swings (whose low-frequency energy the burst
+	// signal deliberately excludes) never qualify (default 1.4).
+	ValueStdFactor float64
+
+	// FixedThreshold, when positive, replaces the burstiness-adaptive
+	// expected prediction error with a fixed absolute threshold. It exists
+	// solely to realize the paper's Fixed-Filtering comparison scheme
+	// (§III-A, Fig. 12) and should stay zero in normal use.
+	FixedThreshold float64
+
+	// ExternalSpread is the maximum spread (seconds) between the earliest
+	// and latest component onsets for an all-components-same-trend anomaly
+	// to be attributed to an external factor: a workload surge reaches
+	// every tier within a few seconds, while a back-pressure cascade takes
+	// tens of seconds per hop (default 6).
+	ExternalSpread int64
+
+	// AdaptiveSmoothing chooses the smoothing width per metric from the
+	// metric's own noise character instead of using the fixed SmoothWindow
+	// — the adaptive smoothing the paper lists as ongoing work after
+	// observing that fixed smoothing can distort the change point times of
+	// affected components under concurrent faults (§III-C). Noisy metrics
+	// (sample-to-sample changes comparable to the overall variation) get a
+	// wider window; smooth metrics keep a narrow one.
+	AdaptiveSmoothing bool
+
+	// DisableRollback turns off tangent-based onset rollback, reporting
+	// each abnormal change point's own time as the onset. It exists for
+	// ablation studies; production use should keep rollback on.
+	DisableRollback bool
+
+	// AdaptiveLookBack enables the adaptive look-back window scheme the
+	// paper lists as ongoing work (§III-F): when the configured window
+	// yields no abnormal component at all despite a confirmed SLO
+	// violation, the manifestation is slower than the window (the Hadoop
+	// DiskHog case) and the analysis retries with progressively longer
+	// windows up to MaxLookBack.
+	AdaptiveLookBack bool
+	// MaxLookBack bounds the adaptive growth (default 500, the paper's
+	// largest evaluated window).
+	MaxLookBack int
+
+	// ValidationScale is the resource scale-up factor applied during
+	// online validation (default 3).
+	ValidationScale float64
+	// ValidationObserve is how long (seconds) validation watches the SLO
+	// after scaling (default 30, matching Table II's ~30 s per component).
+	ValidationObserve int
+	// ValidationSignificance is the minimum relative improvement of the
+	// SLO metric (vs the unscaled control trial) that scaling a culprit
+	// alone must achieve for the culprit to be confirmed (default 0.25).
+	ValidationSignificance float64
+}
+
+// DefaultConfig returns the paper's default parameters.
+func DefaultConfig() Config {
+	return Config{}.withDefaults()
+}
+
+func (c Config) withDefaults() Config {
+	if c.LookBack <= 0 {
+		c.LookBack = 100
+	}
+	if c.ConcurrencyThreshold <= 0 {
+		c.ConcurrencyThreshold = 2
+	}
+	if c.BurstWindow <= 0 {
+		c.BurstWindow = 20
+	}
+	if c.TopFreqFrac <= 0 || c.TopFreqFrac > 1 {
+		c.TopFreqFrac = 0.9
+	}
+	if c.BurstPercentile <= 0 || c.BurstPercentile > 100 {
+		c.BurstPercentile = 90
+	}
+	if c.TangentTol <= 0 {
+		c.TangentTol = 0.1
+	}
+	if c.SmoothWindow <= 0 {
+		c.SmoothWindow = 5
+	}
+	if c.OutlierSigma <= 0 {
+		c.OutlierSigma = 1.5
+	}
+	if c.Bootstraps <= 0 {
+		c.Bootstraps = 200
+	}
+	if c.CPConfidence <= 0 || c.CPConfidence > 1 {
+		c.CPConfidence = 0.95
+	}
+	if c.MarkovBins <= 0 {
+		c.MarkovBins = 40
+	}
+	if c.MarkovDecay <= 0 || c.MarkovDecay > 1 {
+		c.MarkovDecay = 0.999
+	}
+	if c.RingCapacity <= 0 {
+		c.RingCapacity = c.LookBack + 2*c.BurstWindow + 1300
+	}
+	if c.TrendNoiseFrac <= 0 {
+		c.TrendNoiseFrac = 0.5
+	}
+	if c.SelfCalibration <= 0 {
+		c.SelfCalibration = 2.0
+	}
+	if c.ContextMaxFactor <= 0 {
+		c.ContextMaxFactor = 1.05
+	}
+	if c.SelectionMargin <= 0 {
+		c.SelectionMargin = 1.3
+	}
+	if c.MagnitudeFactor <= 0 {
+		c.MagnitudeFactor = 2.5
+	}
+	if c.PersistFraction <= 0 {
+		c.PersistFraction = 0.8
+	}
+	if c.ValueStdFactor <= 0 {
+		c.ValueStdFactor = 1.4
+	}
+	if c.EscapeDwell <= 0 {
+		c.EscapeDwell = 10
+	}
+	if c.ExternalSpread <= 0 {
+		c.ExternalSpread = 6
+	}
+	if c.MaxLookBack <= 0 {
+		c.MaxLookBack = 500
+	}
+	if c.MaxLookBack < c.LookBack {
+		c.MaxLookBack = c.LookBack
+	}
+	if c.ValidationScale <= 0 {
+		c.ValidationScale = 3
+	}
+	if c.ValidationObserve <= 0 {
+		c.ValidationObserve = 30
+	}
+	if c.ValidationSignificance <= 0 {
+		c.ValidationSignificance = 0.25
+	}
+	return c
+}

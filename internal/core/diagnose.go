@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fchain/internal/depgraph"
+	"fchain/internal/metric"
+	"fchain/internal/timeseries"
+)
+
+// Culprit is one pinpointed faulty component.
+type Culprit struct {
+	Component string        `json:"component"`
+	Onset     int64         `json:"onset"`
+	Metrics   []metric.Kind `json:"metrics"` // implicated metrics, most significant first
+	Reason    string        `json:"reason"`  // "source", "concurrent", or "independent"
+	Validated bool          `json:"validated,omitempty"`
+}
+
+// Diagnosis is the output of the integrated fault diagnosis module.
+type Diagnosis struct {
+	// Culprits lists the pinpointed faulty components in onset order.
+	Culprits []Culprit `json:"culprits"`
+	// Chain is the abnormal change propagation chain: every abnormal
+	// component sorted by manifestation onset.
+	Chain []ComponentReport `json:"chain"`
+	// ExternalFactor reports that the anomaly is attributed to a factor
+	// outside the application (workload surge or shared-service outage)
+	// because every component changed with the same trend.
+	ExternalFactor bool `json:"external_factor"`
+	// Trend is the shared trend direction when ExternalFactor is set.
+	Trend timeseries.Trend `json:"trend,omitempty"`
+}
+
+// CulpritNames returns the pinpointed component names in onset order.
+func (d Diagnosis) CulpritNames() []string {
+	out := make([]string, len(d.Culprits))
+	for i, c := range d.Culprits {
+		out[i] = c.Component
+	}
+	return out
+}
+
+// String renders a compact human-readable summary.
+func (d Diagnosis) String() string {
+	if d.ExternalFactor {
+		return fmt.Sprintf("external factor (%s trend across all components)", d.Trend)
+	}
+	if len(d.Culprits) == 0 {
+		return "no faulty components pinpointed"
+	}
+	parts := make([]string, len(d.Culprits))
+	for i, c := range d.Culprits {
+		parts[i] = fmt.Sprintf("%s(onset=%d,%s)", c.Component, c.Onset, c.Reason)
+	}
+	return "culprits: " + strings.Join(parts, ", ")
+}
+
+// Diagnose runs the integrated faulty component pinpointing (paper §II-C):
+//
+//  1. sort abnormal components by manifestation onset into a propagation
+//     chain;
+//  2. pinpoint the chain's source; walk the chain and pinpoint every
+//     component whose onset is within the concurrency threshold of the
+//     previously pinpointed one (concurrent faults);
+//  3. if *all* components are abnormal with the same up/down trend,
+//     attribute the anomaly to an external factor and pinpoint nothing;
+//  4. filter spurious propagation with the dependency graph: a suspicious
+//     component with no interaction path from any pinpointed component
+//     cannot have been reached by propagation, so it carries an
+//     independent fault and is pinpointed too. When the dependency graph
+//     is empty (discovery failed, e.g. stream systems), this step is
+//     skipped and FChain relies on propagation order alone.
+//
+// totalComponents is the number of monitored components in the application
+// (needed for the external-factor check); deps may be nil or empty.
+func Diagnose(reports []ComponentReport, totalComponents int, deps *depgraph.Graph, cfg Config) Diagnosis {
+	cfg = cfg.withDefaults()
+	var chain []ComponentReport
+	for _, r := range reports {
+		if r.Abnormal() {
+			chain = append(chain, r)
+		}
+	}
+	sort.SliceStable(chain, func(i, j int) bool {
+		if chain[i].Onset != chain[j].Onset {
+			return chain[i].Onset < chain[j].Onset
+		}
+		return chain[i].Component < chain[j].Component
+	})
+	diag := Diagnosis{Chain: chain}
+	if len(chain) == 0 {
+		return diag
+	}
+
+	// External factor detection: all components abnormal, same trend, and
+	// onsets nearly simultaneous (a workload surge reaches every tier in
+	// seconds; a fault's back-pressure cascade takes much longer).
+	if totalComponents > 1 && len(chain) == totalComponents {
+		shared := chain[0].Direction()
+		same := shared != timeseries.TrendFlat
+		for _, r := range chain[1:] {
+			if r.Direction() != shared {
+				same = false
+				break
+			}
+		}
+		if spread := chain[len(chain)-1].Onset - chain[0].Onset; spread > cfg.ExternalSpread {
+			same = false
+		}
+		if same {
+			diag.ExternalFactor = true
+			diag.Trend = shared
+			return diag
+		}
+	}
+
+	// Propagation-chain pinpointing.
+	pinned := map[string]bool{chain[0].Component: true}
+	diag.Culprits = append(diag.Culprits, culpritFrom(chain[0], "source"))
+	lastPinnedOnset := chain[0].Onset
+	for _, r := range chain[1:] {
+		if r.Onset-lastPinnedOnset <= cfg.ConcurrencyThreshold {
+			pinned[r.Component] = true
+			diag.Culprits = append(diag.Culprits, culpritFrom(r, "concurrent"))
+			lastPinnedOnset = r.Onset
+		}
+	}
+
+	// Dependency-based filtering of spurious propagation paths.
+	if deps != nil && !deps.Empty() {
+		for _, r := range chain {
+			if pinned[r.Component] {
+				continue
+			}
+			reachable := false
+			for p := range pinned {
+				if deps.HasPath(p, r.Component) {
+					reachable = true
+					break
+				}
+			}
+			if !reachable {
+				pinned[r.Component] = true
+				diag.Culprits = append(diag.Culprits, culpritFrom(r, "independent"))
+			}
+		}
+	}
+	sort.SliceStable(diag.Culprits, func(i, j int) bool {
+		if diag.Culprits[i].Onset != diag.Culprits[j].Onset {
+			return diag.Culprits[i].Onset < diag.Culprits[j].Onset
+		}
+		return diag.Culprits[i].Component < diag.Culprits[j].Component
+	})
+	return diag
+}
+
+func culpritFrom(r ComponentReport, reason string) Culprit {
+	return Culprit{
+		Component: r.Component,
+		Onset:     r.Onset,
+		Metrics:   r.AbnormalMetrics(),
+		Reason:    reason,
+	}
+}
+
+// Localizer bundles per-component monitors with the master-side diagnosis,
+// providing the whole FChain pipeline behind two calls: Observe for every
+// sample, Localize when a performance anomaly is detected.
+type Localizer struct {
+	cfg      Config
+	monitors map[string]*Monitor
+	names    []string
+}
+
+// NewLocalizer creates a localizer monitoring the given components.
+func NewLocalizer(cfg Config, components []string) *Localizer {
+	cfg = cfg.withDefaults()
+	l := &Localizer{cfg: cfg, monitors: make(map[string]*Monitor, len(components))}
+	for _, c := range components {
+		l.monitors[c] = NewMonitor(c, cfg)
+		l.names = append(l.names, c)
+	}
+	sort.Strings(l.names)
+	return l
+}
+
+// Config returns the effective configuration.
+func (l *Localizer) Config() Config { return l.cfg }
+
+// Components returns the monitored component names, sorted.
+func (l *Localizer) Components() []string {
+	out := make([]string, len(l.names))
+	copy(out, l.names)
+	return out
+}
+
+// Monitor returns the monitor for one component.
+func (l *Localizer) Monitor(component string) (*Monitor, bool) {
+	m, ok := l.monitors[component]
+	return m, ok
+}
+
+// Observe feeds one sample.
+func (l *Localizer) Observe(component string, t int64, k metric.Kind, v float64) error {
+	m, ok := l.monitors[component]
+	if !ok {
+		return fmt.Errorf("core: unknown component %q", component)
+	}
+	return m.Observe(t, k, v)
+}
+
+// Analyze asks every monitor for its look-back report at tv.
+func (l *Localizer) Analyze(tv int64) []ComponentReport {
+	reports := make([]ComponentReport, 0, len(l.names))
+	for _, name := range l.names {
+		reports = append(reports, l.monitors[name].Analyze(tv))
+	}
+	return reports
+}
+
+// Localize runs the full pipeline: per-component abnormal change point
+// selection over [tv-W, tv], then integrated diagnosis with the dependency
+// graph (which may be nil).
+//
+// With cfg.AdaptiveLookBack set and an empty first-pass chain, the analysis
+// retries with progressively longer windows (up to cfg.MaxLookBack): a
+// confirmed SLO violation with no abnormal change inside the window means
+// the manifestation is slower than the window covers — the paper's Hadoop
+// DiskHog situation, for which it manually switches from W=100 to W=500
+// (§III-A, §III-F).
+func (l *Localizer) Localize(tv int64, deps *depgraph.Graph) Diagnosis {
+	diag := Diagnose(l.Analyze(tv), len(l.names), deps, l.cfg)
+	if !l.cfg.AdaptiveLookBack || len(diag.Chain) > 0 {
+		return diag
+	}
+	for w := l.cfg.LookBack * 3; w <= l.cfg.MaxLookBack*3; w *= 3 {
+		window := w
+		if window > l.cfg.MaxLookBack {
+			window = l.cfg.MaxLookBack
+		}
+		wide := l.cfg
+		wide.LookBack = window
+		// Ring capacity stays as provisioned; monitors retain
+		// RingCapacity samples, so the widened analysis sees as much of
+		// the longer window as the slave kept.
+		reports := make([]ComponentReport, 0, len(l.names))
+		for _, name := range l.names {
+			reports = append(reports, l.monitors[name].analyzeWith(tv, wide))
+		}
+		diag = Diagnose(reports, len(l.names), deps, wide)
+		if len(diag.Chain) > 0 || window == l.cfg.MaxLookBack {
+			return diag
+		}
+	}
+	return diag
+}

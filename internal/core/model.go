@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"fchain/internal/markov"
+	"fchain/internal/metric"
+	"fchain/internal/timeseries"
+)
+
+// Monitor is the slave-side state for one monitored component: an online
+// prediction model per metric plus bounded sample and prediction-error
+// histories. It implements the "normal fluctuation modeling" module of
+// Fig. 1: the model continuously learns each metric's evolving value
+// pattern, so that change points caused by already-seen workload behaviour
+// predict well while fault-induced changes do not (paper §II-A).
+//
+// Monitor is not safe for concurrent use; FChain runs one collection
+// goroutine per host.
+type Monitor struct {
+	component string
+	cfg       Config
+	models    map[metric.Kind]*markov.Predictor
+	samples   map[metric.Kind]*timeseries.Ring
+	errs      map[metric.Kind]*timeseries.Ring
+}
+
+// NewMonitor returns a monitor for the named component.
+func NewMonitor(component string, cfg Config) *Monitor {
+	cfg = cfg.withDefaults()
+	m := &Monitor{
+		component: component,
+		cfg:       cfg,
+		models:    make(map[metric.Kind]*markov.Predictor, metric.NumKinds),
+		samples:   make(map[metric.Kind]*timeseries.Ring, metric.NumKinds),
+		errs:      make(map[metric.Kind]*timeseries.Ring, metric.NumKinds),
+	}
+	for _, k := range metric.Kinds {
+		m.models[k] = markov.New(cfg.MarkovBins, cfg.MarkovDecay)
+		m.samples[k] = timeseries.NewRing(cfg.RingCapacity)
+		m.errs[k] = timeseries.NewRing(cfg.RingCapacity)
+	}
+	return m
+}
+
+// Component returns the monitored component's name.
+func (m *Monitor) Component() string { return m.component }
+
+// Observe feeds one metric sample (taken at time t) into the model and the
+// bounded history. Samples must arrive in nondecreasing time order per
+// metric.
+func (m *Monitor) Observe(t int64, k metric.Kind, v float64) error {
+	model, ok := m.models[k]
+	if !ok {
+		return fmt.Errorf("core: invalid metric kind %v", k)
+	}
+	predErr, _ := model.Observe(v)
+	m.samples[k].Push(t, v)
+	m.errs[k].Push(t, predErr)
+	return nil
+}
+
+// ObserveVector feeds a full metric vector at time t.
+func (m *Monitor) ObserveVector(t int64, vec *metric.Vector) error {
+	for _, k := range metric.Kinds {
+		if err := m.Observe(t, k, vec.Get(k)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// windowWith returns the samples and aligned prediction errors covering
+// [tv-W-Q, tv] for metric k under the given configuration.
+func (m *Monitor) windowWith(tv int64, k metric.Kind, cfg Config) (vals, errs *timeseries.Series) {
+	span := cfg.LookBack + cfg.BurstWindow
+	vals = m.samples[k].WindowBefore(tv, span)
+	errs = m.errs[k].WindowBefore(tv, span)
+	return vals, errs
+}
+
+// contextErrors returns the prediction errors recorded before time t — the
+// history preceding the look-back window, used for self-calibration.
+func (m *Monitor) contextErrors(t int64, k metric.Kind) []float64 {
+	s := m.errs[k].Series()
+	w := s.Window(s.Start(), t)
+	return w.Values()
+}
+
+// contextValues returns the raw samples recorded before time t.
+func (m *Monitor) contextValues(t int64, k metric.Kind) []float64 {
+	s := m.samples[k].Series()
+	w := s.Window(s.Start(), t)
+	return w.Values()
+}

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"fchain/internal/changepoint"
+	"fchain/internal/fftpkg"
+	"fchain/internal/metric"
+	"fchain/internal/timeseries"
+)
+
+// AbnormalChange describes one selected abnormal change point on one metric
+// of a component.
+type AbnormalChange struct {
+	Component string           `json:"component"`
+	Metric    metric.Kind      `json:"metric"`
+	ChangeAt  int64            `json:"change_at"` // selected abnormal change point time
+	Onset     int64            `json:"onset"`     // manifestation start after tangent rollback
+	PredErr   float64          `json:"pred_err"`
+	Expected  float64          `json:"expected_err"`
+	Magnitude float64          `json:"magnitude"`
+	Direction timeseries.Trend `json:"direction"` // up/down of the change
+}
+
+// ComponentReport is a slave's answer to the master's "analyze [tv-W, tv]"
+// request: whether the component exhibits abnormal changes and when the
+// earliest one began.
+type ComponentReport struct {
+	Component string           `json:"component"`
+	Changes   []AbnormalChange `json:"changes,omitempty"`
+	// Onset is the earliest abnormal change start across metrics; only
+	// meaningful when Abnormal reports true.
+	Onset int64 `json:"onset"`
+}
+
+// Abnormal reports whether any abnormal change point was selected.
+func (r ComponentReport) Abnormal() bool { return len(r.Changes) > 0 }
+
+// Direction returns the direction of the report's earliest abnormal change
+// (TrendFlat when no change was selected).
+func (r ComponentReport) Direction() timeseries.Trend {
+	if len(r.Changes) == 0 {
+		return timeseries.TrendFlat
+	}
+	best := r.Changes[0]
+	for _, ch := range r.Changes[1:] {
+		if ch.Onset < best.Onset {
+			best = ch
+		}
+	}
+	return best.Direction
+}
+
+// AbnormalMetrics returns the distinct metrics implicated in the report,
+// most significant (largest magnitude relative to expected error) first.
+func (r ComponentReport) AbnormalMetrics() []metric.Kind {
+	type scored struct {
+		k     metric.Kind
+		score float64
+	}
+	best := make(map[metric.Kind]float64)
+	for _, ch := range r.Changes {
+		score := ch.PredErr
+		if ch.Expected > 0 {
+			score = ch.PredErr / ch.Expected
+		}
+		if score > best[ch.Metric] {
+			best[ch.Metric] = score
+		}
+	}
+	list := make([]scored, 0, len(best))
+	for k, s := range best {
+		list = append(list, scored{k, s})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].score != list[j].score {
+			return list[i].score > list[j].score
+		}
+		return list[i].k < list[j].k
+	})
+	out := make([]metric.Kind, len(list))
+	for i, s := range list {
+		out[i] = s.k
+	}
+	return out
+}
+
+// Analyze runs abnormal change point selection (paper §II-B) over the
+// look-back window [tv-W, tv] for every metric of the component:
+//
+//  1. smooth the raw samples (noise removal);
+//  2. detect change points with CUSUM + bootstrap;
+//  3. keep magnitude outliers (PAL-style filter);
+//  4. keep only outliers whose online prediction error exceeds the
+//     burstiness-adaptive expected error (FFT burst extraction around the
+//     point with window Q, top TopFreqFrac frequencies, BurstPercentile of
+//     the burst magnitude);
+//  5. roll the selected point back to the manifestation onset by comparing
+//     tangents of adjacent change points.
+//
+// The component's onset is the earliest abnormal onset across its metrics.
+func (m *Monitor) Analyze(tv int64) ComponentReport {
+	return m.analyzeWith(tv, m.cfg)
+}
+
+// AnalyzeWindow runs the analysis with an overridden look-back window; the
+// master uses it to push per-fault window overrides (e.g. W=500 for slow
+// manifestations) to slaves that were configured with the default.
+func (m *Monitor) AnalyzeWindow(tv int64, lookBack int) ComponentReport {
+	cfg := m.cfg
+	if lookBack > 0 {
+		cfg.LookBack = lookBack
+	}
+	return m.analyzeWith(tv, cfg)
+}
+
+// analyzeWith runs the analysis under an alternative configuration (used by
+// the adaptive look-back retries, which widen the window).
+func (m *Monitor) analyzeWith(tv int64, cfg Config) ComponentReport {
+	report := ComponentReport{Component: m.component}
+	for _, k := range metric.Kinds {
+		ch, ok := m.analyzeMetric(tv, k, cfg)
+		if ok {
+			report.Changes = append(report.Changes, ch)
+		}
+	}
+	if len(report.Changes) > 0 {
+		report.Onset = report.Changes[0].Onset
+		for _, ch := range report.Changes[1:] {
+			if ch.Onset < report.Onset {
+				report.Onset = ch.Onset
+			}
+		}
+	}
+	return report
+}
+
+// analyzeMetric selects the earliest abnormal change for one metric; ok is
+// false when the metric exhibits none.
+func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config) (AbnormalChange, bool) {
+	vals, errsSeries := m.windowWith(tv, k, cfg)
+	if vals.Len() < cfg.SmoothWindow*3 || vals.Len() < 8 {
+		return AbnormalChange{}, false
+	}
+	raw := vals.Values()
+	smoothWindow := cfg.SmoothWindow
+	if cfg.AdaptiveSmoothing {
+		smoothWindow = adaptiveSmoothWidth(m.contextValues(tv-int64(cfg.LookBack), k), cfg.SmoothWindow)
+	}
+	smoothed := timeseries.Smooth(raw, smoothWindow)
+
+	// The look-back region starts W before tv; the extra BurstWindow of
+	// older samples only provides context for FFT extraction and rollback.
+	lookbackStart := tv - int64(cfg.LookBack)
+	points := changepoint.Detect(smoothed, changepoint.Config{
+		Bootstraps: cfg.Bootstraps,
+		Confidence: cfg.CPConfidence,
+		// Deterministic per (component, metric, tv) for reproducibility.
+		Rand: rand.New(rand.NewSource(hashSeed(m.component, int64(k), tv))),
+	})
+	if len(points) == 0 {
+		return AbnormalChange{}, false
+	}
+	outliers := changepoint.SelectOutliers(points, cfg.OutlierSigma)
+
+	// Self-calibration: all retained history before the look-back window
+	// characterizes how predictable this metric was before the anomaly
+	// manifested. A metric whose model already erred badly (inherently
+	// hard to predict, or subject to recurring workload bursts) gets a
+	// proportionally higher selection bar: an error within the ceiling the
+	// model has already exhibited corresponds to fluctuation seen before.
+	var contextFloor, contextValueStd float64
+	ctxP99 := math.Inf(1)
+	ctxP1 := math.Inf(-1)
+	if cv := m.contextValues(lookbackStart, k); len(cv) >= 8 {
+		contextValueStd = timeseries.Std(cv)
+		if p99, err := timeseries.Percentile(cv, 99); err == nil {
+			ctxP99 = p99
+		}
+		if p1, err := timeseries.Percentile(cv, 1); err == nil {
+			ctxP1 = p1
+		}
+	}
+	// Range escape: how long has the metric been dwelling beyond the levels
+	// it historically visited only 1% of the time?
+	dwellHigh, dwellLow := 0, 0
+	for i := len(smoothed) - 1; i >= 0 && smoothed[i] > ctxP99; i-- {
+		dwellHigh++
+	}
+	for i := len(smoothed) - 1; i >= 0 && smoothed[i] < ctxP1; i-- {
+		dwellLow++
+	}
+	if ctx := m.contextErrors(lookbackStart, k); len(ctx) >= 8 {
+		p90, err := timeseries.Percentile(ctx, 90)
+		if err == nil {
+			contextFloor = cfg.SelfCalibration * p90
+		}
+		if _, hi, err := timeseries.MinMax(ctx); err == nil {
+			if f := cfg.ContextMaxFactor * hi; f > contextFloor {
+				contextFloor = f
+			}
+		}
+	}
+
+	var (
+		selected    changepoint.Point
+		selectedIdx = -1
+		predErr     float64
+		expected    float64
+	)
+	for _, p := range outliers {
+		t := vals.TimeAt(p.Index)
+		if t < lookbackStart {
+			continue // context region, not the look-back window
+		}
+		pe := m.predictionErrorNear(errsSeries, p.Index)
+		var exp, fftExp float64
+		if cfg.FixedThreshold > 0 {
+			// Fixed-Filtering baseline: one absolute threshold for every
+			// metric, every application (paper §III-A scheme 6).
+			exp, fftExp = cfg.FixedThreshold, cfg.FixedThreshold
+		} else {
+			e, err := expectedErrorAt(raw, p.Index, cfg)
+			if err != nil {
+				continue
+			}
+			exp, fftExp = e, e
+			if contextFloor > exp {
+				exp = contextFloor
+			}
+		}
+		// Abnormal when the per-step prediction error clearly exceeds the
+		// expected error, or when a sustained mean shift far beyond the
+		// burstiness-expected error persists through the window's end
+		// (gradual manifestations: leaks, queue growth). Transient bursts
+		// fail the persistence check — they have reverted by analysis
+		// time.
+		persists := shiftPersists(smoothed, p, cfg.PersistFraction)
+		bypass := persists &&
+			p.Magnitude > cfg.MagnitudeFactor*fftExp &&
+			p.Magnitude > cfg.ValueStdFactor*contextValueStd
+		// Range escape: the change pinned the metric beyond its historical
+		// 1st/99th percentile for far longer than any workload burst.
+		escaped := persists &&
+			((dwellHigh >= cfg.EscapeDwell && p.After > ctxP99 && p.Index >= len(smoothed)-dwellHigh-5) ||
+				(dwellLow >= cfg.EscapeDwell && p.After < ctxP1 && p.Index >= len(smoothed)-dwellLow-5))
+		if cfg.FixedThreshold > 0 {
+			// The Fixed-Filtering baseline is *only* the fixed prediction
+			// error comparison — no adaptive paths.
+			bypass, escaped = false, false
+		}
+		if pe <= cfg.SelectionMargin*exp && !bypass && !escaped {
+			continue // predictable: a normal workload fluctuation
+		}
+		if selectedIdx == -1 || p.Index < selectedIdx {
+			selected = p
+			selectedIdx = p.Index
+			predErr = pe
+			expected = exp
+		}
+	}
+	if selectedIdx == -1 {
+		return AbnormalChange{}, false
+	}
+
+	// Tangent-based rollback to the manifestation onset, among all detected
+	// change points (normal ones included: mid-manifestation points share
+	// the fault's tangent).
+	abnormalPos := 0
+	for i, p := range points {
+		if p.Index == selected.Index {
+			abnormalPos = i
+			break
+		}
+	}
+	onsetIdx := selected.Index
+	if !cfg.DisableRollback {
+		onsetIdx = changepoint.RollbackOnset(smoothed, points, abnormalPos, cfg.TangentTol)
+		onsetIdx = refineSharpOnset(raw, onsetIdx, selected.Index, selected.Magnitude, smoothWindow)
+	}
+	onset := vals.TimeAt(onsetIdx)
+	if onset < lookbackStart {
+		onset = lookbackStart
+	}
+
+	dir := timeseries.TrendUp
+	if selected.After < selected.Before {
+		dir = timeseries.TrendDown
+	}
+	return AbnormalChange{
+		Component: m.component,
+		Metric:    k,
+		ChangeAt:  vals.TimeAt(selected.Index),
+		Onset:     onset,
+		PredErr:   predErr,
+		Expected:  expected,
+		Magnitude: selected.Magnitude,
+		Direction: dir,
+	}, true
+}
+
+// adaptiveSmoothWidth picks a smoothing width from the metric's noise
+// character: the ratio of sample-to-sample variation to overall variation
+// is ~sqrt(2) for white noise and near 0 for a smooth signal. Metrics
+// dominated by sampling noise earn a wider window; smooth ones keep the
+// configured default so sharp manifestations stay sharp.
+func adaptiveSmoothWidth(ctx []float64, base int) int {
+	if len(ctx) < 16 {
+		return base
+	}
+	diffs := make([]float64, len(ctx)-1)
+	for i := 1; i < len(ctx); i++ {
+		diffs[i-1] = ctx[i] - ctx[i-1]
+	}
+	sd := timeseries.Std(ctx)
+	if sd == 0 {
+		return base
+	}
+	ratio := timeseries.Std(diffs) / sd
+	switch {
+	case ratio > 1.2: // essentially white noise
+		return base + 6
+	case ratio > 0.8:
+		return base + 2
+	default:
+		return base
+	}
+}
+
+// refineSharpOnset pins the onset of a sharp manifestation to the largest
+// single-sample step in the raw data near the selected change point.
+// Smoothing spreads a step over several samples and the tangent rollback
+// can then overshoot into pre-fault fluctuation; the raw step second is
+// unambiguous. Gradual manifestations (no single step close to the full
+// magnitude) keep the rollback result.
+func refineSharpOnset(raw []float64, onsetIdx, selectedIdx int, magnitude float64, smoothWindow int) int {
+	lo := onsetIdx - smoothWindow
+	if lo < 1 {
+		lo = 1
+	}
+	hi := selectedIdx + smoothWindow
+	if hi > len(raw)-1 {
+		hi = len(raw) - 1
+	}
+	bestIdx, bestStep := -1, 0.0
+	for i := lo; i <= hi; i++ {
+		if step := math.Abs(raw[i] - raw[i-1]); step > bestStep {
+			bestStep = step
+			bestIdx = i
+		}
+	}
+	if bestIdx >= 0 && bestStep >= 0.5*magnitude {
+		return bestIdx
+	}
+	return onsetIdx
+}
+
+// shiftPersists reports whether the level shift of change point p holds
+// from the point through the window's end: the final sample must retain the
+// shift, and at least 85% of the post-change samples must sit more than
+// halfway toward the shifted level. A transient burst whose change point
+// predates a later (fault-induced) tail elevation fails the second
+// condition — its post-change segment returned to the base level first.
+func shiftPersists(smoothed []float64, p changepoint.Point, frac float64) bool {
+	if len(smoothed) == 0 || p.Index >= len(smoothed) {
+		return false
+	}
+	last := smoothed[len(smoothed)-1]
+	shift := p.After - p.Before
+	if shift == 0 {
+		return false
+	}
+	if (last-p.Before)/shift < frac {
+		return false
+	}
+	held, total := 0, 0
+	for i := p.Index; i < len(smoothed); i++ {
+		total++
+		if (smoothed[i]-p.Before)/shift >= 0.5 {
+			held++
+		}
+	}
+	return total > 0 && float64(held) >= 0.85*float64(total)
+}
+
+// predictionErrorNear returns the largest online prediction error within a
+// small neighborhood of the change point (smoothing shifts indices by a few
+// samples).
+func (m *Monitor) predictionErrorNear(errs *timeseries.Series, idx int) float64 {
+	lo := idx - 2
+	if lo < 0 {
+		lo = 0
+	}
+	hi := idx + 3
+	if hi > errs.Len() {
+		hi = errs.Len()
+	}
+	var max float64
+	for i := lo; i < hi; i++ {
+		if e := errs.At(i); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// expectedErrorAt computes the burstiness-adaptive expected prediction
+// error for the change point at index idx of the raw window. The 2Q samples
+// *preceding* the point are used: they capture the burstiness of the normal
+// behaviour the change interrupts, without letting the fault's own shift
+// inflate the expectation (for a change at the very end of the look-back
+// window a symmetric surround would mostly contain the fault itself). The
+// window is linearly detrended first: the expected error measures
+// high-frequency variability, and a deterministic trend would otherwise
+// leak across the spectrum.
+func expectedErrorAt(raw []float64, idx int, cfg Config) (float64, error) {
+	hi := idx
+	lo := idx - 2*cfg.BurstWindow
+	if lo < 0 {
+		lo = 0
+	}
+	if hi-lo < cfg.BurstWindow { // too little history before the point
+		hi = lo + 2*cfg.BurstWindow + 1
+		if hi > len(raw) {
+			hi = len(raw)
+		}
+	}
+	return fftpkg.ExpectedError(detrend(raw[lo:hi]), cfg.TopFreqFrac, cfg.BurstPercentile)
+}
+
+// detrend returns a copy of vals with the least-squares line removed.
+func detrend(vals []float64) []float64 {
+	n := len(vals)
+	out := make([]float64, n)
+	if n < 3 {
+		copy(out, vals)
+		return out
+	}
+	// Least squares over x = 0..n-1.
+	var sumX, sumY, sumXY, sumXX float64
+	for i, v := range vals {
+		x := float64(i)
+		sumX += x
+		sumY += v
+		sumXY += x * v
+		sumXX += x * x
+	}
+	fn := float64(n)
+	den := fn*sumXX - sumX*sumX
+	if den == 0 {
+		copy(out, vals)
+		return out
+	}
+	slope := (fn*sumXY - sumX*sumY) / den
+	intercept := (sumY - slope*sumX) / fn
+	for i, v := range vals {
+		out[i] = v - (intercept + slope*float64(i))
+	}
+	return out
+}
+
+// hashSeed mixes identifying values into a deterministic RNG seed.
+func hashSeed(s string, a, b int64) int64 {
+	h := int64(1469598103934665603)
+	for _, c := range s {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	h ^= a * 1099511628211
+	h ^= b * 16777619
+	if h == math.MinInt64 {
+		h++
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}
+
+// ExpectedErrorForWindow exposes the burstiness-adaptive expected
+// prediction error computation for a standalone window — the quantity
+// plotted in the paper's Fig. 4.
+func ExpectedErrorForWindow(window []float64, cfg Config) (float64, error) {
+	cfg = cfg.withDefaults()
+	return fftpkg.ExpectedError(detrend(window), cfg.TopFreqFrac, cfg.BurstPercentile)
+}

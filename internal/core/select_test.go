@@ -1,0 +1,281 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fchain/internal/metric"
+	"fchain/internal/timeseries"
+)
+
+// feedSeries pushes a full value series into one metric of a monitor.
+func feedSeries(t *testing.T, m *Monitor, k metric.Kind, vals []float64) {
+	t.Helper()
+	for i, v := range vals {
+		if err := m.Observe(int64(i), k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// periodicWithStep builds a learned periodic signal with an optional fault
+// step at stepAt.
+func periodicWithStep(n int, stepAt int, stepHeight float64, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n)
+	for i := range vals {
+		v := 50 + 10*math.Sin(2*math.Pi*float64(i)/60) + noise*rng.NormFloat64()
+		if stepAt >= 0 && i >= stepAt {
+			v += stepHeight
+		}
+		vals[i] = v
+	}
+	return vals
+}
+
+func TestObserveInvalidKind(t *testing.T) {
+	m := NewMonitor("c", DefaultConfig())
+	if err := m.Observe(0, metric.Kind(99), 1); err == nil {
+		t.Error("invalid kind should error")
+	}
+}
+
+func TestObserveVector(t *testing.T) {
+	m := NewMonitor("c", DefaultConfig())
+	var vec metric.Vector
+	vec.Set(metric.CPU, 42)
+	if err := m.ObserveVector(0, &vec); err != nil {
+		t.Fatal(err)
+	}
+	if _, v, ok := m.samples[metric.CPU].Last(); !ok || v != 42 {
+		t.Errorf("sample not recorded: %v %v", v, ok)
+	}
+}
+
+func TestAnalyzeCleanSignalNoAbnormal(t *testing.T) {
+	// A learned periodic signal with mild noise must produce no abnormal
+	// change points: its change points are predictable.
+	m := NewMonitor("c", DefaultConfig())
+	vals := periodicWithStep(900, -1, 0, 0.5, 1)
+	feedSeries(t, m, metric.CPU, vals)
+	report := m.Analyze(899)
+	for _, ch := range report.Changes {
+		if ch.Metric == metric.CPU {
+			t.Errorf("clean periodic signal flagged abnormal: %+v", ch)
+		}
+	}
+}
+
+func TestAnalyzeDetectsUnseenStep(t *testing.T) {
+	// A step the model never saw must be selected, with the onset near the
+	// true injection time.
+	m := NewMonitor("c", DefaultConfig())
+	const stepAt = 850
+	vals := periodicWithStep(900, stepAt, 40, 0.5, 2)
+	feedSeries(t, m, metric.CPU, vals)
+	report := m.Analyze(899)
+	if !report.Abnormal() {
+		t.Fatal("unseen step not flagged")
+	}
+	found := false
+	for _, ch := range report.Changes {
+		if ch.Metric != metric.CPU {
+			continue
+		}
+		found = true
+		if ch.Onset < stepAt-6 || ch.Onset > stepAt+6 {
+			t.Errorf("onset = %d, want near %d", ch.Onset, stepAt)
+		}
+		if ch.Direction != timeseries.TrendUp {
+			t.Errorf("direction = %v, want up", ch.Direction)
+		}
+		if ch.PredErr <= ch.Expected {
+			t.Errorf("selected point must exceed expected error: %v <= %v", ch.PredErr, ch.Expected)
+		}
+	}
+	if !found {
+		t.Error("no CPU change in report")
+	}
+}
+
+func TestAnalyzeDownwardStep(t *testing.T) {
+	m := NewMonitor("c", DefaultConfig())
+	vals := periodicWithStep(900, 860, -35, 0.5, 3)
+	feedSeries(t, m, metric.CPU, vals)
+	report := m.Analyze(899)
+	if !report.Abnormal() {
+		t.Fatal("downward step not flagged")
+	}
+	if report.Direction() != timeseries.TrendDown {
+		t.Errorf("direction = %v, want down", report.Direction())
+	}
+}
+
+func TestAnalyzeBurstyMetricNotFlagged(t *testing.T) {
+	// Fig. 3's reduce-node scenario: a very bursty but stationary metric
+	// produces outlier change points, yet the adaptive expected error is
+	// high, so none survive the predictability filter.
+	m := NewMonitor("c", DefaultConfig())
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]float64, 900)
+	for i := range vals {
+		vals[i] = 30 + 12*rng.NormFloat64()
+		if rng.Float64() < 0.05 {
+			vals[i] += 40 * rng.Float64() // random peaks
+		}
+	}
+	feedSeries(t, m, metric.DiskWrite, vals)
+	report := m.Analyze(899)
+	for _, ch := range report.Changes {
+		if ch.Metric == metric.DiskWrite {
+			t.Errorf("bursty stationary metric flagged abnormal: %+v", ch)
+		}
+	}
+}
+
+func TestAnalyzeBurstyVsFaultySelection(t *testing.T) {
+	// The Fig. 3 pair: the faulty node's disk-write ramp is selected while
+	// the normal node's bursty CPU is filtered.
+	cfg := DefaultConfig()
+	faulty := NewMonitor("map", cfg)
+	normal := NewMonitor("reduce", cfg)
+	rng := rand.New(rand.NewSource(5))
+	const n, fault = 900, 840
+	for i := 0; i < n; i++ {
+		fv := 20 + 5*math.Sin(2*math.Pi*float64(i)/45) + rng.NormFloat64()
+		if i >= fault {
+			fv += float64(i-fault) * 1.5 // fault ramp
+		}
+		if err := faulty.Observe(int64(i), metric.DiskWrite, fv); err != nil {
+			t.Fatal(err)
+		}
+		nv := 40 + 15*rng.NormFloat64()
+		if rng.Float64() < 0.04 {
+			nv += 50
+		}
+		if err := normal.Observe(int64(i), metric.CPU, nv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := faulty.Analyze(n - 1)
+	nr := normal.Analyze(n - 1)
+	if !fr.Abnormal() {
+		t.Error("faulty map node's ramp not selected")
+	}
+	if nr.Abnormal() {
+		t.Errorf("normal reduce node's bursty CPU wrongly selected: %+v", nr.Changes)
+	}
+}
+
+func TestRollbackFindsRampStart(t *testing.T) {
+	// Gradual manifestation: the selected change point may sit mid-ramp;
+	// rollback must walk to the ramp start.
+	m := NewMonitor("c", DefaultConfig())
+	rng := rand.New(rand.NewSource(6))
+	const n, fault = 900, 820
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 100 + 2*rng.NormFloat64()
+		if i >= fault {
+			vals[i] += float64(i-fault) * 2
+		}
+	}
+	feedSeries(t, m, metric.Memory, vals)
+	report := m.Analyze(n - 1)
+	if !report.Abnormal() {
+		t.Fatal("ramp not detected")
+	}
+	if report.Onset < fault-8 || report.Onset > fault+10 {
+		t.Errorf("onset = %d, want near ramp start %d", report.Onset, fault)
+	}
+}
+
+func TestAnalyzeEarliestOnsetAcrossMetrics(t *testing.T) {
+	m := NewMonitor("c", DefaultConfig())
+	cpu := periodicWithStep(900, 870, 40, 0.5, 7)
+	mem := periodicWithStep(900, 845, 40, 0.5, 8)
+	for i := 0; i < 900; i++ {
+		if err := m.Observe(int64(i), metric.CPU, cpu[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Observe(int64(i), metric.Memory, mem[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report := m.Analyze(899)
+	if !report.Abnormal() {
+		t.Fatal("nothing detected")
+	}
+	if report.Onset > 852 {
+		t.Errorf("component onset = %d, want the earlier memory onset (~845)", report.Onset)
+	}
+	kinds := report.AbnormalMetrics()
+	if len(kinds) < 1 {
+		t.Fatal("no abnormal metrics listed")
+	}
+}
+
+func TestAnalyzeShortHistory(t *testing.T) {
+	m := NewMonitor("c", DefaultConfig())
+	for i := 0; i < 5; i++ {
+		if err := m.Observe(int64(i), metric.CPU, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report := m.Analyze(4)
+	if report.Abnormal() {
+		t.Error("too-short history should not produce abnormal changes")
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	build := func() ComponentReport {
+		m := NewMonitor("c", DefaultConfig())
+		feedSeries(t, m, metric.CPU, periodicWithStep(900, 850, 40, 0.5, 9))
+		return m.Analyze(899)
+	}
+	a, b := build(), build()
+	if len(a.Changes) != len(b.Changes) || a.Onset != b.Onset {
+		t.Errorf("analysis not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestAdaptiveSmoothWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// White noise: wide window.
+	noisy := make([]float64, 200)
+	for i := range noisy {
+		noisy[i] = rng.NormFloat64()
+	}
+	if got := adaptiveSmoothWidth(noisy, 5); got != 11 {
+		t.Errorf("white-noise width = %d, want 11", got)
+	}
+	// Slow sine: keep the default.
+	smooth := make([]float64, 200)
+	for i := range smooth {
+		smooth[i] = math.Sin(2 * math.Pi * float64(i) / 100)
+	}
+	if got := adaptiveSmoothWidth(smooth, 5); got != 5 {
+		t.Errorf("smooth-signal width = %d, want 5", got)
+	}
+	// Too little context: keep the default.
+	if got := adaptiveSmoothWidth(noisy[:8], 5); got != 5 {
+		t.Errorf("short-context width = %d, want 5", got)
+	}
+	// Constant signal: keep the default.
+	if got := adaptiveSmoothWidth(make([]float64, 50), 5); got != 5 {
+		t.Errorf("constant-signal width = %d, want 5", got)
+	}
+}
+
+func TestAdaptiveSmoothingSelectionStillWorks(t *testing.T) {
+	cfg := Config{AdaptiveSmoothing: true}
+	m := NewMonitor("c", cfg)
+	vals := periodicWithStep(900, 850, 40, 0.5, 12)
+	feedSeries(t, m, metric.CPU, vals)
+	report := m.Analyze(899)
+	if !report.Abnormal() {
+		t.Fatal("step not detected with adaptive smoothing")
+	}
+}

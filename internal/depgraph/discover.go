@@ -1,0 +1,232 @@
+package depgraph
+
+import (
+	"sort"
+)
+
+// Packet is one passively observed network packet between two components.
+// Timestamps are in seconds (fractional) since trace start.
+type Packet struct {
+	Time float64 `json:"time"`
+	Src  string  `json:"src"`
+	Dst  string  `json:"dst"`
+}
+
+// Flow is a contiguous burst of packets between one (src, dst) pair,
+// delimited by inter-packet gaps.
+type Flow struct {
+	Src   string
+	Dst   string
+	Start float64
+	End   float64
+	Count int
+}
+
+// DiscoverConfig controls black-box dependency discovery.
+type DiscoverConfig struct {
+	// GapThreshold is the inter-packet gap (seconds) that splits two flows
+	// between the same pair (default 0.5s). Continuous streams never pause
+	// longer than this, so they collapse into one endless flow and produce
+	// no usable co-occurrence evidence — reproducing the paper's System S
+	// observation.
+	GapThreshold float64
+	// Delay is the co-occurrence window (seconds): a flow into component X
+	// followed within Delay by a flow X→Y counts as evidence for edge X→Y
+	// (default 1.0s).
+	Delay float64
+	// MinConfidence is the minimum conditional probability
+	// P(flow X→Y shortly after flow into X) to accept the edge
+	// (default 0.3: a balancer splitting requests across k backends
+	// yields per-backend confidence ≈ 1/k).
+	MinConfidence float64
+	// ReplyWindow classifies a flow X→Y as a reply (and excludes it from
+	// the co-occurrence analysis) when a flow Y→X started within
+	// ReplyWindow seconds before it (default 0.2s).
+	ReplyWindow float64
+	// MinFlows is the minimum number of observed inbound flows required
+	// before an edge out of a component can be trusted (default 10). The
+	// paper notes black-box discovery needs a sufficient amount of trace
+	// data.
+	MinFlows int
+	// MaxFlowDuration marks a flow as unusable for co-occurrence analysis
+	// when it exceeds this duration in seconds (default 30s); such flows
+	// indicate continuous streaming traffic.
+	MaxFlowDuration float64
+}
+
+func (c DiscoverConfig) withDefaults() DiscoverConfig {
+	if c.GapThreshold <= 0 {
+		c.GapThreshold = 0.5
+	}
+	if c.Delay <= 0 {
+		c.Delay = 1.0
+	}
+	if c.MinConfidence <= 0 {
+		c.MinConfidence = 0.3
+	}
+	if c.ReplyWindow <= 0 {
+		c.ReplyWindow = 0.2
+	}
+	if c.MinFlows <= 0 {
+		c.MinFlows = 10
+	}
+	if c.MaxFlowDuration <= 0 {
+		c.MaxFlowDuration = 30
+	}
+	return c
+}
+
+// ExtractFlows groups packets into flows per (src,dst) pair using the
+// configured inter-packet gap threshold.
+func ExtractFlows(packets []Packet, cfg DiscoverConfig) []Flow {
+	cfg = cfg.withDefaults()
+	type pair struct{ src, dst string }
+	byPair := make(map[pair][]float64)
+	for _, p := range packets {
+		k := pair{p.Src, p.Dst}
+		byPair[k] = append(byPair[k], p.Time)
+	}
+	var flows []Flow
+	for k, times := range byPair {
+		sort.Float64s(times)
+		cur := Flow{Src: k.src, Dst: k.dst, Start: times[0], End: times[0], Count: 1}
+		for _, t := range times[1:] {
+			if t-cur.End > cfg.GapThreshold {
+				flows = append(flows, cur)
+				cur = Flow{Src: k.src, Dst: k.dst, Start: t, End: t, Count: 1}
+				continue
+			}
+			cur.End = t
+			cur.Count++
+		}
+		flows = append(flows, cur)
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].Start != flows[j].Start {
+			return flows[i].Start < flows[j].Start
+		}
+		if flows[i].Src != flows[j].Src {
+			return flows[i].Src < flows[j].Src
+		}
+		return flows[i].Dst < flows[j].Dst
+	})
+	return flows
+}
+
+// Discover infers the inter-component dependency graph from a packet trace.
+// An edge X→Y is added when, conditioned on a flow arriving at X, a flow
+// X→Y begins within cfg.Delay with probability ≥ cfg.MinConfidence.
+//
+// Continuous streaming traffic (no inter-packet gaps) yields a single
+// unbounded flow per pair; such flows are discarded, so a pure streaming
+// application produces an empty graph.
+func Discover(packets []Packet, cfg DiscoverConfig) *Graph {
+	cfg = cfg.withDefaults()
+	flows := ExtractFlows(packets, cfg)
+	g := NewGraph()
+	// Discard stream-like flows: discovery relies on discrete request/reply
+	// exchanges.
+	usable := flows[:0]
+	for _, f := range flows {
+		g.AddNode(f.Src)
+		g.AddNode(f.Dst)
+		if f.End-f.Start <= cfg.MaxFlowDuration {
+			usable = append(usable, f)
+		}
+	}
+	usable = dropReplies(usable, cfg.ReplyWindow)
+	// Index outbound flows by source for the co-occurrence scan.
+	outBySrc := make(map[string][]Flow)
+	for _, f := range usable {
+		outBySrc[f.Src] = append(outBySrc[f.Src], f)
+	}
+	// For each inbound flow into X, check whether X emits a flow to each
+	// candidate Y within the delay window.
+	inCount := make(map[string]int)                // X -> inbound flows
+	coCount := make(map[[2]string]int)             // (X,Y) -> co-occurrences
+	candidates := make(map[string]map[string]bool) // X -> {Y}
+	for _, f := range usable {
+		for _, out := range outBySrc[f.Dst] {
+			if candidates[f.Dst] == nil {
+				candidates[f.Dst] = make(map[string]bool)
+			}
+			candidates[f.Dst][out.Dst] = true
+		}
+	}
+	for _, in := range usable {
+		x := in.Dst
+		inCount[x]++
+		seen := make(map[string]bool)
+		for _, out := range outBySrc[x] {
+			if seen[out.Dst] {
+				continue
+			}
+			// The outbound flow must start after (or with) the inbound
+			// request and within the delay window.
+			if out.Start >= in.Start && out.Start <= in.Start+cfg.Delay {
+				coCount[[2]string{x, out.Dst}]++
+				seen[out.Dst] = true
+			}
+		}
+	}
+	for x, ys := range candidates {
+		if inCount[x] < cfg.MinFlows {
+			continue
+		}
+		for y := range ys {
+			conf := float64(coCount[[2]string{x, y}]) / float64(inCount[x])
+			if conf >= cfg.MinConfidence {
+				g.AddEdge(x, y, conf)
+			}
+		}
+	}
+	// Entry components receive no inbound flows, but their outbound edges
+	// are directly observable: if X never appears as a destination yet
+	// repeatedly opens flows to Y, record the edge with confidence from
+	// flow count.
+	for x, outs := range outBySrc {
+		if inCount[x] > 0 {
+			continue
+		}
+		perDst := make(map[string]int)
+		for _, f := range outs {
+			perDst[f.Dst]++
+		}
+		for y, n := range perDst {
+			if n >= cfg.MinFlows {
+				g.AddEdge(x, y, 1.0)
+			}
+		}
+	}
+	return g
+}
+
+// dropReplies removes flows that are responses to a just-started flow in
+// the opposite direction: a flow X→Y beginning within replyWindow of a flow
+// Y→X is traffic returning to the caller, not a dependency of X on Y.
+func dropReplies(flows []Flow, replyWindow float64) []Flow {
+	type pair struct{ src, dst string }
+	starts := make(map[pair][]float64)
+	for _, f := range flows {
+		k := pair{f.Src, f.Dst}
+		starts[k] = append(starts[k], f.Start)
+	}
+	for _, ts := range starts {
+		sort.Float64s(ts)
+	}
+	out := flows[:0]
+	for _, f := range flows {
+		if isReply(starts[pair{f.Dst, f.Src}], f.Start, replyWindow) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// isReply reports whether sorted reverse-direction start times contain one
+// in [start-replyWindow, start].
+func isReply(reverseStarts []float64, start, replyWindow float64) bool {
+	i := sort.SearchFloat64s(reverseStarts, start-replyWindow)
+	return i < len(reverseStarts) && reverseStarts[i] <= start
+}

@@ -1,0 +1,131 @@
+package depgraph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("web", "app1", 0.58)
+	g.AddEdge("web", "app2", 0.51)
+	g.AddEdge("app1", "db", 1.0)
+	g.AddNode("lonely")
+
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != g.String() {
+		t.Errorf("roundtrip mismatch:\n got %s\nwant %s", back, g)
+	}
+	// Isolated nodes must survive too (they matter for HasPath).
+	found := false
+	for _, n := range back.Nodes() {
+		if n == "lonely" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("isolated node lost in roundtrip")
+	}
+}
+
+func TestPersistDeterministic(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("b", "c", 0.5)
+	g.AddEdge("a", "c", 0.7)
+	g.AddEdge("a", "b", 0.9)
+	var one, two bytes.Buffer
+	if err := g.Write(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Write(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Error("serialization is not deterministic")
+	}
+}
+
+func TestPersistFile(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("x", "y", 0.8)
+	path := filepath.Join(t.TempDir(), "deps.json")
+	if err := g.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.HasEdge("x", "y") || back.Confidence("x", "y") != 0.8 {
+		t.Errorf("loaded graph wrong: %s", back)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("loading a missing file should error")
+	}
+}
+
+func TestReadGraphRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{"not json", "hello"},
+		{"wrong version", `{"version": 99, "nodes": [], "edges": []}`},
+		{"empty node", `{"version": 1, "nodes": [""], "edges": []}`},
+		{"empty endpoint", `{"version": 1, "nodes": ["a"], "edges": [{"from":"","to":"a","confidence":1}]}`},
+		{"bad confidence", `{"version": 1, "nodes": ["a","b"], "edges": [{"from":"a","to":"b","confidence":7}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadGraph(strings.NewReader(tt.give)); err == nil {
+				t.Errorf("ReadGraph(%q) should error", tt.give)
+			}
+		})
+	}
+}
+
+// Property: every generated graph survives a serialization roundtrip with
+// identical reachability.
+func TestPersistRoundTripProperty(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	f := func(edges []uint8) bool {
+		g := NewGraph()
+		for _, e := range edges {
+			from := names[int(e)%len(names)]
+			to := names[int(e>>2)%len(names)]
+			g.AddEdge(from, to, float64(e%10)/10)
+		}
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			return false
+		}
+		back, err := ReadGraph(&buf)
+		if err != nil {
+			return false
+		}
+		for _, x := range names {
+			for _, y := range names {
+				if g.HasDirectedPath(x, y) != back.HasDirectedPath(x, y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

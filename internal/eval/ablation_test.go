@@ -1,0 +1,30 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign experiment")
+	}
+	out, err := AblationTable(2, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"full", "no-predictability-filter", "no-rollback",
+		"no-dependency", "no-smoothing", "adaptive-lookback", "adaptive-smoothing",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation report missing variant %q:\n%s", want, out)
+		}
+	}
+	// Every benchmark case must appear.
+	for _, want := range []string{"rubis/cpuhog", "systems/memleak", "hadoop/concurrent-diskhog"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation report missing case %q", want)
+		}
+	}
+}

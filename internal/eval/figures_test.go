@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAccuracyFigures smoke-runs every campaign figure at a small run count
+// and checks the report structure: every scheme present, counts consistent.
+func TestAccuracyFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign experiments")
+	}
+	figs := map[string]func(int, RunConfig) (string, error){
+		"fig6": Figure6, "fig7": Figure7, "fig8": Figure8,
+		"fig9": Figure9, "fig10": Figure10,
+	}
+	for name, fn := range figs {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			out, err := fn(2, RunConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range []string{"fchain", "topology", "dependency", "pal", "histogram", "netmedic", "fault "} {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s report missing %q:\n%s", name, want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestFigure11Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign experiment")
+	}
+	out, err := Figure11(2, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fchain+val") || !strings.Contains(out, "bottleneck") {
+		t.Errorf("figure 11 report malformed:\n%s", out)
+	}
+}
+
+func TestFigure12Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign experiment")
+	}
+	out, err := Figure12(2, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fixed(t=") || !strings.Contains(out, "lbbug") {
+		t.Errorf("figure 12 report malformed:\n%s", out)
+	}
+}
+
+func TestTable1Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign experiment")
+	}
+	out, err := Table1(2, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"W=100", "W=500", "concurrency=2", "concurrency=10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 report missing %q:\n%s", want, out)
+		}
+	}
+}

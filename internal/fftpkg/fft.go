@@ -1,0 +1,175 @@
+// Package fftpkg implements the fast Fourier transform primitives behind
+// FChain's burstiness-adaptive prediction error threshold.
+//
+// FChain cannot use a fixed prediction-error threshold to separate abnormal
+// change points from normal ones: bursty metrics are inherently harder to
+// predict. Instead, for each candidate change point it extracts a small
+// window of surrounding samples, isolates the high-frequency ("burst")
+// portion of the signal with an FFT/inverse-FFT round trip, and uses a high
+// percentile of the burst magnitude as the *expected* prediction error for
+// that point (paper §II-B, Fig. 4).
+package fftpkg
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// ErrEmpty is returned when a transform is requested on an empty signal.
+var ErrEmpty = errors.New("fftpkg: empty signal")
+
+// FFT computes the discrete Fourier transform of x using an iterative
+// radix-2 Cooley-Tukey algorithm. The input is zero-padded to the next power
+// of two; the returned slice has that padded length.
+func FFT(x []float64) ([]complex128, error) {
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	n := nextPow2(len(x))
+	buf := make([]complex128, n)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	transform(buf, false)
+	return buf, nil
+}
+
+// IFFT computes the inverse discrete Fourier transform, returning the real
+// part of the time-domain signal. The input length must be a power of two
+// (as produced by FFT).
+func IFFT(freq []complex128) ([]float64, error) {
+	if len(freq) == 0 {
+		return nil, ErrEmpty
+	}
+	if len(freq)&(len(freq)-1) != 0 {
+		return nil, errors.New("fftpkg: IFFT input length must be a power of two")
+	}
+	buf := make([]complex128, len(freq))
+	copy(buf, freq)
+	transform(buf, true)
+	out := make([]float64, len(buf))
+	inv := 1 / float64(len(buf))
+	for i, c := range buf {
+		out[i] = real(c) * inv
+	}
+	return out, nil
+}
+
+// transform performs an in-place iterative radix-2 FFT. inverse selects the
+// conjugate transform (without the 1/n scaling, which IFFT applies).
+func transform(buf []complex128, inverse bool) {
+	n := len(buf)
+	if n < 2 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			buf[i], buf[j] = buf[j], buf[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := buf[start+k]
+				v := buf[start+k+half] * w
+				buf[start+k] = u + v
+				buf[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// BurstSignal isolates the high-frequency component of x. Frequencies are
+// ranked by index (distance from DC); the top highFrac fraction of the
+// spectrum (e.g. 0.9 keeps the 90% highest frequencies, discarding the
+// slow-moving 10%) is retained and transformed back to the time domain.
+// The result has the same length as x.
+func BurstSignal(x []float64, highFrac float64) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	if highFrac < 0 {
+		highFrac = 0
+	}
+	if highFrac > 1 {
+		highFrac = 1
+	}
+	freq, err := FFT(x)
+	if err != nil {
+		return nil, err
+	}
+	n := len(freq)
+	// Frequency index k and n-k represent the same physical frequency; rank
+	// by min(k, n-k). DC (k=0) is the lowest frequency. We zero the lowest
+	// (1-highFrac) fraction of distinct frequency ranks.
+	nyquist := n / 2
+	lowRanks := int(math.Round((1 - highFrac) * float64(nyquist+1)))
+	for k := 0; k < n; k++ {
+		rank := k
+		if n-k < rank {
+			rank = n - k
+		}
+		if rank < lowRanks {
+			freq[k] = 0
+		}
+	}
+	burst, err := IFFT(freq)
+	if err != nil {
+		return nil, err
+	}
+	return burst[:len(x)], nil
+}
+
+// ExpectedError computes FChain's burstiness-adaptive expected prediction
+// error for the window x around a candidate change point: the pct-th
+// percentile (e.g. 90) of the absolute burst-signal magnitude, where the
+// burst signal keeps the top highFrac of frequencies (paper §II-B).
+func ExpectedError(x []float64, highFrac, pct float64) (float64, error) {
+	burst, err := BurstSignal(x, highFrac)
+	if err != nil {
+		return 0, err
+	}
+	mags := make([]float64, len(burst))
+	for i, v := range burst {
+		mags[i] = math.Abs(v)
+	}
+	sort.Float64s(mags)
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	rank := pct / 100 * float64(len(mags)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return mags[lo], nil
+	}
+	frac := rank - float64(lo)
+	return mags[lo]*(1-frac) + mags[hi]*frac, nil
+}

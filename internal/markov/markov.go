@@ -1,0 +1,320 @@
+// Package markov implements the online discrete-time Markov chain value
+// predictor that FChain uses as its normal fluctuation model.
+//
+// Following PRESS (Gong, Gu, Wilkes, CNSM 2010 — cited as [12] in the FChain
+// paper), each system metric's value range is discretized into bins and a
+// transition probability matrix between bins is learned online with
+// exponential decay. Change patterns caused by normal workload fluctuation
+// recur and are therefore learned by the model, yielding small prediction
+// errors; fault-induced fluctuations have not been seen before and yield
+// large prediction errors. FChain's abnormal change point selection uses
+// exactly this prediction error signal (paper §II-A/B).
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Default model parameters. 40 bins balances resolution against the amount
+// of history needed to populate the transition matrix; the decay keeps the
+// model adaptive to slowly evolving workloads.
+const (
+	DefaultBins  = 40
+	DefaultDecay = 0.999
+)
+
+// Predictor is an online Markov chain model over a single metric stream.
+// It is not safe for concurrent use; FChain runs one predictor per
+// (component, metric) pair inside a single collection goroutine.
+type Predictor struct {
+	bins  int
+	decay float64
+
+	lo, hi   float64 // current discretization range
+	rangeSet bool
+
+	counts  [][]float64 // decayed transition counts [from][to]
+	rowSum  []float64
+	lastBin int
+	hasLast bool
+
+	// incWeight implements exponential decay lazily: instead of scaling
+	// every historical count down at each observation (O(bins²)), new
+	// transitions are added with exponentially *growing* weight, keeping
+	// all ratios identical. Counts are renormalized before the weight can
+	// lose precision.
+	incWeight float64
+
+	observations int
+}
+
+// New returns a predictor with the given number of value bins and decay
+// factor applied to historical transition counts at every observation.
+// bins < 2 and out-of-range decay fall back to the defaults.
+func New(bins int, decay float64) *Predictor {
+	if bins < 2 {
+		bins = DefaultBins
+	}
+	if decay <= 0 || decay > 1 {
+		decay = DefaultDecay
+	}
+	p := &Predictor{bins: bins, decay: decay}
+	p.reset()
+	return p
+}
+
+// NewDefault returns a predictor with default parameters.
+func NewDefault() *Predictor { return New(DefaultBins, DefaultDecay) }
+
+func (p *Predictor) reset() {
+	p.counts = make([][]float64, p.bins)
+	for i := range p.counts {
+		p.counts[i] = make([]float64, p.bins)
+	}
+	p.rowSum = make([]float64, p.bins)
+	p.hasLast = false
+	p.incWeight = 1
+}
+
+// Observations returns the number of samples the model has consumed.
+func (p *Predictor) Observations() int { return p.observations }
+
+// Range returns the current discretization range [lo, hi].
+func (p *Predictor) Range() (lo, hi float64) { return p.lo, p.hi }
+
+// binOf maps a value to its bin index, clamping to the range edges.
+func (p *Predictor) binOf(v float64) int {
+	if p.hi <= p.lo {
+		return 0
+	}
+	idx := int((v - p.lo) / (p.hi - p.lo) * float64(p.bins))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= p.bins {
+		idx = p.bins - 1
+	}
+	return idx
+}
+
+// binCenter returns the representative value of bin i.
+func (p *Predictor) binCenter(i int) float64 {
+	if p.hi <= p.lo {
+		return p.lo
+	}
+	w := (p.hi - p.lo) / float64(p.bins)
+	return p.lo + (float64(i)+0.5)*w
+}
+
+// ensureRange grows the discretization range to cover v, remapping existing
+// transition counts onto the new bins (approximately, by bin centers).
+func (p *Predictor) ensureRange(v float64) {
+	if !p.rangeSet {
+		// Seed a small symmetric range around the first value so early
+		// samples land in distinct bins once fluctuation begins.
+		span := math.Abs(v) * 0.5
+		if span == 0 {
+			span = 1
+		}
+		p.lo, p.hi = v-span, v+span
+		p.rangeSet = true
+		return
+	}
+	if v >= p.lo && v <= p.hi {
+		return
+	}
+	newLo, newHi := p.lo, p.hi
+	span := p.hi - p.lo
+	// Grow generously to avoid frequent remaps under a trending metric.
+	for v < newLo {
+		newLo -= span
+		span = newHi - newLo
+	}
+	for v > newHi {
+		newHi += span
+		span = newHi - newLo
+	}
+	p.remapRange(newLo, newHi)
+}
+
+func (p *Predictor) remapRange(newLo, newHi float64) {
+	old := p.counts
+	oldLo, oldHi := p.lo, p.hi
+	oldBins := p.bins
+	centers := make([]float64, oldBins)
+	w := (oldHi - oldLo) / float64(oldBins)
+	for i := range centers {
+		centers[i] = oldLo + (float64(i)+0.5)*w
+	}
+	var lastCenter float64
+	if p.hasLast {
+		lastCenter = centers[p.lastBin]
+	}
+	p.lo, p.hi = newLo, newHi
+	p.reset()
+	for i := range old {
+		for j, c := range old[i] {
+			if c == 0 {
+				continue
+			}
+			ni := p.binOf(centers[i])
+			nj := p.binOf(centers[j])
+			p.counts[ni][nj] += c
+			p.rowSum[ni] += c
+		}
+	}
+	if lastCenter != 0 || oldBins > 0 {
+		// Restore the chain position under the new discretization.
+		p.lastBin = p.binOf(lastCenter)
+	}
+	// hasLast was cleared by reset; restore it if we had a position. We
+	// deliberately keep hasLast=false when the model had never observed a
+	// value (counts were all zero and lastCenter is meaningless).
+	p.hasLast = p.observations > 0
+}
+
+// Predict returns the model's prediction for the *next* value given the
+// current chain position: the probability-weighted mean of destination bin
+// centers. ok is false until the model has a position and at least one
+// learned transition from it (an unseen state).
+func (p *Predictor) Predict() (v float64, ok bool) {
+	if !p.hasLast {
+		return 0, false
+	}
+	row := p.counts[p.lastBin]
+	sum := p.rowSum[p.lastBin]
+	if sum <= 0 {
+		return 0, false
+	}
+	var acc float64
+	for j, c := range row {
+		if c > 0 {
+			acc += c / sum * p.binCenter(j)
+		}
+	}
+	return acc, true
+}
+
+// Observe consumes the next sample, returning the absolute prediction error
+// for it (|predicted − actual|). When the model could not predict (cold
+// start or unseen state), predicted=false and err is the model's fallback:
+// the distance from the previous value (a naive last-value predictor), or 0
+// on the very first sample.
+func (p *Predictor) Observe(v float64) (predErr float64, predicted bool) {
+	p.ensureRange(v)
+	var prevCenter float64
+	hadPrev := p.hasLast
+	if hadPrev {
+		prevCenter = p.binCenter(p.lastBin)
+	}
+	pred, ok := p.Predict()
+	if ok {
+		predErr = math.Abs(pred - v)
+		predicted = true
+	} else if hadPrev {
+		predErr = math.Abs(prevCenter - v)
+	}
+	// Learn the transition prev -> current. Decay is applied lazily: new
+	// counts carry exponentially growing weight instead of shrinking the
+	// old ones, which preserves every probability ratio at O(1) cost.
+	cur := p.binOf(v)
+	if hadPrev {
+		if p.decay < 1 {
+			p.incWeight /= p.decay
+			if p.incWeight > 1e12 {
+				p.renormalize()
+			}
+		}
+		p.counts[p.lastBin][cur] += p.incWeight
+		p.rowSum[p.lastBin] += p.incWeight
+	}
+	p.lastBin = cur
+	p.hasLast = true
+	p.observations++
+	return predErr, predicted
+}
+
+// renormalize rescales all counts so the incremental weight returns to 1,
+// preserving every ratio.
+func (p *Predictor) renormalize() {
+	inv := 1 / p.incWeight
+	for i := range p.counts {
+		if p.rowSum[i] == 0 {
+			continue
+		}
+		p.rowSum[i] = 0
+		for j := range p.counts[i] {
+			p.counts[i][j] *= inv
+			p.rowSum[i] += p.counts[i][j]
+		}
+	}
+	p.incWeight = 1
+}
+
+// PredictionErrorAt replays the model against a historical window and
+// returns the prediction error at each step. It trains a fresh predictor on
+// the window's own history, which is how FChain's slave evaluates candidate
+// change points inside the look-back window against the already-trained
+// model state — see core.Selector for the online variant that reuses the
+// long-lived model.
+func PredictionErrorAt(vals []float64, bins int, decay float64) []float64 {
+	p := New(bins, decay)
+	errs := make([]float64, len(vals))
+	for i, v := range vals {
+		errs[i], _ = p.Observe(v)
+	}
+	return errs
+}
+
+// TransitionProb returns the learned probability of moving from the bin of
+// value a to the bin of value b. It is primarily useful for tests and
+// introspection.
+func (p *Predictor) TransitionProb(a, b float64) float64 {
+	if !p.rangeSet {
+		return 0
+	}
+	i, j := p.binOf(a), p.binOf(b)
+	if p.rowSum[i] <= 0 {
+		return 0
+	}
+	return p.counts[i][j] / p.rowSum[i]
+}
+
+// RowDistribution returns the transition distribution out of the bin
+// containing value v. The slice sums to 1 (or is nil for unseen states).
+func (p *Predictor) RowDistribution(v float64) []float64 {
+	if !p.rangeSet {
+		return nil
+	}
+	i := p.binOf(v)
+	if p.rowSum[i] <= 0 {
+		return nil
+	}
+	out := make([]float64, p.bins)
+	for j, c := range p.counts[i] {
+		out[j] = c / p.rowSum[i]
+	}
+	return out
+}
+
+// Validate checks internal invariants; it is used by property tests.
+func (p *Predictor) Validate() error {
+	for i := range p.counts {
+		var sum float64
+		for _, c := range p.counts[i] {
+			if c < 0 {
+				return fmt.Errorf("markov: negative count in row %d", i)
+			}
+			sum += c
+		}
+		if math.Abs(sum-p.rowSum[i]) > 1e-6*(1+sum) {
+			return fmt.Errorf("markov: row %d sum mismatch: %v vs cached %v", i, sum, p.rowSum[i])
+		}
+	}
+	if p.rangeSet && p.hi <= p.lo {
+		return errors.New("markov: inverted range")
+	}
+	return nil
+}

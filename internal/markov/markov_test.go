@@ -1,0 +1,231 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDefaults(t *testing.T) {
+	p := New(0, -1)
+	if p.bins != DefaultBins || p.decay != DefaultDecay {
+		t.Errorf("fallback params = %d,%v", p.bins, p.decay)
+	}
+	if p.Observations() != 0 {
+		t.Error("fresh model should have 0 observations")
+	}
+}
+
+func TestColdStart(t *testing.T) {
+	p := NewDefault()
+	if _, ok := p.Predict(); ok {
+		t.Error("Predict before any observation must report !ok")
+	}
+	err0, predicted := p.Observe(10)
+	if predicted || err0 != 0 {
+		t.Errorf("first observation: err=%v predicted=%v, want 0,false", err0, predicted)
+	}
+}
+
+func TestLearnsPeriodicSignal(t *testing.T) {
+	// A strictly periodic signal becomes perfectly predictable once the
+	// cycle has been seen: the defining property FChain relies on to
+	// filter change points caused by recurring workload fluctuation.
+	p := New(20, 1.0)
+	// A sawtooth is deterministic for an order-1 chain: every value has a
+	// unique successor.
+	period := []float64{10, 20, 30, 40, 50, 60}
+	var warmup, steady float64
+	var steadyN int
+	for rep := 0; rep < 50; rep++ {
+		for _, v := range period {
+			e, _ := p.Observe(v)
+			if rep < 3 {
+				warmup += e
+			} else if rep >= 40 {
+				steady += e
+				steadyN++
+			}
+		}
+	}
+	steadyMean := steady / float64(steadyN)
+	if steadyMean > 2.0 {
+		t.Errorf("steady-state prediction error = %v, want small", steadyMean)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnseenJumpHasHighError(t *testing.T) {
+	p := New(20, 1.0)
+	for rep := 0; rep < 100; rep++ {
+		p.Observe(10 + math.Sin(float64(rep))*2)
+	}
+	// Fault-like excursion far outside learned behaviour.
+	e, _ := p.Observe(500)
+	if e < 100 {
+		t.Errorf("prediction error on unseen jump = %v, want large", e)
+	}
+}
+
+func TestRangeExpansion(t *testing.T) {
+	p := New(10, 1.0)
+	p.Observe(10)
+	p.Observe(11)
+	lo1, hi1 := p.Range()
+	p.Observe(1000)
+	lo2, hi2 := p.Range()
+	if !(lo2 <= lo1 && hi2 >= hi1 && hi2 >= 1000) {
+		t.Errorf("range did not expand: [%v,%v] -> [%v,%v]", lo1, hi1, lo2, hi2)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemapPreservesMass(t *testing.T) {
+	p := New(10, 1.0)
+	vals := []float64{1, 2, 3, 2, 1, 2, 3, 2, 1}
+	for _, v := range vals {
+		p.Observe(v)
+	}
+	var before float64
+	for _, s := range p.rowSum {
+		before += s
+	}
+	p.Observe(1e6) // force a remap
+	var after float64
+	for _, s := range p.rowSum {
+		after += s
+	}
+	// The remap itself must preserve mass; the final Observe adds one
+	// transition.
+	if math.Abs(after-(before+1)) > 1e-6 {
+		t.Errorf("transition mass after remap = %v, want %v", after, before+1)
+	}
+}
+
+func TestTransitionProb(t *testing.T) {
+	p := New(4, 1.0)
+	// Build a range first, then a deterministic alternation.
+	p.Observe(0)
+	p.Observe(100)
+	for i := 0; i < 20; i++ {
+		p.Observe(0)
+		p.Observe(100)
+	}
+	if got := p.TransitionProb(0, 100); got < 0.9 {
+		t.Errorf("P(0->100) = %v, want ~1", got)
+	}
+	if got := p.TransitionProb(0, 0); got > 0.1 {
+		t.Errorf("P(0->0) = %v, want ~0", got)
+	}
+}
+
+func TestRowDistributionSumsToOne(t *testing.T) {
+	p := New(8, 0.99)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		p.Observe(rng.Float64() * 100)
+	}
+	dist := p.RowDistribution(50)
+	if dist == nil {
+		t.Fatal("expected a distribution for a visited state")
+	}
+	var sum float64
+	for _, d := range dist {
+		if d < 0 {
+			t.Fatal("negative probability")
+		}
+		sum += d
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("row distribution sums to %v, want 1", sum)
+	}
+}
+
+func TestRowDistributionUnseen(t *testing.T) {
+	p := NewDefault()
+	if p.RowDistribution(5) != nil {
+		t.Error("distribution for untrained model should be nil")
+	}
+}
+
+func TestPredictionErrorAt(t *testing.T) {
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = 50 + 10*math.Sin(float64(i)*math.Pi/10)
+	}
+	errs := PredictionErrorAt(vals, 20, 1.0)
+	if len(errs) != len(vals) {
+		t.Fatalf("length mismatch: %d vs %d", len(errs), len(vals))
+	}
+	head := 0.0
+	for _, e := range errs[:20] {
+		head += e
+	}
+	tail := 0.0
+	for _, e := range errs[180:] {
+		tail += e
+	}
+	if tail >= head {
+		t.Errorf("prediction error should shrink with training: head=%v tail=%v", head, tail)
+	}
+}
+
+func TestDecayForgetsOldBehaviour(t *testing.T) {
+	// With decay, a regime change is eventually absorbed: after enough
+	// samples in the new regime, its transitions dominate.
+	p := New(20, 0.95)
+	for i := 0; i < 200; i++ {
+		p.Observe(10)
+	}
+	for i := 0; i < 200; i++ {
+		p.Observe(90)
+	}
+	if got := p.TransitionProb(90, 90); got < 0.9 {
+		t.Errorf("P(90->90) after regime change = %v, want ~1", got)
+	}
+}
+
+// Property: the model never violates its internal invariants, for any input
+// stream, and prediction errors are non-negative and finite.
+func TestInvariantsProperty(t *testing.T) {
+	f := func(raw []float64, binsRaw uint8) bool {
+		bins := int(binsRaw%30) + 2
+		p := New(bins, 0.99)
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			v = math.Mod(v, 1e9)
+			e, _ := p.Observe(v)
+			if e < 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+				return false
+			}
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for a constant stream, prediction error converges to zero.
+func TestConstantStreamProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := rng.Float64()*1000 - 500
+		p := NewDefault()
+		var last float64
+		for i := 0; i < 50; i++ {
+			last, _ = p.Observe(c)
+		}
+		return last < 1e-6*(1+math.Abs(c))+0.05*math.Abs(c)+0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

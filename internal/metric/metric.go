@@ -1,0 +1,81 @@
+// Package metric defines the system-level metric vocabulary shared by the
+// FChain monitoring, simulation, and diagnosis layers.
+//
+// FChain is a black-box fault localizer: it observes only low-level,
+// per-component (per-VM) system metrics that a hypervisor or guest OS can
+// export without application cooperation. The paper monitors six attributes
+// at a 1-second sampling interval: CPU usage, memory usage, network in,
+// network out, disk read, and disk write.
+package metric
+
+import "fmt"
+
+// Kind identifies one of the six system-level metrics FChain monitors.
+type Kind int
+
+// The six monitored system-level metrics (paper §III-A).
+const (
+	CPU Kind = iota + 1
+	Memory
+	NetIn
+	NetOut
+	DiskRead
+	DiskWrite
+)
+
+// Kinds lists every monitored metric in canonical order.
+var Kinds = []Kind{CPU, Memory, NetIn, NetOut, DiskRead, DiskWrite}
+
+// NumKinds is the number of monitored metrics.
+const NumKinds = 6
+
+var kindNames = map[Kind]string{
+	CPU:       "cpu",
+	Memory:    "memory",
+	NetIn:     "net_in",
+	NetOut:    "net_out",
+	DiskRead:  "disk_read",
+	DiskWrite: "disk_write",
+}
+
+// String returns the canonical lowercase name of the metric.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("metric(%d)", int(k))
+}
+
+// Valid reports whether k is one of the six monitored metrics.
+func (k Kind) Valid() bool {
+	_, ok := kindNames[k]
+	return ok
+}
+
+// ParseKind returns the Kind named by s, as produced by Kind.String.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("metric: unknown kind %q", s)
+}
+
+// Vector holds one sample of every monitored metric for a component,
+// indexed by Kind.
+type Vector [NumKinds + 1]float64
+
+// Get returns the value recorded for metric k.
+func (v *Vector) Get(k Kind) float64 { return v[k] }
+
+// Set records value x for metric k.
+func (v *Vector) Set(k Kind, x float64) { v[k] = x }
+
+// Sample is a timestamped metric observation for a named component.
+type Sample struct {
+	Component string  `json:"component"`
+	Kind      Kind    `json:"kind"`
+	Time      int64   `json:"time"` // seconds since scenario start
+	Value     float64 `json:"value"`
+}

@@ -1,0 +1,61 @@
+package metric
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{CPU, "cpu"}, {Memory, "memory"}, {NetIn, "net_in"},
+		{NetOut, "net_out"}, {DiskRead, "disk_read"}, {DiskWrite, "disk_write"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.k, got, tt.want)
+		}
+		if !tt.k.Valid() {
+			t.Errorf("%v should be valid", tt.k)
+		}
+	}
+	if Kind(0).Valid() || Kind(99).Valid() {
+		t.Error("invalid kinds reported valid")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range Kinds {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) should error")
+	}
+}
+
+func TestKindsComplete(t *testing.T) {
+	if len(Kinds) != NumKinds {
+		t.Errorf("Kinds has %d entries, want %d", len(Kinds), NumKinds)
+	}
+	seen := make(map[Kind]bool)
+	for _, k := range Kinds {
+		if seen[k] {
+			t.Errorf("duplicate kind %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestVector(t *testing.T) {
+	var v Vector
+	v.Set(CPU, 42.5)
+	v.Set(DiskWrite, 7)
+	if v.Get(CPU) != 42.5 || v.Get(DiskWrite) != 7 || v.Get(Memory) != 0 {
+		t.Errorf("vector get/set wrong: %+v", v)
+	}
+}

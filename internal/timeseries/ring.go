@@ -1,0 +1,77 @@
+package timeseries
+
+// Ring is a fixed-capacity ring buffer of timestamped samples used by the
+// FChain slave daemon to retain a bounded history of each metric. The slave
+// only ever needs the look-back window [tv-W, tv] plus the burst-extraction
+// margin, so a small ring bounds memory to a few kilobytes per metric
+// (paper §III-G reports ~3 MB per host for all VMs and metrics).
+//
+// The zero value is not usable; construct with NewRing.
+type Ring struct {
+	vals  []float64
+	times []int64
+	head  int // index of oldest element
+	size  int
+}
+
+// NewRing returns a ring holding at most capacity samples. Capacities < 1
+// are raised to 1.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{
+		vals:  make([]float64, capacity),
+		times: make([]int64, capacity),
+	}
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.vals) }
+
+// Len returns the number of retained samples.
+func (r *Ring) Len() int { return r.size }
+
+// Push appends a sample, evicting the oldest when full.
+func (r *Ring) Push(t int64, v float64) {
+	idx := (r.head + r.size) % len(r.vals)
+	r.vals[idx] = v
+	r.times[idx] = t
+	if r.size < len(r.vals) {
+		r.size++
+		return
+	}
+	r.head = (r.head + 1) % len(r.vals)
+}
+
+// Last returns the most recent sample, or ok=false when empty.
+func (r *Ring) Last() (t int64, v float64, ok bool) {
+	if r.size == 0 {
+		return 0, 0, false
+	}
+	idx := (r.head + r.size - 1) % len(r.vals)
+	return r.times[idx], r.vals[idx], true
+}
+
+// Series materializes the retained samples, oldest first, as a Series
+// starting at the oldest retained timestamp. Gaps in timestamps are not
+// reconstructed; FChain's collectors sample on a strict 1-second cadence so
+// retained samples are contiguous.
+func (r *Ring) Series() *Series {
+	if r.size == 0 {
+		return &Series{}
+	}
+	vals := make([]float64, r.size)
+	for i := 0; i < r.size; i++ {
+		vals[i] = r.vals[(r.head+i)%len(r.vals)]
+	}
+	return &Series{start: r.times[r.head], vals: vals}
+}
+
+// WindowBefore returns up to w samples with timestamps in (end-w, end],
+// oldest first, as a Series. It is the primitive behind FChain's look-back
+// window query.
+func (r *Ring) WindowBefore(end int64, w int) *Series {
+	s := r.Series()
+	return s.Window(end-int64(w)+1, end+1)
+}
