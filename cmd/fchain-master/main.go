@@ -1,5 +1,6 @@
 // Command fchain-master runs the FChain master daemon: it accepts slave
-// registrations over TCP and triggers fault localization on demand.
+// registrations over TCP, probes them with heartbeats, and triggers fault
+// localization on demand.
 //
 // Usage:
 //
@@ -8,12 +9,15 @@
 // Commands are read from stdin, one per line:
 //
 //	slaves            print registered slaves
+//	health            print per-slave liveness (healthy/degraded/dead)
 //	localize <tv>     run fault localization for violation time tv
+//	history           print past localizations
 //	quit              shut down
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,18 +30,21 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7070", "listen address")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-localization slave timeout")
-		deps    = flag.String("deps", "", "dependency graph file from offline discovery (optional)")
+		listen    = flag.String("listen", "127.0.0.1:7070", "listen address")
+		timeout   = flag.Duration("timeout", 30*time.Second, "overall per-localization deadline")
+		retries   = flag.Int("retries", 1, "extra analyze attempts per unanswered slave within the deadline")
+		heartbeat = flag.Duration("heartbeat", 10*time.Second, "slave liveness probe interval (0 disables)")
+		hbMisses  = flag.Int("heartbeat-misses", 3, "consecutive missed heartbeats before a slave is evicted")
+		deps      = flag.String("deps", "", "dependency graph file from offline discovery (optional)")
 	)
 	flag.Parse()
-	if err := run(*listen, *timeout, *deps); err != nil {
+	if err := run(*listen, *timeout, *retries, *heartbeat, *hbMisses, *deps); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-master:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, timeout time.Duration, depsPath string) error {
+func run(listen string, timeout time.Duration, retries int, heartbeat time.Duration, hbMisses int, depsPath string) error {
 	var deps *fchain.DependencyGraph
 	if depsPath != "" {
 		g, err := fchain.LoadDependencies(depsPath)
@@ -47,13 +54,16 @@ func run(listen string, timeout time.Duration, depsPath string) error {
 		deps = g
 		fmt.Printf("loaded dependency graph: %s\n", deps)
 	}
-	master := fchain.NewMaster(fchain.DefaultConfig(), deps)
+	master := fchain.NewMaster(fchain.DefaultConfig(), deps,
+		fchain.WithHeartbeat(heartbeat, hbMisses),
+		fchain.WithLocalizeRetries(retries),
+		fchain.WithLocalizeTimeout(timeout))
 	if err := master.Start(listen); err != nil {
 		return err
 	}
 	defer master.Close()
 	fmt.Printf("fchain-master listening on %s\n", master.Addr())
-	fmt.Println("commands: slaves | localize <tv> | history | quit")
+	fmt.Println("commands: slaves | health | localize <tv> | history | quit")
 
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
@@ -67,6 +77,17 @@ func run(listen string, timeout time.Duration, depsPath string) error {
 				fmt.Println(" ", s)
 			}
 			fmt.Printf("  (%d components total)\n", len(master.Components()))
+		case "health":
+			for name, h := range master.Health() {
+				extra := ""
+				if h.Misses > 0 {
+					extra += fmt.Sprintf(" misses=%d", h.Misses)
+				}
+				if h.BreakerOpen {
+					extra += " breaker=open"
+				}
+				fmt.Printf("  %s %s%s\n", name, h.State, extra)
+			}
 		case "localize":
 			if len(fields) != 2 {
 				fmt.Println("usage: localize <tv>")
@@ -77,15 +98,24 @@ func run(listen string, timeout time.Duration, depsPath string) error {
 				fmt.Println("bad tv:", err)
 				continue
 			}
-			diag, err := master.Localize(tv, timeout)
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			res, err := master.Localize(ctx, tv)
+			cancel()
 			if err != nil {
 				fmt.Println("localize failed:", err)
 				continue
 			}
-			fmt.Println(diag)
+			fmt.Println(res)
+			for _, e := range res.Errors {
+				fmt.Println("  slave error:", e)
+			}
 		case "history":
 			for _, rec := range master.History() {
-				fmt.Printf("  tv=%d %s\n", rec.TV, rec.Diagnosis)
+				mark := ""
+				if rec.Degraded {
+					mark = " (degraded)"
+				}
+				fmt.Printf("  tv=%d %s%s\n", rec.TV, rec.Diagnosis, mark)
 			}
 		case "quit", "exit":
 			return nil

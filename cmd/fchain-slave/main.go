@@ -24,6 +24,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"fchain"
 )
@@ -34,15 +35,17 @@ func main() {
 		components = flag.String("components", "", "comma-separated component names monitored by this host")
 		master     = flag.String("master", "127.0.0.1:7070", "master address")
 		skew       = flag.Int64("skew", 0, "simulated clock skew in seconds (testing)")
+		backoff    = flag.Duration("backoff", 500*time.Millisecond, "initial reconnect backoff after a dropped master connection")
+		backoffMax = flag.Duration("backoff-max", 15*time.Second, "reconnect backoff cap")
 	)
 	flag.Parse()
-	if err := run(*name, *components, *master, *skew); err != nil {
+	if err := run(*name, *components, *master, *skew, *backoff, *backoffMax); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-slave:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, components, master string, skew int64) error {
+func run(name, components, master string, skew int64, backoff, backoffMax time.Duration) error {
 	if name == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -54,7 +57,18 @@ func run(name, components, master string, skew int64) error {
 	if components == "" || len(comps) == 0 {
 		return fmt.Errorf("-components is required")
 	}
-	var opts []fchain.SlaveOption
+	opts := []fchain.SlaveOption{
+		fchain.WithBackoff(backoff, backoffMax),
+		// Collection is local, so outages only cost their own duration;
+		// log transitions so operators can see the link state.
+		fchain.WithStateCallback(func(state fchain.ConnState, err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "master connection %s: %v\n", state, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "master connection %s\n", state)
+		}),
+	}
 	if skew != 0 {
 		opts = append(opts, fchain.WithClockSkew(skew))
 	}

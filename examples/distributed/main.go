@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -86,10 +87,12 @@ func run() error {
 		time.Sleep(5 * time.Millisecond)
 	}
 	fmt.Printf("SLO violation at t=%d — triggering distributed localization\n", tv)
-	diag, err := master.Localize(tv, 30*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := master.Localize(ctx, tv)
 	if err != nil {
 		return err
 	}
-	fmt.Println("diagnosis:", diag)
+	fmt.Println("diagnosis:", res)
 	return nil
 }

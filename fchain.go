@@ -41,6 +41,8 @@
 package fchain
 
 import (
+	"time"
+
 	"fchain/internal/cluster"
 	"fchain/internal/core"
 	"fchain/internal/depgraph"
@@ -184,17 +186,63 @@ func ApplyValidation(diag Diagnosis, results []ValidationResult) Diagnosis {
 }
 
 // Master is the distributed master daemon (paper Fig. 1): it accepts slave
-// registrations and runs the integrated diagnosis over their reports.
+// registrations and runs the integrated diagnosis over their reports. It is
+// built for degraded conditions: heartbeat probing evicts dead slaves, a
+// per-slave circuit breaker skips repeat offenders, and Localize retries
+// unanswered slaves within its deadline before reporting coverage.
 type Master = cluster.Master
+
+// MasterOption configures a Master.
+type MasterOption = cluster.MasterOption
+
+// WithHeartbeat enables periodic slave liveness probing: a slave missing
+// maxMisses consecutive pongs is evicted.
+func WithHeartbeat(interval time.Duration, maxMisses int) MasterOption {
+	return cluster.WithHeartbeat(interval, maxMisses)
+}
+
+// WithLocalizeRetries sets how many extra attempts Localize spends per
+// unanswered slave inside its deadline (default 1).
+func WithLocalizeRetries(n int) MasterOption { return cluster.WithLocalizeRetries(n) }
+
+// WithLocalizeTimeout sets the overall Localize deadline used when the
+// caller's context has none (default 30s).
+func WithLocalizeTimeout(d time.Duration) MasterOption { return cluster.WithLocalizeTimeout(d) }
+
+// WithBreaker tunes the per-slave circuit breaker: after threshold
+// consecutive analyze failures a slave is skipped until cooldown elapses.
+func WithBreaker(threshold int, cooldown time.Duration) MasterOption {
+	return cluster.WithBreaker(threshold, cooldown)
+}
 
 // NewMaster creates a master with the given configuration and dependency
 // graph; call Start to listen.
-func NewMaster(cfg Config, deps *DependencyGraph) *Master {
-	return cluster.NewMaster(cfg, deps)
+func NewMaster(cfg Config, deps *DependencyGraph, opts ...MasterOption) *Master {
+	return cluster.NewMaster(cfg, deps, opts...)
 }
 
+// LocalizeResult is a distributed diagnosis plus coverage metadata: how many
+// slaves answered, how many components the diagnosis saw, and whether the
+// view was Degraded (partial).
+type LocalizeResult = core.LocalizeResult
+
+// HealthState classifies a slave's liveness ("healthy", "degraded", "dead").
+type HealthState = cluster.HealthState
+
+// Slave liveness states reported by Master.Health.
+const (
+	Healthy  = cluster.Healthy
+	Degraded = cluster.Degraded
+	Dead     = cluster.Dead
+)
+
+// SlaveHealth is one slave's liveness snapshot from Master.Health.
+type SlaveHealth = cluster.SlaveHealth
+
 // Slave is the per-host slave daemon: it models normal fluctuation for its
-// components and answers the master's analyze requests.
+// components and answers the master's analyze requests. A dropped master
+// connection is re-dialed with capped exponential backoff while local
+// collection continues, so an outage costs only the time it lasted.
 type Slave = cluster.Slave
 
 // SlaveOption configures a Slave.
@@ -203,6 +251,29 @@ type SlaveOption = cluster.SlaveOption
 // WithClockSkew simulates a clock offset (seconds) on the slave's samples,
 // for testing FChain's tolerance to imperfect time synchronization.
 func WithClockSkew(seconds int64) SlaveOption { return cluster.WithClockSkew(seconds) }
+
+// WithBackoff overrides the slave's reconnect backoff bounds (first retry
+// ~initial, doubling to max, jittered ±50%).
+func WithBackoff(initial, max time.Duration) SlaveOption { return cluster.WithBackoff(initial, max) }
+
+// WithReconnect toggles the slave's automatic reconnection (default on).
+func WithReconnect(on bool) SlaveOption { return cluster.WithReconnect(on) }
+
+// ConnState describes the slave's link to the master.
+type ConnState = cluster.ConnState
+
+// Slave connection states reported through WithStateCallback.
+const (
+	StateConnected    = cluster.StateConnected
+	StateDisconnected = cluster.StateDisconnected
+	StateReconnecting = cluster.StateReconnecting
+	StateClosed       = cluster.StateClosed
+)
+
+// WithStateCallback registers a connection-state observer on the slave.
+func WithStateCallback(fn func(state ConnState, err error)) SlaveOption {
+	return cluster.WithStateCallback(fn)
+}
 
 // NewSlave creates a slave monitoring the given components; call Connect
 // to register with a master.

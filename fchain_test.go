@@ -1,6 +1,7 @@
 package fchain_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -119,11 +120,14 @@ func TestPublicDistributed(t *testing.T) {
 	for len(master.Slaves()) < len(sys.Components()) && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
 	}
-	diag, err := master.Localize(tv, 30*time.Second)
+	res, err := master.Localize(context.Background(), tv)
 	if err != nil {
 		t.Fatal(err)
 	}
-	names := diag.CulpritNames()
+	if res.Degraded {
+		t.Errorf("full cluster localize reported degraded coverage: %+v", res)
+	}
+	names := res.Diagnosis.CulpritNames()
 	if len(names) == 0 || names[0] != "db" {
 		t.Errorf("distributed culprits = %v, want db first", names)
 	}

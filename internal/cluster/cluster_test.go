@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -83,11 +84,11 @@ func faultScenario(t *testing.T, seed int64) (*cloudsim.Sim, int64, *depgraph.Gr
 func TestDistributedLocalization(t *testing.T) {
 	sim, tv, deps := faultScenario(t, 1)
 	master, _ := startCluster(t, sim, tv, deps, nil)
-	diag, err := master.Localize(tv, 30*time.Second)
+	res, err := master.Localize(context.Background(), tv)
 	if err != nil {
 		t.Fatal(err)
 	}
-	names := diag.CulpritNames()
+	names := res.Diagnosis.CulpritNames()
 	if len(names) != 1 || names[0] != apps.DB {
 		t.Errorf("distributed diagnosis = %v, want [db]", names)
 	}
@@ -99,11 +100,11 @@ func TestDistributedToleratesClockSkew(t *testing.T) {
 	sim, tv, deps := faultScenario(t, 2)
 	skews := map[string]int64{apps.Web: 1, apps.App1: -1}
 	master, _ := startCluster(t, sim, tv, deps, skews)
-	diag, err := master.Localize(tv, 30*time.Second)
+	res, err := master.Localize(context.Background(), tv)
 	if err != nil {
 		t.Fatal(err)
 	}
-	names := diag.CulpritNames()
+	names := res.Diagnosis.CulpritNames()
 	if len(names) != 1 || names[0] != apps.DB {
 		t.Errorf("skewed diagnosis = %v, want [db]", names)
 	}
@@ -115,7 +116,7 @@ func TestLocalizeNoSlaves(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer master.Close()
-	if _, err := master.Localize(100, time.Second); err != ErrNoSlaves {
+	if _, err := master.Localize(context.Background(), 100); err != ErrNoSlaves {
 		t.Errorf("Localize without slaves = %v, want ErrNoSlaves", err)
 	}
 }
@@ -134,11 +135,11 @@ func TestSlaveDropDuringLocalize(t *testing.T) {
 	for len(master.Slaves()) > 3 && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
 	}
-	diag, err := master.Localize(tv, 30*time.Second)
+	res, err := master.Localize(context.Background(), tv)
 	if err != nil {
 		t.Fatal(err)
 	}
-	names := diag.CulpritNames()
+	names := res.Diagnosis.CulpritNames()
 	if len(names) != 1 || names[0] != apps.DB {
 		t.Errorf("diagnosis after slave drop = %v, want [db]", names)
 	}
@@ -297,10 +298,10 @@ func TestMasterHistory(t *testing.T) {
 	if len(master.History()) != 0 {
 		t.Fatal("fresh master should have empty history")
 	}
-	if _, err := master.Localize(tv, 30*time.Second); err != nil {
+	if _, err := master.Localize(context.Background(), tv); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := master.Localize(tv, 30*time.Second); err != nil {
+	if _, err := master.Localize(context.Background(), tv); err != nil {
 		t.Fatal(err)
 	}
 	hist := master.History()

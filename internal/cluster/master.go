@@ -1,11 +1,13 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fchain/internal/core"
@@ -15,41 +17,203 @@ import (
 // Master is the FChain master daemon: it accepts slave registrations and,
 // when a performance anomaly is detected, fans an analyze request out to
 // every slave and runs the integrated diagnosis over their reports.
+//
+// The master is built for the degraded conditions it diagnoses: it probes
+// registered slaves with periodic heartbeats and evicts dead connections, a
+// per-slave circuit breaker stops analyze fan-out from burning its deadline
+// on slaves that keep failing, duplicate registrations replace (and close)
+// the stale connection, and Localize retries unanswered slaves within its
+// deadline before reporting how much of the application its diagnosis saw.
 type Master struct {
 	cfg  core.Config
 	deps *depgraph.Graph
 
 	ln net.Listener
 
-	mu         sync.Mutex
-	slaves     map[string]*slaveConn
-	known      map[string]bool // every component ever registered
-	closed     bool
-	reqCounter uint64
-	history    []DiagnosisRecord
+	hbInterval  time.Duration
+	hbMaxMisses int
+	retries     int
+	localizeTO  time.Duration
+	brThreshold int
+	brCooldown  time.Duration
+
+	reqCounter atomic.Uint64
+
+	mu      sync.Mutex
+	slaves  map[string]*slaveConn
+	known   map[string]bool // every component ever registered
+	evicted map[string]bool // slaves lost since their last registration
+	closed  bool
+	history []DiagnosisRecord
+	stop    chan struct{}
 
 	wg sync.WaitGroup
+}
+
+// MasterOption configures a Master.
+type MasterOption func(*Master)
+
+// WithHeartbeat enables periodic liveness probing: every interval the master
+// pings each registered slave; a slave missing maxMisses consecutive pongs
+// is evicted (its connection closed, pending requests failed). interval <= 0
+// disables probing.
+func WithHeartbeat(interval time.Duration, maxMisses int) MasterOption {
+	return func(m *Master) {
+		m.hbInterval = interval
+		if maxMisses > 0 {
+			m.hbMaxMisses = maxMisses
+		}
+	}
+}
+
+// WithLocalizeRetries sets how many extra attempts Localize spends per
+// unanswered slave inside its deadline (default 1).
+func WithLocalizeRetries(n int) MasterOption {
+	return func(m *Master) {
+		if n >= 0 {
+			m.retries = n
+		}
+	}
+}
+
+// WithLocalizeTimeout sets the overall Localize deadline applied when the
+// caller's context has none (default 30s).
+func WithLocalizeTimeout(d time.Duration) MasterOption {
+	return func(m *Master) {
+		if d > 0 {
+			m.localizeTO = d
+		}
+	}
+}
+
+// WithBreaker tunes the per-slave circuit breaker: after threshold
+// consecutive analyze failures the slave is skipped until cooldown elapses
+// (threshold <= 0 disables the breaker).
+func WithBreaker(threshold int, cooldown time.Duration) MasterOption {
+	return func(m *Master) {
+		m.brThreshold = threshold
+		if cooldown > 0 {
+			m.brCooldown = cooldown
+		}
+	}
 }
 
 // slaveConn is the master-side state of one registered slave.
 type slaveConn struct {
 	name       string
 	components []string
-	conn       net.Conn
+	w          *connWriter
 
-	mu      sync.Mutex
-	pending map[uint64]chan *envelope
+	mu       sync.Mutex
+	pending  map[uint64]chan *envelope
+	dead     bool // connection gone; no retries will succeed
+	misses   int  // consecutive heartbeat misses
+	failures int  // consecutive analyze failures (breaker input)
+	openedAt time.Time
+	open     bool // breaker open
+}
+
+// addPending registers a response channel for request id; it returns false
+// if the connection is already dead.
+func (sc *slaveConn) addPending(id uint64, ch chan *envelope) bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.dead {
+		return false
+	}
+	sc.pending[id] = ch
+	return true
+}
+
+func (sc *slaveConn) removePending(id uint64) {
+	sc.mu.Lock()
+	delete(sc.pending, id)
+	sc.mu.Unlock()
+}
+
+// takePending resolves a response channel for id, if any.
+func (sc *slaveConn) takePending(id uint64) (chan *envelope, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	ch, ok := sc.pending[id]
+	if ok {
+		delete(sc.pending, id)
+	}
+	return ch, ok
+}
+
+// failAll marks the connection dead and fails every in-flight request so
+// waiting Localize goroutines return immediately instead of burning their
+// full timeout.
+func (sc *slaveConn) failAll(reason string) {
+	sc.mu.Lock()
+	pending := sc.pending
+	sc.pending = make(map[uint64]chan *envelope)
+	sc.dead = true
+	sc.mu.Unlock()
+	for _, ch := range pending {
+		ch <- &envelope{Type: typeError, Err: reason}
+	}
+}
+
+// isDead reports whether the connection has been torn down.
+func (sc *slaveConn) isDead() bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.dead
+}
+
+// breakerOpen reports whether analyze fan-out should skip this slave; an
+// open breaker half-opens (admits one probe attempt) after cooldown.
+func (sc *slaveConn) breakerOpen(cooldown time.Duration) bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if !sc.open {
+		return false
+	}
+	if time.Since(sc.openedAt) >= cooldown {
+		sc.open = false // half-open: let the next attempt probe it
+		return false
+	}
+	return true
+}
+
+// recordResult feeds the breaker with an analyze outcome.
+func (sc *slaveConn) recordResult(ok bool, threshold int) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if ok {
+		sc.failures = 0
+		sc.open = false
+		return
+	}
+	sc.failures++
+	if threshold > 0 && sc.failures >= threshold && !sc.open {
+		sc.open = true
+		sc.openedAt = time.Now()
+	}
 }
 
 // NewMaster creates a master with the given FChain configuration and
 // (possibly empty) dependency graph from offline discovery.
-func NewMaster(cfg core.Config, deps *depgraph.Graph) *Master {
-	return &Master{
-		cfg:    cfg,
-		deps:   deps,
-		slaves: make(map[string]*slaveConn),
-		known:  make(map[string]bool),
+func NewMaster(cfg core.Config, deps *depgraph.Graph, opts ...MasterOption) *Master {
+	m := &Master{
+		cfg:         cfg,
+		deps:        deps,
+		hbMaxMisses: 3,
+		retries:     1,
+		localizeTO:  30 * time.Second,
+		brThreshold: 3,
+		brCooldown:  10 * time.Second,
+		slaves:      make(map[string]*slaveConn),
+		evicted:     make(map[string]bool),
+		known:       make(map[string]bool),
+		stop:        make(chan struct{}),
 	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
 }
 
 // Start begins listening on addr (e.g. "127.0.0.1:0"). It returns once the
@@ -59,10 +223,20 @@ func (m *Master) Start(addr string) error {
 	if err != nil {
 		return fmt.Errorf("cluster: master listen: %w", err)
 	}
+	m.Serve(ln)
+	return nil
+}
+
+// Serve starts the master on an already-created listener (chaos tests
+// inject fault-wrapped listeners this way).
+func (m *Master) Serve(ln net.Listener) {
 	m.ln = ln
 	m.wg.Add(1)
 	go m.acceptLoop()
-	return nil
+	if m.hbInterval > 0 {
+		m.wg.Add(1)
+		go m.heartbeatLoop()
+	}
 }
 
 // Addr returns the listening address, valid after Start.
@@ -99,7 +273,7 @@ func (m *Master) serveConn(conn net.Conn) {
 	sc := &slaveConn{
 		name:       env.Slave,
 		components: append([]string(nil), env.Components...),
-		conn:       conn,
+		w:          newConnWriter(conn),
 		pending:    make(map[uint64]chan *envelope),
 	}
 	m.mu.Lock()
@@ -107,7 +281,15 @@ func (m *Master) serveConn(conn net.Conn) {
 		m.mu.Unlock()
 		return
 	}
+	// A duplicate registration (typically a reconnecting slave whose old
+	// connection has not yet died) replaces the stale connection: close it
+	// and fail its in-flight requests so nothing leaks.
+	if old := m.slaves[sc.name]; old != nil {
+		_ = old.w.conn.Close()
+		defer old.failAll(fmt.Sprintf("slave %s re-registered", sc.name))
+	}
 	m.slaves[sc.name] = sc
+	delete(m.evicted, sc.name)
 	for _, comp := range sc.components {
 		m.known[comp] = true
 	}
@@ -116,8 +298,12 @@ func (m *Master) serveConn(conn net.Conn) {
 		m.mu.Lock()
 		if m.slaves[sc.name] == sc {
 			delete(m.slaves, sc.name)
+			if !m.closed {
+				m.evicted[sc.name] = true
+			}
 		}
 		m.mu.Unlock()
+		sc.failAll(fmt.Sprintf("slave %s disconnected", sc.name))
 	}()
 
 	for {
@@ -126,20 +312,126 @@ func (m *Master) serveConn(conn net.Conn) {
 			return
 		}
 		switch env.Type {
-		case typeReports, typeError:
-			sc.mu.Lock()
-			ch, ok := sc.pending[env.ID]
-			if ok {
-				delete(sc.pending, env.ID)
-			}
-			sc.mu.Unlock()
-			if ok {
+		case typeReports, typeError, typePong:
+			if ch, ok := sc.takePending(env.ID); ok {
 				ch <- env
 			}
 		case typePing:
-			_ = writeFrame(conn, &envelope{Type: typePong, ID: env.ID}, 5*time.Second)
+			_ = sc.w.write(&envelope{Type: typePong, ID: env.ID}, 5*time.Second)
 		}
 	}
+}
+
+// heartbeatLoop probes every registered slave each interval and evicts the
+// ones that keep missing pongs.
+func (m *Master) heartbeatLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.hbInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+		}
+		m.mu.Lock()
+		conns := make([]*slaveConn, 0, len(m.slaves))
+		for _, sc := range m.slaves {
+			conns = append(conns, sc)
+		}
+		m.mu.Unlock()
+		var wg sync.WaitGroup
+		for _, sc := range conns {
+			wg.Add(1)
+			go func(sc *slaveConn) {
+				defer wg.Done()
+				m.probe(sc)
+			}(sc)
+		}
+		wg.Wait()
+	}
+}
+
+// probe sends one ping and records a miss if the pong does not arrive within
+// the heartbeat interval; maxMisses consecutive misses evict the slave.
+func (m *Master) probe(sc *slaveConn) {
+	id := m.reqCounter.Add(1)
+	ch := make(chan *envelope, 1)
+	if !sc.addPending(id, ch) {
+		return
+	}
+	if err := sc.w.write(&envelope{Type: typePing, ID: id}, m.hbInterval); err != nil {
+		sc.removePending(id)
+		m.miss(sc)
+		return
+	}
+	select {
+	case <-ch:
+		sc.mu.Lock()
+		sc.misses = 0
+		sc.mu.Unlock()
+	case <-time.After(m.hbInterval):
+		sc.removePending(id)
+		m.miss(sc)
+	case <-m.stop:
+		sc.removePending(id)
+	}
+}
+
+func (m *Master) miss(sc *slaveConn) {
+	sc.mu.Lock()
+	sc.misses++
+	evict := sc.misses >= m.hbMaxMisses
+	sc.mu.Unlock()
+	if evict {
+		// Closing the connection makes its serveConn exit, which evicts
+		// the slave and fails any in-flight requests.
+		_ = sc.w.conn.Close()
+	}
+}
+
+// HealthState classifies a slave's liveness as seen by the master.
+type HealthState string
+
+const (
+	// Healthy: registered, no outstanding heartbeat misses, breaker closed.
+	Healthy HealthState = "healthy"
+	// Degraded: registered but missing heartbeats or behind an open
+	// circuit breaker.
+	Degraded HealthState = "degraded"
+	// Dead: evicted (connection lost or heartbeat limit hit) and not yet
+	// re-registered.
+	Dead HealthState = "dead"
+)
+
+// SlaveHealth is one slave's liveness snapshot.
+type SlaveHealth struct {
+	State       HealthState `json:"state"`
+	Misses      int         `json:"misses,omitempty"`       // consecutive heartbeat misses
+	Failures    int         `json:"failures,omitempty"`     // consecutive analyze failures
+	BreakerOpen bool        `json:"breaker_open,omitempty"` // analyze fan-out is skipping it
+}
+
+// Health returns a liveness snapshot for every slave the master has seen:
+// registered slaves are healthy or degraded; slaves lost since their last
+// registration are dead.
+func (m *Master) Health() map[string]SlaveHealth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]SlaveHealth, len(m.slaves)+len(m.evicted))
+	for name, sc := range m.slaves {
+		sc.mu.Lock()
+		h := SlaveHealth{State: Healthy, Misses: sc.misses, Failures: sc.failures, BreakerOpen: sc.open}
+		sc.mu.Unlock()
+		if h.Misses > 0 || h.BreakerOpen {
+			h.State = Degraded
+		}
+		out[name] = h
+	}
+	for name := range m.evicted {
+		out[name] = SlaveHealth{State: Dead}
+	}
+	return out
 }
 
 // Slaves returns the names of the registered slaves, sorted.
@@ -170,6 +462,7 @@ func (m *Master) Components() []string {
 type DiagnosisRecord struct {
 	TV        int64          `json:"tv"`
 	Diagnosis core.Diagnosis `json:"diagnosis"`
+	Degraded  bool           `json:"degraded,omitempty"`
 }
 
 // History returns the master's past localizations, oldest first (bounded to
@@ -190,17 +483,19 @@ var ErrNoSlaves = errors.New("cluster: no slaves registered")
 
 // Localize triggers the fault localization pipeline: every registered slave
 // analyzes its look-back window ending at tv and the master diagnoses the
-// combined reports. Slaves that fail to answer within timeout are skipped
-// (their components are still counted for the external-factor check, since
-// the application size is known from registration).
-func (m *Master) Localize(tv int64, timeout time.Duration) (core.Diagnosis, error) {
-	if timeout <= 0 {
-		timeout = 10 * time.Second
-	}
+// combined reports. Each unanswered slave is retried (fresh request, fresh
+// ID) within the overall deadline — taken from ctx, or the configured
+// default when ctx has none. Slaves that still fail are skipped: their
+// components stay in the application size for the external-factor check
+// (known from registration), and the returned LocalizeResult carries the
+// resulting coverage so callers can tell a confident localization from a
+// partial-view one.
+func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, error) {
+	var res core.LocalizeResult
 	m.mu.Lock()
 	if len(m.slaves) == 0 {
 		m.mu.Unlock()
-		return core.Diagnosis{}, ErrNoSlaves
+		return res, ErrNoSlaves
 	}
 	conns := make([]*slaveConn, 0, len(m.slaves))
 	for _, sc := range m.slaves {
@@ -210,10 +505,21 @@ func (m *Master) Localize(tv int64, timeout time.Duration) (core.Diagnosis, erro
 	// slave that died does not shrink the application, and the
 	// external-factor check must not misread a partial view as "all
 	// components abnormal".
-	totalComponents := len(m.known)
-	m.reqCounter++
-	reqID := m.reqCounter
+	res.SlavesTotal = len(conns)
+	res.ComponentsKnown = len(m.known)
 	m.mu.Unlock()
+
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.localizeTO)
+		defer cancel()
+	}
+	deadline, _ := ctx.Deadline()
+	attempts := m.retries + 1
+	perAttempt := time.Until(deadline) / time.Duration(attempts)
+	if perAttempt <= 0 {
+		return res, context.DeadlineExceeded
+	}
 
 	lookBack := m.cfg.LookBack
 	if lookBack <= 0 {
@@ -221,66 +527,113 @@ func (m *Master) Localize(tv int64, timeout time.Duration) (core.Diagnosis, erro
 	}
 	type answer struct {
 		reports []core.ComponentReport
+		retries int
 		err     error
 	}
 	answers := make(chan answer, len(conns))
 	for _, sc := range conns {
 		sc := sc
-		ch := make(chan *envelope, 1)
-		sc.mu.Lock()
-		sc.pending[reqID] = ch
-		sc.mu.Unlock()
 		go func() {
-			req := &envelope{Type: typeAnalyze, ID: reqID, TV: tv, LookBack: lookBack}
-			if err := writeFrame(sc.conn, req, timeout); err != nil {
-				answers <- answer{err: err}
+			if m.brThreshold > 0 && sc.breakerOpen(m.brCooldown) {
+				answers <- answer{err: fmt.Errorf("cluster: circuit open for slave %s", sc.name)}
 				return
 			}
-			select {
-			case env := <-ch:
-				if env.Type == typeError {
-					answers <- answer{err: errors.New(env.Err)}
-					return
-				}
-				answers <- answer{reports: env.Reports}
-			case <-time.After(timeout):
-				sc.mu.Lock()
-				delete(sc.pending, reqID)
-				sc.mu.Unlock()
-				answers <- answer{err: fmt.Errorf("cluster: slave %s timed out", sc.name)}
-			}
+			a := m.askSlave(ctx, sc, tv, lookBack, attempts, perAttempt)
+			sc.recordResult(a.err == nil, m.brThreshold)
+			answers <- answer{reports: a.reports, retries: a.retries, err: a.err}
 		}()
 	}
 
 	var reports []core.ComponentReport
-	var errs []error
+	seen := make(map[string]bool)
 	for range conns {
 		a := <-answers
+		res.Retries += a.retries
 		if a.err != nil {
-			errs = append(errs, a.err)
+			res.Errors = append(res.Errors, a.err.Error())
 			continue
+		}
+		res.SlavesAnswered++
+		for _, rep := range a.reports {
+			seen[rep.Component] = true
 		}
 		reports = append(reports, a.reports...)
 	}
-	if len(reports) == 0 && len(errs) > 0 {
-		return core.Diagnosis{}, fmt.Errorf("cluster: all slaves failed: %w", errs[0])
+	res.ComponentsReported = len(seen)
+	res.Degraded = res.SlavesAnswered < res.SlavesTotal || res.ComponentsReported < res.ComponentsKnown
+	if len(reports) == 0 && len(res.Errors) > 0 {
+		return res, fmt.Errorf("cluster: all slaves failed: %s", res.Errors[0])
 	}
-	diag := core.Diagnose(reports, totalComponents, m.deps, m.cfg)
+	res.Diagnosis = core.Diagnose(reports, res.ComponentsKnown, m.deps, m.cfg)
 	m.mu.Lock()
-	m.history = append(m.history, DiagnosisRecord{TV: tv, Diagnosis: diag})
+	m.history = append(m.history, DiagnosisRecord{TV: tv, Diagnosis: res.Diagnosis, Degraded: res.Degraded})
 	if len(m.history) > historyLimit {
 		m.history = m.history[len(m.history)-historyLimit:]
 	}
 	m.mu.Unlock()
-	return diag, nil
+	return res, nil
+}
+
+// askResult is one slave's analyze outcome after retries.
+type askResult struct {
+	reports []core.ComponentReport
+	retries int
+	err     error
+}
+
+// askSlave sends the analyze request and waits for the reports, retrying
+// with a fresh request ID on timeout or error until the attempt budget or
+// the context runs out. A dead connection stops retrying immediately.
+func (m *Master) askSlave(ctx context.Context, sc *slaveConn, tv int64, lookBack, attempts int, perAttempt time.Duration) askResult {
+	var lastErr error
+	used := 0
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 && (sc.isDead() || ctx.Err() != nil) {
+			break
+		}
+		used = attempt
+		id := m.reqCounter.Add(1)
+		ch := make(chan *envelope, 1)
+		if !sc.addPending(id, ch) {
+			lastErr = fmt.Errorf("cluster: slave %s disconnected", sc.name)
+			break
+		}
+		req := &envelope{Type: typeAnalyze, ID: id, TV: tv, LookBack: lookBack}
+		if err := sc.w.write(req, perAttempt); err != nil {
+			sc.removePending(id)
+			lastErr = err
+			continue
+		}
+		select {
+		case env := <-ch:
+			if env.Type == typeError {
+				lastErr = errors.New(env.Err)
+				continue
+			}
+			return askResult{reports: env.Reports, retries: attempt}
+		case <-time.After(perAttempt):
+			sc.removePending(id)
+			lastErr = fmt.Errorf("cluster: slave %s timed out", sc.name)
+		case <-ctx.Done():
+			sc.removePending(id)
+			return askResult{retries: attempt, err: fmt.Errorf("cluster: slave %s: %w", sc.name, ctx.Err())}
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: slave %s unavailable", sc.name)
+	}
+	return askResult{retries: used, err: lastErr}
 }
 
 // Close shuts the master down and waits for its goroutines.
 func (m *Master) Close() error {
 	m.mu.Lock()
-	m.closed = true
+	if !m.closed {
+		m.closed = true
+		close(m.stop)
+	}
 	for _, sc := range m.slaves {
-		_ = sc.conn.Close()
+		_ = sc.w.conn.Close()
 	}
 	m.mu.Unlock()
 	var err error

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"fchain/internal/core"
@@ -56,7 +57,28 @@ type envelope struct {
 // unbounded allocation.
 const frameLimit = 4 << 20
 
-// writeFrame marshals and writes one newline-terminated JSON frame.
+// connWriter serializes frame writes to a shared net.Conn. Both daemons
+// write one connection from several goroutines (the master's Localize
+// fan-out races its serveConn pong path; the slave's report path races
+// Ping): without whole-frame serialization those writes can interleave on
+// the wire and corrupt the newline-framed stream, especially once the TCP
+// stack splits a large frame across partial writes.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func newConnWriter(conn net.Conn) *connWriter { return &connWriter{conn: conn} }
+
+// write marshals env and writes it as one uninterruptible frame.
+func (w *connWriter) write(env *envelope, timeout time.Duration) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return writeFrame(w.conn, env, timeout)
+}
+
+// writeFrame marshals and writes one newline-terminated JSON frame. Callers
+// sharing a connection across goroutines must go through connWriter.
 func writeFrame(conn net.Conn, env *envelope, timeout time.Duration) error {
 	data, err := json.Marshal(env)
 	if err != nil {

@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -10,10 +12,58 @@ import (
 	"fchain/internal/metric"
 )
 
+// ConnState describes the slave's link to the master, reported through the
+// WithStateCallback option.
+type ConnState int
+
+const (
+	// StateConnected: registered with the master and serving requests.
+	StateConnected ConnState = iota
+	// StateDisconnected: the connection dropped (or a reconnect attempt
+	// failed); the callback's error carries the cause.
+	StateDisconnected
+	// StateReconnecting: about to re-dial after a backoff delay.
+	StateReconnecting
+	// StateClosed: Close was called (or the reconnect context was
+	// canceled); no further attempts will be made.
+	StateClosed
+)
+
+// String returns the state name.
+func (s ConnState) String() string {
+	switch s {
+	case StateConnected:
+		return "connected"
+	case StateDisconnected:
+		return "disconnected"
+	case StateReconnecting:
+		return "reconnecting"
+	case StateClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("ConnState(%d)", int(s))
+	}
+}
+
+// Default reconnect backoff bounds: first retry after ~backoffInitial,
+// doubling per failure up to backoffMax, each delay jittered ±50% so a
+// recovering master is not hit by synchronized re-registration storms.
+const (
+	defaultBackoffInitial = 500 * time.Millisecond
+	defaultBackoffMax     = 15 * time.Second
+)
+
 // Slave is the FChain slave daemon for one host: it runs the normal
 // fluctuation models for the components (guest VMs) on that host and
 // answers the master's analyze requests with abnormal change point reports
 // (paper Fig. 1: the slave modules run inside Domain 0 of each cloud node).
+//
+// The slave survives master outages: metric collection is purely local, so
+// models keep learning while the link is down, and the connection manager
+// re-dials and re-registers with capped exponential backoff until Close (or
+// the Connect context) stops it. After a reconnect the slave can answer
+// analyze requests over its full retained ring — an outage costs the master
+// nothing but the time it lasted.
 type Slave struct {
 	name string
 	cfg  core.Config
@@ -24,9 +74,18 @@ type Slave struct {
 	// skews because propagation delays between components are seconds.
 	skew int64
 
+	dial           func(addr string) (net.Conn, error)
+	backoffInitial time.Duration
+	backoffMax     time.Duration
+	reconnect      bool
+	onState        func(ConnState, error)
+
 	mu       sync.Mutex
 	monitors map[string]*core.Monitor
-	conn     net.Conn
+	w        *connWriter // current link, nil while disconnected
+	addr     string
+	closed   bool
+	cancel   context.CancelFunc
 	wg       sync.WaitGroup
 
 	pingMu      sync.Mutex
@@ -39,21 +98,62 @@ type SlaveOption interface {
 	apply(*Slave)
 }
 
-type skewOption int64
+type slaveOptionFunc func(*Slave)
 
-func (o skewOption) apply(s *Slave) { s.skew = int64(o) }
+func (f slaveOptionFunc) apply(s *Slave) { f(s) }
 
 // WithClockSkew sets a simulated clock skew (in seconds) for the slave's
 // sample timestamps.
-func WithClockSkew(seconds int64) SlaveOption { return skewOption(seconds) }
+func WithClockSkew(seconds int64) SlaveOption {
+	return slaveOptionFunc(func(s *Slave) { s.skew = seconds })
+}
+
+// WithBackoff overrides the reconnect backoff bounds: the first retry waits
+// ~initial (jittered), doubling per consecutive failure up to max.
+func WithBackoff(initial, max time.Duration) SlaveOption {
+	return slaveOptionFunc(func(s *Slave) {
+		if initial > 0 {
+			s.backoffInitial = initial
+		}
+		if max > 0 {
+			s.backoffMax = max
+		}
+	})
+}
+
+// WithReconnect toggles automatic reconnection (default on). With reconnect
+// off, a dropped connection leaves the slave collecting locally until
+// Connect is called again.
+func WithReconnect(on bool) SlaveOption {
+	return slaveOptionFunc(func(s *Slave) { s.reconnect = on })
+}
+
+// WithStateCallback registers a connection-state observer. The callback runs
+// on the connection manager goroutine — keep it fast and do not call back
+// into the Slave from it. err is non-nil for StateDisconnected.
+func WithStateCallback(fn func(state ConnState, err error)) SlaveOption {
+	return slaveOptionFunc(func(s *Slave) { s.onState = fn })
+}
+
+// WithDialer overrides how the slave dials the master; chaos tests inject
+// fault-wrapped connections through this.
+func WithDialer(dial func(addr string) (net.Conn, error)) SlaveOption {
+	return slaveOptionFunc(func(s *Slave) { s.dial = dial })
+}
 
 // NewSlave creates a slave monitoring the given components.
 func NewSlave(name string, components []string, cfg core.Config, opts ...SlaveOption) *Slave {
 	s := &Slave{
-		name:        name,
-		cfg:         cfg,
-		monitors:    make(map[string]*core.Monitor, len(components)),
-		pingWaiters: make(map[uint64]chan struct{}),
+		name: name,
+		cfg:  cfg,
+		dial: func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		},
+		backoffInitial: defaultBackoffInitial,
+		backoffMax:     defaultBackoffMax,
+		reconnect:      true,
+		monitors:       make(map[string]*core.Monitor, len(components)),
+		pingWaiters:    make(map[uint64]chan struct{}),
 	}
 	for _, c := range components {
 		s.monitors[c] = core.NewMonitor(c, cfg)
@@ -68,7 +168,8 @@ func NewSlave(name string, components []string, cfg core.Config, opts ...SlaveOp
 func (s *Slave) Name() string { return s.name }
 
 // Observe feeds one metric sample into the slave's models. It may be called
-// before or after Connect; collection is local and continuous.
+// before, after, or between connections; collection is local and continuous,
+// so models keep learning through master outages.
 func (s *Slave) Observe(component string, t int64, k metric.Kind, v float64) error {
 	s.mu.Lock()
 	mon, ok := s.monitors[component]
@@ -83,58 +184,175 @@ func (s *Slave) Observe(component string, t int64, k metric.Kind, v float64) err
 // component (exported for in-process use and tests; the master normally
 // triggers it over the wire).
 func (s *Slave) Analyze(tv int64) []core.ComponentReport {
+	return s.analyzeWithWindow(tv, 0)
+}
+
+// Connected reports whether the slave currently holds a live registered
+// connection to the master.
+func (s *Slave) Connected() bool {
 	s.mu.Lock()
-	monitors := make([]*core.Monitor, 0, len(s.monitors))
-	for _, mon := range s.monitors {
-		monitors = append(monitors, mon)
-	}
-	s.mu.Unlock()
-	reports := make([]core.ComponentReport, 0, len(monitors))
-	for _, mon := range monitors {
-		reports = append(reports, mon.Analyze(tv+s.skew))
-	}
-	return reports
+	defer s.mu.Unlock()
+	return s.w != nil
 }
 
 // Connect dials the master, registers, and starts answering analyze
-// requests in the background until Close is called or the connection drops.
+// requests in the background. The initial dial is synchronous so callers
+// learn about a bad address immediately; afterwards a dropped connection is
+// re-dialed with capped exponential backoff until Close.
 func (s *Slave) Connect(addr string) error {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	return s.ConnectContext(context.Background(), addr)
+}
+
+// ConnectContext is Connect with a lifetime: canceling ctx stops the
+// connection manager (including any in-progress backoff wait) exactly like
+// Close, while leaving local collection running.
+func (s *Slave) ConnectContext(ctx context.Context, addr string) error {
+	w, err := s.dialRegister(addr)
 	if err != nil {
-		return fmt.Errorf("cluster: slave dial: %w", err)
+		return err
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		w.conn.Close()
+		return fmt.Errorf("cluster: slave %s is closed", s.name)
+	}
+	s.addr = addr
+	s.cancel = cancel
+	s.w = w
+	s.mu.Unlock()
+	s.notify(StateConnected, nil)
+	s.wg.Add(1)
+	go s.manageConn(cctx, w)
+	return nil
+}
+
+// dialRegister performs one dial + register handshake.
+func (s *Slave) dialRegister(addr string) (*connWriter, error) {
+	conn, err := s.dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: slave dial: %w", err)
 	}
 	s.mu.Lock()
 	components := make([]string, 0, len(s.monitors))
 	for c := range s.monitors {
 		components = append(components, c)
 	}
-	s.conn = conn
 	s.mu.Unlock()
+	w := newConnWriter(conn)
 	reg := &envelope{Type: typeRegister, Slave: s.name, Components: components}
-	if err := writeFrame(conn, reg, 10*time.Second); err != nil {
+	if err := w.write(reg, 10*time.Second); err != nil {
 		conn.Close()
-		return err
+		return nil, err
 	}
-	s.wg.Add(1)
-	go s.serveLoop(conn)
-	return nil
+	return w, nil
 }
 
-func (s *Slave) serveLoop(conn net.Conn) {
+func (s *Slave) notify(state ConnState, err error) {
+	if s.onState != nil {
+		s.onState(state, err)
+	}
+}
+
+// manageConn serves the current connection and, when it drops, re-dials with
+// capped exponential backoff and ±50% jitter until ctx is canceled or Close
+// is called.
+func (s *Slave) manageConn(ctx context.Context, w *connWriter) {
 	defer s.wg.Done()
-	defer conn.Close()
-	r := newReader(conn)
+	for {
+		err := s.serveLoop(w)
+		w.conn.Close()
+		s.mu.Lock()
+		if s.w == w {
+			s.w = nil
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed || ctx.Err() != nil {
+			s.notify(StateClosed, nil)
+			return
+		}
+		s.notify(StateDisconnected, err)
+		if !s.reconnect {
+			return
+		}
+		next, ok := s.redial(ctx)
+		if !ok {
+			s.notify(StateClosed, nil)
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			next.conn.Close()
+			s.notify(StateClosed, nil)
+			return
+		}
+		s.w = next
+		s.mu.Unlock()
+		w = next
+		s.notify(StateConnected, nil)
+	}
+}
+
+// redial retries dial+register with backoff until success or cancellation.
+func (s *Slave) redial(ctx context.Context) (*connWriter, bool) {
+	delay := s.backoffInitial
+	for {
+		s.notify(StateReconnecting, nil)
+		select {
+		case <-ctx.Done():
+			return nil, false
+		case <-time.After(jitter(delay)):
+		}
+		s.mu.Lock()
+		addr, closed := s.addr, s.closed
+		s.mu.Unlock()
+		if closed {
+			return nil, false
+		}
+		w, err := s.dialRegister(addr)
+		if err == nil {
+			return w, true
+		}
+		s.notify(StateDisconnected, err)
+		delay *= 2
+		if delay > s.backoffMax {
+			delay = s.backoffMax
+		}
+	}
+}
+
+// jitter spreads d uniformly over [d/2, 3d/2] to avoid reconnect storms.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// serveLoop answers the master's requests until the connection fails; it
+// returns the read error that ended it.
+func (s *Slave) serveLoop(w *connWriter) error {
+	r := newReader(w.conn)
 	for {
 		env, err := readFrame(r)
 		if err != nil {
-			return
+			return err
 		}
 		switch env.Type {
 		case typeAnalyze:
 			reports := s.analyzeWithWindow(env.TV, env.LookBack)
 			resp := &envelope{Type: typeReports, ID: env.ID, Reports: reports}
-			if err := writeFrame(conn, resp, 30*time.Second); err != nil {
-				return
+			if err := w.write(resp, 30*time.Second); err != nil {
+				return err
+			}
+		case typePing:
+			// Master-initiated liveness probe.
+			if err := w.write(&envelope{Type: typePong, ID: env.ID}, 5*time.Second); err != nil {
+				return err
 			}
 		case typePong:
 			s.pingMu.Lock()
@@ -145,8 +363,8 @@ func (s *Slave) serveLoop(conn net.Conn) {
 			s.pingMu.Unlock()
 		default:
 			resp := &envelope{Type: typeError, ID: env.ID, Err: fmt.Sprintf("unknown request %q", env.Type)}
-			if err := writeFrame(conn, resp, 10*time.Second); err != nil {
-				return
+			if err := w.write(resp, 10*time.Second); err != nil {
+				return err
 			}
 		}
 	}
@@ -164,7 +382,11 @@ func (s *Slave) analyzeWithWindow(tv int64, lookBack int) []core.ComponentReport
 	s.mu.Unlock()
 	reports := make([]core.ComponentReport, 0, len(monitors))
 	for _, mon := range monitors {
-		reports = append(reports, mon.AnalyzeWindow(tv+s.skew, lookBack))
+		if lookBack > 0 {
+			reports = append(reports, mon.AnalyzeWindow(tv+s.skew, lookBack))
+		} else {
+			reports = append(reports, mon.Analyze(tv+s.skew))
+		}
 	}
 	return reports
 }
@@ -173,9 +395,9 @@ func (s *Slave) analyzeWithWindow(tv int64, lookBack int) []core.ComponentReport
 // waits up to timeout for the response.
 func (s *Slave) Ping(timeout time.Duration) error {
 	s.mu.Lock()
-	conn := s.conn
+	w := s.w
 	s.mu.Unlock()
-	if conn == nil {
+	if w == nil {
 		return fmt.Errorf("cluster: slave %s is not connected", s.name)
 	}
 	s.pingMu.Lock()
@@ -184,7 +406,7 @@ func (s *Slave) Ping(timeout time.Duration) error {
 	ch := make(chan struct{})
 	s.pingWaiters[id] = ch
 	s.pingMu.Unlock()
-	if err := writeFrame(conn, &envelope{Type: typePing, ID: id}, timeout); err != nil {
+	if err := w.write(&envelope{Type: typePing, ID: id}, timeout); err != nil {
 		s.pingMu.Lock()
 		delete(s.pingWaiters, id)
 		s.pingMu.Unlock()
@@ -201,14 +423,20 @@ func (s *Slave) Ping(timeout time.Duration) error {
 	}
 }
 
-// Close terminates the slave's connection and waits for its goroutine.
+// Close terminates the slave's connection, stops reconnection, and waits for
+// its goroutine.
 func (s *Slave) Close() error {
 	s.mu.Lock()
-	conn := s.conn
-	s.conn = nil
+	s.closed = true
+	w := s.w
+	s.w = nil
+	cancel := s.cancel
 	s.mu.Unlock()
-	if conn != nil {
-		_ = conn.Close()
+	if cancel != nil {
+		cancel()
+	}
+	if w != nil {
+		_ = w.conn.Close()
 	}
 	s.wg.Wait()
 	return nil

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LocalizeResult is a diagnosis plus the coverage metadata a caller needs to
+// judge how much of the application the diagnosis actually saw. A master
+// operating through a partition or with crashed slaves still produces a
+// diagnosis from whatever reports arrive, but a partial view weakens both
+// the propagation chain and the external-factor check; Degraded tells the
+// caller to treat the verdict accordingly (e.g. delay auto-remediation,
+// re-run once coverage recovers).
+type LocalizeResult struct {
+	Diagnosis Diagnosis `json:"diagnosis"`
+
+	// SlavesAnswered / SlavesTotal count the slaves that returned reports
+	// versus those the request fanned out to.
+	SlavesAnswered int `json:"slaves_answered"`
+	SlavesTotal    int `json:"slaves_total"`
+
+	// ComponentsReported / ComponentsKnown count the components covered by
+	// the received reports versus every component ever registered (the
+	// application size used by the external-factor check).
+	ComponentsReported int `json:"components_reported"`
+	ComponentsKnown    int `json:"components_known"`
+
+	// Retries is the number of extra per-slave attempts spent beyond the
+	// first round.
+	Retries int `json:"retries,omitempty"`
+
+	// Degraded is set when any slave or component was missing from the
+	// view the diagnosis ran over.
+	Degraded bool `json:"degraded"`
+
+	// Errors summarizes per-slave failures (timeouts, disconnects, open
+	// circuit breakers), one entry per unanswered slave.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Coverage returns the fraction of known components the diagnosis saw, in
+// [0, 1]; a full view returns 1.
+func (r LocalizeResult) Coverage() float64 {
+	if r.ComponentsKnown == 0 {
+		return 0
+	}
+	return float64(r.ComponentsReported) / float64(r.ComponentsKnown)
+}
+
+// String renders the diagnosis with its coverage, e.g.
+// "culprits: db(onset=1702,source) [4/4 slaves, 4/4 components]" or a
+// degraded "... [2/3 slaves, 2/4 components, DEGRADED]".
+func (r LocalizeResult) String() string {
+	var b strings.Builder
+	b.WriteString(r.Diagnosis.String())
+	fmt.Fprintf(&b, " [%d/%d slaves, %d/%d components",
+		r.SlavesAnswered, r.SlavesTotal, r.ComponentsReported, r.ComponentsKnown)
+	if r.Degraded {
+		b.WriteString(", DEGRADED")
+	}
+	b.WriteString("]")
+	return b.String()
+}

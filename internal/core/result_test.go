@@ -1,0 +1,37 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLocalizeResultCoverage(t *testing.T) {
+	r := LocalizeResult{ComponentsReported: 3, ComponentsKnown: 4}
+	if got := r.Coverage(); got != 0.75 {
+		t.Errorf("Coverage() = %v, want 0.75", got)
+	}
+	if (LocalizeResult{}).Coverage() != 0 {
+		t.Error("zero-value coverage should be 0")
+	}
+}
+
+func TestLocalizeResultString(t *testing.T) {
+	r := LocalizeResult{
+		Diagnosis:          Diagnosis{Culprits: []Culprit{{Component: "db", Onset: 17, Reason: "source"}}},
+		SlavesAnswered:     2,
+		SlavesTotal:        3,
+		ComponentsReported: 2,
+		ComponentsKnown:    4,
+		Degraded:           true,
+	}
+	s := r.String()
+	for _, want := range []string{"db(", "2/3 slaves", "2/4 components", "DEGRADED"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	full := LocalizeResult{SlavesAnswered: 1, SlavesTotal: 1, ComponentsReported: 1, ComponentsKnown: 1}
+	if strings.Contains(full.String(), "DEGRADED") {
+		t.Errorf("full-coverage result marked degraded: %q", full.String())
+	}
+}

@@ -1,0 +1,190 @@
+// Package faultnet provides deterministic network fault injection for
+// testing distributed components under degraded conditions: wrappers around
+// net.Conn and net.Listener that inject latency, silent frame drops, partial
+// (chunked) writes, and connection resets, all driven by a seeded PRNG so a
+// failing chaos test replays byte-for-byte. A severable TCP proxy simulates
+// network partitions between two real endpoints.
+//
+// The package is test infrastructure for internal/cluster's chaos suite but
+// is deliberately free of cluster types so cloudsim (or any other network
+// consumer) can reuse it.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrReset is returned by a wrapped connection when an injected reset fires;
+// the underlying connection is closed so the peer observes a real drop.
+var ErrReset = errors.New("faultnet: injected connection reset")
+
+// Config selects which faults a wrapped connection injects. The zero value
+// injects nothing and is a transparent pass-through.
+type Config struct {
+	// Seed drives every probabilistic decision. Two connections wrapped
+	// with the same seed make identical drop/partial/reset choices for the
+	// same operation sequence.
+	Seed int64
+
+	// Latency is added to every Read and Write. Jitter adds a uniform
+	// extra delay in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// DropProb silently discards a whole Write (reported as successful):
+	// the bytes never reach the peer, as with a lossy link.
+	DropProb float64
+
+	// PartialProb splits a Write into ChunkSize-byte underlying writes,
+	// yielding the scheduler between chunks so concurrent writers to the
+	// same connection interleave — the exact condition that corrupts a
+	// framed protocol without per-connection write serialization.
+	PartialProb float64
+	// ChunkSize bounds each underlying write when a partial write fires
+	// (default 8 bytes).
+	ChunkSize int
+
+	// ResetProb closes the connection mid-operation and returns ErrReset.
+	ResetProb float64
+}
+
+// Conn wraps a net.Conn with fault injection per Config.
+type Conn struct {
+	net.Conn
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Wrap returns c with fault injection applied. The PRNG is seeded from
+// cfg.Seed, so the fault sequence is a pure function of the operation
+// sequence.
+func Wrap(c net.Conn, cfg Config) *Conn {
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 8
+	}
+	return &Conn{Conn: c, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// roll draws one uniform [0,1) sample; all draws are serialized so the
+// sequence is deterministic even under concurrent use.
+func (c *Conn) roll() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+func (c *Conn) delay() {
+	if c.cfg.Latency <= 0 && c.cfg.Jitter <= 0 {
+		return
+	}
+	d := c.cfg.Latency
+	if c.cfg.Jitter > 0 {
+		d += time.Duration(c.roll() * float64(c.cfg.Jitter))
+	}
+	time.Sleep(d)
+}
+
+// Read injects latency and resets, then delegates.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.delay()
+	if c.cfg.ResetProb > 0 && c.roll() < c.cfg.ResetProb {
+		c.Conn.Close()
+		return 0, ErrReset
+	}
+	return c.Conn.Read(p)
+}
+
+// Write injects latency, silent drops, partial (chunked) writes, and resets.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.delay()
+	if c.cfg.ResetProb > 0 && c.roll() < c.cfg.ResetProb {
+		c.Conn.Close()
+		return 0, ErrReset
+	}
+	if c.cfg.DropProb > 0 && c.roll() < c.cfg.DropProb {
+		return len(p), nil // lost on the wire, caller none the wiser
+	}
+	if c.cfg.PartialProb > 0 && c.roll() < c.cfg.PartialProb {
+		return c.writeChunked(p)
+	}
+	return c.Conn.Write(p)
+}
+
+// writeChunked issues the write in ChunkSize pieces with scheduler yields in
+// between, giving any concurrent writer the chance to interleave its bytes.
+func (c *Conn) writeChunked(p []byte) (int, error) {
+	total := 0
+	for total < len(p) {
+		end := total + c.cfg.ChunkSize
+		if end > len(p) {
+			end = len(p)
+		}
+		n, err := c.Conn.Write(p[total:end])
+		total += n
+		if err != nil {
+			return total, err
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return total, nil
+}
+
+// Listener wraps a net.Listener so every accepted connection is fault
+// injected. Connection i is seeded with cfg.Seed+i, so the whole accept
+// sequence is deterministic.
+type Listener struct {
+	net.Listener
+	cfg Config
+	n   atomic.Int64
+}
+
+// WrapListener returns ln with fault injection applied to accepted
+// connections.
+func WrapListener(ln net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: ln, cfg: cfg}
+}
+
+// Listen opens a TCP listener on addr with fault injection applied to
+// accepted connections.
+func Listen(addr string, cfg Config) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: listen: %w", err)
+	}
+	return WrapListener(ln, cfg), nil
+}
+
+// Accept wraps the next accepted connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	cfg := l.cfg
+	cfg.Seed += l.n.Add(1) - 1
+	return Wrap(conn, cfg), nil
+}
+
+// Dialer returns a dial function that connects to addr and wraps the result;
+// dial i is seeded cfg.Seed+i. The signature matches the cluster slave's
+// dialer override.
+func Dialer(cfg Config) func(addr string) (net.Conn, error) {
+	var n atomic.Int64
+	return func(addr string) (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.Seed += n.Add(1) - 1
+		return Wrap(conn, c), nil
+	}
+}

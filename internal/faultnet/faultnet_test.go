@@ -1,0 +1,240 @@
+package faultnet
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pair returns two ends of an in-memory TCP connection.
+func pair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.conn.Close() })
+	return client, r.conn
+}
+
+func TestDeterministicDrops(t *testing.T) {
+	// Same seed, same operation sequence -> identical drop decisions.
+	cfg := Config{Seed: 42, DropProb: 0.5}
+	a := Wrap(&net.TCPConn{}, cfg)
+	b := Wrap(&net.TCPConn{}, cfg)
+	for i := 0; i < 64; i++ {
+		ra := a.roll() < cfg.DropProb
+		rb := b.roll() < cfg.DropProb
+		if ra != rb {
+			t.Fatalf("decision %d diverged: %v vs %v", i, ra, rb)
+		}
+	}
+}
+
+func TestPartialWriteChunks(t *testing.T) {
+	client, server := pair(t)
+	w := Wrap(client, Config{Seed: 1, PartialProb: 1, ChunkSize: 3})
+	msg := []byte("abcdefghij")
+	go func() {
+		if _, err := w.Write(msg); err != nil {
+			t.Error(err)
+		}
+		client.Close()
+	}()
+	var got bytes.Buffer
+	buf := make([]byte, 1024)
+	for {
+		n, err := server.Read(buf)
+		got.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if got.String() != string(msg) {
+		t.Errorf("chunked write delivered %q, want %q", got.String(), msg)
+	}
+}
+
+func TestDropLosesBytes(t *testing.T) {
+	client, server := pair(t)
+	w := Wrap(client, Config{Seed: 7, DropProb: 1})
+	if n, err := w.Write([]byte("lost")); err != nil || n != 4 {
+		t.Fatalf("dropped write reported (%d, %v), want (4, nil)", n, err)
+	}
+	server.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, err := server.Read(buf); err == nil {
+		t.Errorf("peer received %d bytes from a dropped write", n)
+	}
+}
+
+func TestResetClosesConn(t *testing.T) {
+	client, _ := pair(t)
+	w := Wrap(client, Config{Seed: 3, ResetProb: 1})
+	if _, err := w.Write([]byte("x")); err != ErrReset {
+		t.Fatalf("write on reset conn = %v, want ErrReset", err)
+	}
+	// The underlying conn must really be closed.
+	if _, err := client.Write([]byte("y")); err == nil {
+		t.Error("underlying conn still writable after injected reset")
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	client, server := pair(t)
+	w := Wrap(client, Config{Latency: 30 * time.Millisecond})
+	go server.Write([]byte("pong"))
+	start := time.Now()
+	buf := make([]byte, 4)
+	if _, err := w.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("read returned after %v, want >= ~30ms latency", d)
+	}
+}
+
+func TestProxyRelaysAndSevers(t *testing.T) {
+	// Echo target.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 64)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					c.Write(buf[:n])
+				}
+			}(c)
+		}
+	}()
+
+	p, err := NewProxy(ln.Addr().String(), Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io_readFull(conn, buf); err != nil {
+		t.Fatalf("echo through proxy: %v", err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("echoed %q", buf)
+	}
+
+	// Sever: the live link must die...
+	p.Sever()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("read succeeded after Sever")
+	}
+	// ...but a fresh connection gets through again.
+	conn2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	conn2.Write([]byte("again"))
+	conn2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io_readFull(conn2, buf); err != nil {
+		t.Fatalf("echo after Sever: %v", err)
+	}
+
+	// Blackout: new connections die immediately.
+	p.SetBlackout(true)
+	conn3, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		defer conn3.Close()
+		conn3.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := conn3.Read(buf); err == nil {
+			t.Error("blackout proxy relayed a new connection")
+		}
+	}
+}
+
+// io_readFull avoids importing io just for ReadFull in this file's hot path.
+func io_readFull(c net.Conn, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := c.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func TestDialerWrapsConnections(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	dial := Dialer(Config{Seed: 5, ResetProb: 1})
+	conn, err := dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, ok := conn.(*Conn); !ok {
+		t.Fatalf("dialer returned %T, want *faultnet.Conn", conn)
+	}
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Error("reset-configured dialer conn should fail writes")
+	}
+	if !strings.Contains(ErrReset.Error(), "reset") {
+		t.Error("ErrReset message should mention reset")
+	}
+}

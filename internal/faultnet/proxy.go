@@ -1,0 +1,138 @@
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Proxy is a TCP relay between clients and a fixed target whose links can be
+// severed on demand, simulating a network partition between two live
+// processes (e.g. an FChain slave and its master). Traffic on both legs of
+// every relayed connection passes through fault-injecting Conn wrappers.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	cfg    Config
+
+	mu       sync.Mutex
+	links    map[int]*link
+	nextLink int
+	blackout bool
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// link is one client<->target relay pair.
+type link struct {
+	client, upstream net.Conn
+}
+
+func (l *link) close() {
+	l.client.Close()
+	l.upstream.Close()
+}
+
+// NewProxy starts a proxy on a loopback port relaying to target with the
+// given fault config applied to both legs of every connection.
+func NewProxy(target string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: proxy listen: %w", err)
+	}
+	p := &Proxy{ln: ln, target: target, cfg: cfg, links: make(map[int]*link)}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listening address; clients dial this instead of
+// the target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	seed := p.cfg.Seed
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		refuse := p.blackout || p.closed
+		p.mu.Unlock()
+		if refuse {
+			client.Close()
+			continue
+		}
+		upstream, err := net.Dial("tcp", p.target)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		cfg := p.cfg
+		cfg.Seed = seed
+		seed++
+		l := &link{client: Wrap(client, cfg), upstream: Wrap(upstream, cfg)}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			l.close()
+			return
+		}
+		id := p.nextLink
+		p.nextLink++
+		p.links[id] = l
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.pipe(id, l, l.client, l.upstream)
+		go p.pipe(id, l, l.upstream, l.client)
+	}
+}
+
+func (p *Proxy) pipe(id int, l *link, dst, src net.Conn) {
+	defer p.wg.Done()
+	_, _ = io.Copy(dst, src)
+	l.close()
+	p.mu.Lock()
+	if p.links[id] == l {
+		delete(p.links, id)
+	}
+	p.mu.Unlock()
+}
+
+// Sever kills every live relayed connection. New connections are still
+// accepted, so a reconnecting client gets through — use SetBlackout to keep
+// the partition up.
+func (p *Proxy) Sever() {
+	p.mu.Lock()
+	links := make([]*link, 0, len(p.links))
+	for _, l := range p.links {
+		links = append(links, l)
+	}
+	p.mu.Unlock()
+	for _, l := range links {
+		l.close()
+	}
+}
+
+// SetBlackout toggles refusing new connections; combined with Sever it holds
+// a full partition until lifted.
+func (p *Proxy) SetBlackout(on bool) {
+	p.mu.Lock()
+	p.blackout = on
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down and severs every live link.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.Sever()
+	p.wg.Wait()
+	return err
+}
