@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"fchain"
+	"fchain/internal/timeseries"
 	"fchain/scenario"
 )
 
@@ -186,6 +187,57 @@ func BenchmarkModuleValidation(b *testing.B) {
 			return sys.Clone(), nil
 		}, diag, cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModuleWindowView measures the zero-copy window extraction the
+// per-violation analysis hot path runs per metric (WindowView + ValuesView
+// over a materialized ring). It allocates nothing; run with -benchmem and
+// compare against BenchmarkModuleWindowCopy to see what the view variants
+// buy.
+func BenchmarkModuleWindowView(b *testing.B) {
+	s := timeseries.FromFunc(0, 2000, func(i int) float64 { return float64(40 + i%23) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := s.WindowView(1880, 2000)
+		if len(w.ValuesView()) != 120 {
+			b.Fatal("bad window")
+		}
+	}
+}
+
+// BenchmarkModuleWindowCopy is the copying baseline for
+// BenchmarkModuleWindowView: the pre-view Window path, which clones the
+// samples on every call.
+func BenchmarkModuleWindowCopy(b *testing.B) {
+	s := timeseries.FromFunc(0, 2000, func(i int) float64 { return float64(40 + i%23) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := s.Window(1880, 2000)
+		if len(w.Values()) != 120 {
+			b.Fatal("bad window")
+		}
+	}
+}
+
+// BenchmarkModuleSeriesInto measures materializing a full ring into a
+// reused scratch series — the once-per-metric cost that lets every window
+// afterwards be a view. Steady state allocates nothing.
+func BenchmarkModuleSeriesInto(b *testing.B) {
+	r := timeseries.NewRing(1024)
+	for t := int64(0); t < 4096; t++ {
+		r.Push(t, float64(t%97))
+	}
+	scratch := &timeseries.Series{}
+	r.SeriesInto(scratch) // warm the scratch capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.SeriesInto(scratch).Len() != 1024 {
+			b.Fatal("bad materialization")
 		}
 	}
 }

@@ -106,6 +106,17 @@ func run(listen string, timeout time.Duration, retries int, heartbeat time.Durat
 				continue
 			}
 			fmt.Println(res)
+			for comp, q := range res.Quality {
+				if q.Confidence() < 1 {
+					fmt.Printf("  %s: %s\n", comp, q)
+				}
+			}
+			if mq := res.MinQuality(); mq < 1 {
+				fmt.Printf("  min quality confidence: %.3f\n", mq)
+			}
+			for slave, off := range res.ClockOffsets {
+				fmt.Printf("  clock offset %s: %+ds\n", slave, off)
+			}
 			for _, e := range res.Errors {
 				fmt.Println("  slave error:", e)
 			}

@@ -12,6 +12,14 @@
 // libvirt/libxenstat collector, which is exactly the boundary the paper's
 // slave daemon sits at.
 //
+// The feed goes through the sanitizing ingest path: out-of-order samples
+// are reordered within -reorder-window seconds, duplicates and NaN/Inf
+// values are dropped, short gaps are interpolated, and every repair is
+// counted against the component's data quality, which the master surfaces
+// with each diagnosis. With -checkpoint-dir set, the daemon periodically
+// checkpoints its learned models (and ring tails) and restores them on the
+// next start, so a crash costs only the samples since the last checkpoint.
+//
 // Usage:
 //
 //	some-collector | fchain-slave -name host1 -components web,app1 -master 10.0.0.1:7070
@@ -37,15 +45,18 @@ func main() {
 		skew       = flag.Int64("skew", 0, "simulated clock skew in seconds (testing)")
 		backoff    = flag.Duration("backoff", 500*time.Millisecond, "initial reconnect backoff after a dropped master connection")
 		backoffMax = flag.Duration("backoff-max", 15*time.Second, "reconnect backoff cap")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for crash-safe model checkpoints (empty disables)")
+		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint interval")
+		reorder    = flag.Int("reorder-window", 5, "seconds a sample may arrive out of order before it is dropped (-1 disables reordering)")
 	)
 	flag.Parse()
-	if err := run(*name, *components, *master, *skew, *backoff, *backoffMax); err != nil {
+	if err := run(*name, *components, *master, *skew, *backoff, *backoffMax, *ckptDir, *ckptEvery, *reorder); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-slave:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, components, master string, skew int64, backoff, backoffMax time.Duration) error {
+func run(name, components, master string, skew int64, backoff, backoffMax time.Duration, ckptDir string, ckptEvery time.Duration, reorder int) error {
 	if name == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -72,7 +83,17 @@ func run(name, components, master string, skew int64, backoff, backoffMax time.D
 	if skew != 0 {
 		opts = append(opts, fchain.WithClockSkew(skew))
 	}
-	slave := fchain.NewSlave(name, comps, fchain.DefaultConfig(), opts...)
+	if ckptDir != "" {
+		opts = append(opts,
+			fchain.WithCheckpointDir(ckptDir),
+			fchain.WithCheckpointInterval(ckptEvery))
+	}
+	cfg := fchain.DefaultConfig()
+	cfg.ReorderWindow = reorder
+	slave := fchain.NewSlave(name, comps, cfg, opts...)
+	if restored := slave.RestoredComponents(); len(restored) > 0 {
+		fmt.Printf("restored checkpointed models for %v\n", restored)
+	}
 	if err := slave.Connect(master); err != nil {
 		return err
 	}
@@ -92,7 +113,11 @@ func run(name, components, master string, skew int64, backoff, backoffMax time.D
 			fmt.Fprintf(os.Stderr, "line %d: %v\n", line, err)
 			continue
 		}
-		if err := slave.Observe(comp, t, kind, value); err != nil {
+		// Ingest, not Observe: real collectors hiccup, so the feed goes
+		// through the sanitizer (reordering, dedup, gap fill) and dirt is
+		// counted against the component's data quality instead of being a
+		// per-line error.
+		if err := slave.Ingest(comp, t, kind, value); err != nil {
 			fmt.Fprintf(os.Stderr, "line %d: %v\n", line, err)
 		}
 	}

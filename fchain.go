@@ -46,6 +46,7 @@ import (
 	"fchain/internal/cluster"
 	"fchain/internal/core"
 	"fchain/internal/depgraph"
+	"fchain/internal/ingest"
 	"fchain/internal/metric"
 )
 
@@ -94,6 +95,25 @@ type ComponentReport = core.ComponentReport
 // AbnormalChange describes one selected abnormal change point.
 type AbnormalChange = core.AbnormalChange
 
+// DataQuality summarizes how clean a component's metric streams were: a
+// score in [0, 1] plus the sanitizer counters behind it. The zero value
+// means "no quality information" and scores full confidence.
+type DataQuality = core.DataQuality
+
+// IngestStats are the per-stream sanitizer counters (accepted, dropped,
+// clamped, reordered, interpolated, long gaps) behind a DataQuality.
+type IngestStats = ingest.Stats
+
+// Sentinel errors returned by the strict Observe path. Use errors.Is to
+// test for them; both wrap details about the offending sample.
+var (
+	// ErrBadSample marks a NaN or infinite metric value.
+	ErrBadSample = core.ErrBadSample
+	// ErrTimeRegression marks a sample whose timestamp does not strictly
+	// advance its metric's clock.
+	ErrTimeRegression = core.ErrTimeRegression
+)
+
 // Localizer is the whole FChain pipeline behind two calls: Observe for
 // every metric sample, Localize when a performance anomaly is detected.
 // It is not safe for concurrent use; run one per collection loop.
@@ -113,10 +133,25 @@ func (l *Localizer) Components() []string { return l.inner.Components() }
 func (l *Localizer) Config() Config { return l.inner.Config() }
 
 // Observe feeds one sample: component, sample time (seconds), metric kind,
-// and value. Samples must arrive in nondecreasing time order per metric.
+// and value. This is the strict path: NaN/Inf values fail with ErrBadSample
+// and timestamps must strictly advance per metric (ErrTimeRegression
+// otherwise). Use Ingest for feeds that cannot make those guarantees.
 func (l *Localizer) Observe(component string, t int64, k Kind, v float64) error {
 	return l.inner.Observe(component, t, k, v)
 }
+
+// Ingest feeds one sample through the sanitizing path: out-of-order
+// samples are buffered and reordered, duplicates and non-finite values
+// dropped, magnitude outliers clamped, short gaps interpolated and long
+// gaps marked so stale model state is discarded. Every repair is counted
+// and surfaced as the component's DataQuality.
+func (l *Localizer) Ingest(component string, t int64, k Kind, v float64) error {
+	return l.inner.Ingest(component, t, k, v)
+}
+
+// Quality returns each component's accumulated data quality over the
+// sanitizing ingest path. Components fed only via Observe score 1.
+func (l *Localizer) Quality() map[string]DataQuality { return l.inner.Quality() }
 
 // Analyze returns every component's abnormal change point report for the
 // look-back window ending at tv, without running the diagnosis step.
@@ -258,6 +293,18 @@ func WithBackoff(initial, max time.Duration) SlaveOption { return cluster.WithBa
 
 // WithReconnect toggles the slave's automatic reconnection (default on).
 func WithReconnect(on bool) SlaveOption { return cluster.WithReconnect(on) }
+
+// WithCheckpointDir enables crash-safe persistence: the slave checkpoints
+// every component's models and ring tails to dir (periodically and on
+// Close) and restores whatever usable checkpoints the directory holds when
+// it is constructed, so a restarted slave resumes with warm models.
+func WithCheckpointDir(dir string) SlaveOption { return cluster.WithCheckpointDir(dir) }
+
+// WithCheckpointInterval sets the periodic checkpoint cadence used with
+// WithCheckpointDir (default 30s).
+func WithCheckpointInterval(d time.Duration) SlaveOption {
+	return cluster.WithCheckpointInterval(d)
+}
 
 // ConnState describes the slave's link to the master.
 type ConnState = cluster.ConnState

@@ -1,0 +1,114 @@
+package fchain_test
+
+import (
+	"testing"
+
+	"fchain"
+	"fchain/internal/ingest"
+	"fchain/scenario"
+)
+
+// feedCorrupted replays the scenario trace through a seeded corruptor into
+// the localizer's sanitizing ingest path: samples are dropped, duplicated,
+// NaN-ed, spiked, and delivered slightly out of order — the failure modes
+// of a real collection pipeline.
+func feedCorrupted(t *testing.T, sys *scenario.System, loc *fchain.Localizer, tv int64, cfg ingest.CorruptConfig) {
+	t.Helper()
+	for _, comp := range sys.Components() {
+		for _, k := range fchain.Kinds() {
+			s, err := sys.Series(comp, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clean := make([]ingest.Sample, 0, s.Len())
+			for i := 0; i < s.Len() && s.TimeAt(i) <= tv; i++ {
+				clean = append(clean, ingest.Sample{T: s.TimeAt(i), V: s.At(i)})
+			}
+			// Vary the seed per stream so every stream is degraded
+			// differently, as independent collectors would be.
+			cfg.Seed = cfg.Seed*31 + int64(k)
+			for _, smp := range ingest.Corrupt(clean, cfg) {
+				if err := loc.Ingest(comp, smp.T, k, smp.V); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosIngestDegradesGracefully is the headline resilience test: a
+// corrupted replay of the RUBiS CPU-hog trace must not panic, must still
+// run end to end, and must surface its degraded data quality — lowered
+// per-component scores and a culprit confidence below 1 — instead of
+// presenting a verdict from dirty data as if it were pristine.
+func TestChaosIngestDegradesGracefully(t *testing.T) {
+	sys, tv := runRUBiSCpuHog(t, 3)
+	deps := fchain.DiscoverDependencies(sys.DependencyTrace(600, 1), fchain.DiscoverConfig{})
+
+	loc := fchain.NewLocalizer(fchain.DefaultConfig(), sys.Components())
+	feedCorrupted(t, sys, loc, tv, ingest.CorruptConfig{
+		Seed:      7,
+		DropRate:  0.02,
+		DupRate:   0.02,
+		NaNRate:   0.01,
+		SpikeRate: 0.005,
+		JitterMax: 3,
+	})
+
+	diag := loc.Localize(tv, deps)
+	names := diag.CulpritNames()
+	if len(names) == 0 || names[0] != "db" {
+		t.Errorf("corrupted-trace culprits = %v, want db first", names)
+	}
+
+	quality := loc.Quality()
+	if len(quality) != len(sys.Components()) {
+		t.Fatalf("quality for %d components, want %d", len(quality), len(sys.Components()))
+	}
+	for comp, q := range quality {
+		if q.Score >= 1 || q.Score <= 0 {
+			t.Errorf("component %s quality = %v, want strictly inside (0,1) for a corrupted stream", comp, q.Score)
+		}
+		if q.Stats.Dropped() == 0 {
+			t.Errorf("component %s counted no dropped samples despite corruption: %s", comp, q.Stats)
+		}
+	}
+	for _, c := range diag.Culprits {
+		if c.Confidence >= 1 {
+			t.Errorf("culprit %s confidence = %v, want < 1 under corrupted data", c.Component, c.Confidence)
+		}
+		if c.Confidence <= 0 {
+			t.Errorf("culprit %s confidence = %v, want > 0 (moderate corruption)", c.Component, c.Confidence)
+		}
+	}
+}
+
+// TestChaosHeavyCorruptionNeverPanics cranks the corruptor far past
+// plausible deployment conditions: half the samples gone, a quarter
+// duplicated, heavy NaN and spike pollution, aggressive reordering. The
+// pipeline owes no particular verdict here — only survival and honest
+// accounting.
+func TestChaosHeavyCorruptionNeverPanics(t *testing.T) {
+	sys, tv := runRUBiSCpuHog(t, 4)
+	loc := fchain.NewLocalizer(fchain.DefaultConfig(), sys.Components())
+	feedCorrupted(t, sys, loc, tv, ingest.CorruptConfig{
+		Seed:      11,
+		DropRate:  0.5,
+		DupRate:   0.25,
+		NaNRate:   0.2,
+		SpikeRate: 0.1,
+		JitterMax: 20,
+	})
+
+	diag := loc.Localize(tv, nil)
+	for comp, q := range loc.Quality() {
+		if q.Score > 0.9 {
+			t.Errorf("component %s quality = %v under heavy corruption, want <= 0.9", comp, q.Score)
+		}
+	}
+	for _, c := range diag.Culprits {
+		if c.Confidence > 0.9 {
+			t.Errorf("culprit %s confidence = %v under heavy corruption, want <= 0.9", c.Component, c.Confidence)
+		}
+	}
+}

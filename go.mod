@@ -1,3 +1,3 @@
 module fchain
 
-go 1.22
+go 1.24

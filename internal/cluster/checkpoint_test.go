@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fchain/internal/apps"
+	"fchain/internal/core"
+	"fchain/internal/metric"
+)
+
+func writeGarbage(path string) error {
+	return os.WriteFile(path, []byte("{not a checkpoint"), 0o644)
+}
+
+// TestSlaveRestartRestoresCheckpoints is the kill-and-restart acceptance
+// path: every slave is fed the scenario, checkpointed, destroyed, and
+// replaced by a fresh process-equivalent that restores purely from disk.
+// The restarted cluster must localize the same culprit at the same onset as
+// the uninterrupted control cluster.
+func TestSlaveRestartRestoresCheckpoints(t *testing.T) {
+	sim, tv, deps := faultScenario(t, 5)
+
+	// Control: no restart.
+	control, _ := startCluster(t, sim, tv, deps, nil)
+	want, err := control.Localize(context.Background(), tv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := want.Diagnosis.CulpritNames(); len(names) != 1 || names[0] != apps.DB {
+		t.Fatalf("control diagnosis = %v, want [db]", names)
+	}
+
+	// Crash/restart run against a fresh master.
+	master := NewMaster(core.Config{}, deps)
+	if err := master.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { master.Close() })
+	ckptRoot := t.TempDir()
+	var restarted []*Slave
+	for _, comp := range sim.Components() {
+		dir := filepath.Join(ckptRoot, comp)
+		first := NewSlave("host-"+comp, []string{comp}, core.Config{}, WithCheckpointDir(dir))
+		for _, k := range metric.Kinds {
+			series, err := sim.Series(comp, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < series.Len() && series.TimeAt(i) <= tv; i++ {
+				if err := first.Observe(comp, series.TimeAt(i), k, series.At(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Close writes the final checkpoint; the slave is then "killed".
+		if err := first.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Restart: a brand-new slave with no samples fed, restoring models
+		// and ring tails purely from the checkpoint directory.
+		second := NewSlave("host-"+comp, []string{comp}, core.Config{}, WithCheckpointDir(dir))
+		if got := second.RestoredComponents(); len(got) != 1 || got[0] != comp {
+			t.Fatalf("slave for %s restored %v, want [%s]", comp, got, comp)
+		}
+		if err := second.Connect(master.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { second.Close() })
+		restarted = append(restarted, second)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(master.Slaves()) < len(restarted) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	got, err := master.Localize(context.Background(), tv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := got.Diagnosis.CulpritNames()
+	if len(names) != 1 || names[0] != apps.DB {
+		t.Fatalf("restarted diagnosis = %v, want [db]", names)
+	}
+	// Restored state is byte-equivalent to the pre-crash state, so the
+	// analysis must reproduce the control onset exactly, not approximately.
+	if got.Diagnosis.Culprits[0].Onset != want.Diagnosis.Culprits[0].Onset {
+		t.Errorf("restarted onset = %d, control onset = %d",
+			got.Diagnosis.Culprits[0].Onset, want.Diagnosis.Culprits[0].Onset)
+	}
+}
+
+// TestCorruptCheckpointColdStarts verifies that an unusable checkpoint is
+// skipped (cold start) instead of wedging the slave.
+func TestCorruptCheckpointColdStarts(t *testing.T) {
+	dir := t.TempDir()
+	first := NewSlave("h", []string{apps.DB}, core.Config{}, WithCheckpointDir(dir))
+	for i := int64(0); i < 50; i++ {
+		if err := first.Observe(apps.DB, i, metric.CPU, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the checkpoint wholesale.
+	path := first.checkpointPath(apps.DB)
+	if err := writeGarbage(path); err != nil {
+		t.Fatal(err)
+	}
+	second := NewSlave("h", []string{apps.DB}, core.Config{}, WithCheckpointDir(dir))
+	defer second.Close()
+	if got := second.RestoredComponents(); len(got) != 0 {
+		t.Errorf("corrupted checkpoint restored: %v", got)
+	}
+	// The cold-started slave must still accept samples and analyze.
+	if err := second.Observe(apps.DB, 100, metric.CPU, 50); err != nil {
+		t.Fatal(err)
+	}
+	second.Analyze(100)
+}
+
+// TestClockOffsetNormalization skews one slave's clock well beyond the
+// concurrency threshold and verifies the master estimates the offset and
+// shifts the reported onsets back to its own clock.
+func TestClockOffsetNormalization(t *testing.T) {
+	sim, tv, deps := faultScenario(t, 6)
+
+	control, _ := startCluster(t, sim, tv, deps, nil)
+	want, err := control.Localize(context.Background(), tv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := want.Diagnosis.CulpritNames(); len(names) != 1 || names[0] != apps.DB {
+		t.Fatalf("control diagnosis = %v, want [db]", names)
+	}
+
+	skewed, _ := startCluster(t, sim, tv, deps, map[string]int64{apps.DB: 4})
+	got, err := skewed.Localize(context.Background(), tv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off := got.ClockOffsets["host-"+apps.DB]; off != 4 {
+		t.Errorf("clock offset for db slave = %d, want 4", off)
+	}
+	names := got.Diagnosis.CulpritNames()
+	if len(names) != 1 || names[0] != apps.DB {
+		t.Fatalf("skewed diagnosis = %v, want [db]", names)
+	}
+	// After normalization the onset is back in the master's clock. The
+	// shifted analysis window can move the detected change point by a
+	// sample or two, so allow a small tolerance — without normalization
+	// the error would be the full 4-second skew.
+	diff := got.Diagnosis.Culprits[0].Onset - want.Diagnosis.Culprits[0].Onset
+	if diff < -2 || diff > 2 {
+		t.Errorf("normalized onset off by %d seconds (skew 4)", diff)
+	}
+}

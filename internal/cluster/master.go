@@ -526,7 +526,9 @@ func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, e
 		lookBack = core.DefaultConfig().LookBack
 	}
 	type answer struct {
+		slave   string
 		reports []core.ComponentReport
+		usedTV  int64
 		retries int
 		err     error
 	}
@@ -535,12 +537,12 @@ func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, e
 		sc := sc
 		go func() {
 			if m.brThreshold > 0 && sc.breakerOpen(m.brCooldown) {
-				answers <- answer{err: fmt.Errorf("cluster: circuit open for slave %s", sc.name)}
+				answers <- answer{slave: sc.name, err: fmt.Errorf("cluster: circuit open for slave %s", sc.name)}
 				return
 			}
 			a := m.askSlave(ctx, sc, tv, lookBack, attempts, perAttempt)
 			sc.recordResult(a.err == nil, m.brThreshold)
-			answers <- answer{reports: a.reports, retries: a.retries, err: a.err}
+			answers <- answer{slave: sc.name, reports: a.reports, usedTV: a.usedTV, retries: a.retries, err: a.err}
 		}()
 	}
 
@@ -554,10 +556,37 @@ func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, e
 			continue
 		}
 		res.SlavesAnswered++
+		// Clock-offset normalization: the slave echoed which clock its
+		// onsets are in. The propagation chain orders components by onset
+		// across slaves, so per-slave offsets must be removed before
+		// diagnosis or a skewed slave's component shifts within the chain.
+		offset := int64(0)
+		if a.usedTV != 0 {
+			offset = a.usedTV - tv
+		}
+		if offset != 0 {
+			if res.ClockOffsets == nil {
+				res.ClockOffsets = make(map[string]int64)
+			}
+			res.ClockOffsets[a.slave] = offset
+		}
 		for _, rep := range a.reports {
 			seen[rep.Component] = true
+			if offset != 0 {
+				rep.Onset -= offset
+				for i := range rep.Changes {
+					rep.Changes[i].Onset -= offset
+					rep.Changes[i].ChangeAt -= offset
+				}
+			}
+			if rep.Quality != (core.DataQuality{}) {
+				if res.Quality == nil {
+					res.Quality = make(map[string]core.DataQuality)
+				}
+				res.Quality[rep.Component] = rep.Quality
+			}
+			reports = append(reports, rep)
 		}
-		reports = append(reports, a.reports...)
 	}
 	res.ComponentsReported = len(seen)
 	res.Degraded = res.SlavesAnswered < res.SlavesTotal || res.ComponentsReported < res.ComponentsKnown
@@ -577,6 +606,7 @@ func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, e
 // askResult is one slave's analyze outcome after retries.
 type askResult struct {
 	reports []core.ComponentReport
+	usedTV  int64 // tv in the slave's clock, 0 when the slave did not echo it
 	retries int
 	err     error
 }
@@ -610,7 +640,7 @@ func (m *Master) askSlave(ctx context.Context, sc *slaveConn, tv int64, lookBack
 				lastErr = errors.New(env.Err)
 				continue
 			}
-			return askResult{reports: env.Reports, retries: attempt}
+			return askResult{reports: env.Reports, usedTV: env.UsedTV, retries: attempt}
 		case <-time.After(perAttempt):
 			sc.removePending(id)
 			lastErr = fmt.Errorf("cluster: slave %s timed out", sc.name)

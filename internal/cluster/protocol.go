@@ -46,8 +46,13 @@ type envelope struct {
 	TV       int64 `json:"tv,omitempty"`
 	LookBack int   `json:"lookback,omitempty"`
 
-	// Reports fields.
+	// Reports fields. UsedTV echoes the violation time in the slave's own
+	// clock (the requested tv plus the slave's skew): the master subtracts
+	// the two to estimate the slave's clock offset and normalize every
+	// reported onset back to its own clock before building the propagation
+	// chain.
 	Reports []core.ComponentReport `json:"reports,omitempty"`
+	UsedTV  int64                  `json:"used_tv,omitempty"`
 
 	// Error field.
 	Err string `json:"err,omitempty"`

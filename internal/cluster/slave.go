@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/url"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -80,6 +83,19 @@ type Slave struct {
 	reconnect      bool
 	onState        func(ConnState, error)
 
+	// Crash-safe model persistence: with a checkpoint directory set, the
+	// slave restores each monitor from its last checkpoint at construction
+	// and re-checkpoints every checkpointInterval until Close.
+	checkpointDir      string
+	checkpointInterval time.Duration
+	restored           []string // components restored from checkpoints
+	stopCkpt           chan struct{}
+
+	// monMu serializes all monitor state access: collection (Observe/
+	// Ingest), analysis, and checkpoint snapshots run on different
+	// goroutines, and core.Monitor itself is single-goroutine.
+	monMu sync.Mutex
+
 	mu       sync.Mutex
 	monitors map[string]*core.Monitor
 	w        *connWriter // current link, nil while disconnected
@@ -141,6 +157,26 @@ func WithDialer(dial func(addr string) (net.Conn, error)) SlaveOption {
 	return slaveOptionFunc(func(s *Slave) { s.dial = dial })
 }
 
+// WithCheckpointDir enables crash-safe model persistence: the slave restores
+// each monitor from dir at construction (unreadable or corrupted checkpoints
+// cold-start that component) and periodically checkpoints the learned models
+// and retained ring tails back to it. Losing a slave's models otherwise
+// costs the whole self-calibration history: the restarted daemon would flag
+// every workload fluctuation as "never seen before" until it relearns.
+func WithCheckpointDir(dir string) SlaveOption {
+	return slaveOptionFunc(func(s *Slave) { s.checkpointDir = dir })
+}
+
+// WithCheckpointInterval overrides how often the periodic checkpoint runs
+// (default 30s; meaningful only together with WithCheckpointDir).
+func WithCheckpointInterval(d time.Duration) SlaveOption {
+	return slaveOptionFunc(func(s *Slave) {
+		if d > 0 {
+			s.checkpointInterval = d
+		}
+	})
+}
+
 // NewSlave creates a slave monitoring the given components.
 func NewSlave(name string, components []string, cfg core.Config, opts ...SlaveOption) *Slave {
 	s := &Slave{
@@ -154,6 +190,9 @@ func NewSlave(name string, components []string, cfg core.Config, opts ...SlaveOp
 		reconnect:      true,
 		monitors:       make(map[string]*core.Monitor, len(components)),
 		pingWaiters:    make(map[uint64]chan struct{}),
+
+		checkpointInterval: 30 * time.Second,
+		stopCkpt:           make(chan struct{}),
 	}
 	for _, c := range components {
 		s.monitors[c] = core.NewMonitor(c, cfg)
@@ -161,15 +200,98 @@ func NewSlave(name string, components []string, cfg core.Config, opts ...SlaveOp
 	for _, o := range opts {
 		o.apply(s)
 	}
+	if s.checkpointDir != "" {
+		s.restoreCheckpoints()
+		s.wg.Add(1)
+		go s.checkpointLoop()
+	}
 	return s
+}
+
+// checkpointPath names one component's checkpoint file; the component name
+// is path-escaped so arbitrary names (e.g. "tenant/db") stay one file.
+func (s *Slave) checkpointPath(component string) string {
+	return filepath.Join(s.checkpointDir, url.PathEscape(component)+".ckpt")
+}
+
+// restoreCheckpoints loads whatever usable checkpoints the directory holds.
+// Any per-component failure (missing file, bad checksum, wrong version,
+// invalid state) cold-starts that component; restore is best-effort by
+// design, because a slave that refuses to start over a stale checkpoint is
+// worse than one that relearns.
+func (s *Slave) restoreCheckpoints() {
+	for comp, mon := range s.monitors {
+		var snap core.MonitorSnapshot
+		if err := core.LoadCheckpoint(s.checkpointPath(comp), &snap); err != nil {
+			continue
+		}
+		if err := mon.Restore(&snap); err != nil {
+			continue
+		}
+		s.restored = append(s.restored, comp)
+	}
+}
+
+// RestoredComponents returns the components whose state was successfully
+// restored from checkpoints at construction.
+func (s *Slave) RestoredComponents() []string {
+	return append([]string(nil), s.restored...)
+}
+
+// CheckpointNow snapshots every monitor and writes the checkpoints
+// atomically, returning the first error encountered (the remaining
+// components are still attempted).
+func (s *Slave) CheckpointNow() error {
+	if s.checkpointDir == "" {
+		return fmt.Errorf("cluster: slave %s has no checkpoint directory", s.name)
+	}
+	if err := os.MkdirAll(s.checkpointDir, 0o755); err != nil {
+		return fmt.Errorf("cluster: checkpoint dir: %w", err)
+	}
+	s.mu.Lock()
+	monitors := make(map[string]*core.Monitor, len(s.monitors))
+	for comp, mon := range s.monitors {
+		monitors[comp] = mon
+	}
+	s.mu.Unlock()
+	s.monMu.Lock()
+	snaps := make(map[string]*core.MonitorSnapshot, len(monitors))
+	for comp, mon := range monitors {
+		snaps[comp] = mon.Snapshot()
+	}
+	s.monMu.Unlock()
+	var firstErr error
+	for comp, snap := range snaps {
+		if err := core.SaveCheckpoint(s.checkpointPath(comp), snap); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// checkpointLoop re-checkpoints the models periodically until Close.
+func (s *Slave) checkpointLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.checkpointInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCkpt:
+			return
+		case <-ticker.C:
+			_ = s.CheckpointNow()
+		}
+	}
 }
 
 // Name returns the slave's registration name.
 func (s *Slave) Name() string { return s.name }
 
-// Observe feeds one metric sample into the slave's models. It may be called
-// before, after, or between connections; collection is local and continuous,
-// so models keep learning through master outages.
+// Observe feeds one metric sample into the slave's models through the
+// strict path (finite values, strictly advancing timestamps — see
+// core.Monitor.Observe). It may be called before, after, or between
+// connections; collection is local and continuous, so models keep learning
+// through master outages.
 func (s *Slave) Observe(component string, t int64, k metric.Kind, v float64) error {
 	s.mu.Lock()
 	mon, ok := s.monitors[component]
@@ -177,7 +299,44 @@ func (s *Slave) Observe(component string, t int64, k metric.Kind, v float64) err
 	if !ok {
 		return fmt.Errorf("cluster: slave %s does not monitor %q", s.name, component)
 	}
+	s.monMu.Lock()
+	defer s.monMu.Unlock()
 	return mon.Observe(t+s.skew, k, v)
+}
+
+// Ingest feeds one possibly-dirty metric sample through the component's
+// sanitizing path (see core.Monitor.Ingest): garbage is dropped, bounded
+// out-of-order arrival reordered, short gaps interpolated, and the damage
+// accounted in the quality counters carried by every report.
+func (s *Slave) Ingest(component string, t int64, k metric.Kind, v float64) error {
+	s.mu.Lock()
+	mon, ok := s.monitors[component]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: slave %s does not monitor %q", s.name, component)
+	}
+	s.monMu.Lock()
+	defer s.monMu.Unlock()
+	return mon.Ingest(t+s.skew, k, v)
+}
+
+// Quality reports per-component data quality accumulated by the sanitizing
+// ingest path (components fed only through Observe score 1).
+func (s *Slave) Quality() map[string]core.DataQuality {
+	s.mu.Lock()
+	monitors := make(map[string]*core.Monitor, len(s.monitors))
+	for comp, mon := range s.monitors {
+		monitors[comp] = mon
+	}
+	s.mu.Unlock()
+	s.monMu.Lock()
+	defer s.monMu.Unlock()
+	out := make(map[string]core.DataQuality, len(monitors))
+	for comp, mon := range monitors {
+		st := mon.Quality()
+		out[comp] = core.DataQuality{Score: st.Score(), Stats: st}
+	}
+	return out
 }
 
 // Analyze runs abnormal change point selection locally for every monitored
@@ -345,7 +504,9 @@ func (s *Slave) serveLoop(w *connWriter) error {
 		switch env.Type {
 		case typeAnalyze:
 			reports := s.analyzeWithWindow(env.TV, env.LookBack)
-			resp := &envelope{Type: typeReports, ID: env.ID, Reports: reports}
+			// UsedTV tells the master which clock the reported onsets are
+			// in, so it can normalize them back to its own.
+			resp := &envelope{Type: typeReports, ID: env.ID, Reports: reports, UsedTV: env.TV + s.skew}
 			if err := w.write(resp, 30*time.Second); err != nil {
 				return err
 			}
@@ -380,6 +541,8 @@ func (s *Slave) analyzeWithWindow(tv int64, lookBack int) []core.ComponentReport
 		monitors = append(monitors, mon)
 	}
 	s.mu.Unlock()
+	s.monMu.Lock()
+	defer s.monMu.Unlock()
 	reports := make([]core.ComponentReport, 0, len(monitors))
 	for _, mon := range monitors {
 		if lookBack > 0 {
@@ -423,10 +586,12 @@ func (s *Slave) Ping(timeout time.Duration) error {
 	}
 }
 
-// Close terminates the slave's connection, stops reconnection, and waits for
-// its goroutine.
+// Close terminates the slave's connection, stops reconnection and the
+// checkpoint loop (after one final checkpoint), and waits for its
+// goroutines.
 func (s *Slave) Close() error {
 	s.mu.Lock()
+	alreadyClosed := s.closed
 	s.closed = true
 	w := s.w
 	s.w = nil
@@ -437,6 +602,12 @@ func (s *Slave) Close() error {
 	}
 	if w != nil {
 		_ = w.conn.Close()
+	}
+	if !alreadyClosed {
+		close(s.stopCkpt)
+		if s.checkpointDir != "" {
+			_ = s.CheckpointNow()
+		}
 	}
 	s.wg.Wait()
 	return nil

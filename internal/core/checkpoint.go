@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// CheckpointVersion is the on-disk checkpoint format version. Load rejects
+// any other version instead of guessing: a model restored from a
+// misinterpreted checkpoint silently corrupts every later diagnosis, which
+// is strictly worse than a cold start.
+const CheckpointVersion = 1
+
+// checkpointFile is the on-disk envelope: a version, a CRC32 of the payload
+// so torn or bit-rotted files are detected, and the payload itself.
+type checkpointFile struct {
+	Version  int             `json:"version"`
+	SavedAt  int64           `json:"saved_at"` // unix seconds, informational
+	Checksum uint32          `json:"checksum"` // IEEE CRC32 of Payload
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// SaveCheckpoint atomically writes v as a versioned, checksummed checkpoint
+// at path: the file is written to a temporary name in the same directory,
+// synced, then renamed over the destination, so a crash mid-write leaves
+// either the previous checkpoint or none — never a torn one.
+func SaveCheckpoint(path string, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("core: marshal checkpoint: %w", err)
+	}
+	raw, err := json.Marshal(checkpointFile{
+		Version:  CheckpointVersion,
+		SavedAt:  time.Now().Unix(),
+		Checksum: crc32.ChecksumIEEE(payload),
+		Payload:  payload,
+	})
+	if err != nil {
+		return fmt.Errorf("core: marshal checkpoint envelope: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(raw); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, path)
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("core: write checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint into v,
+// verifying the format version and the payload checksum first. Callers
+// should treat any error as "no usable checkpoint" and cold-start.
+func LoadCheckpoint(path string, v any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return fmt.Errorf("core: parse checkpoint %s: %w", path, err)
+	}
+	if f.Version != CheckpointVersion {
+		return fmt.Errorf("core: checkpoint %s has version %d, want %d", path, f.Version, CheckpointVersion)
+	}
+	if sum := crc32.ChecksumIEEE(f.Payload); sum != f.Checksum {
+		return fmt.Errorf("core: checkpoint %s checksum mismatch: payload %08x, recorded %08x", path, sum, f.Checksum)
+	}
+	if err := json.Unmarshal(f.Payload, v); err != nil {
+		return fmt.Errorf("core: decode checkpoint %s payload: %w", path, err)
+	}
+	return nil
+}

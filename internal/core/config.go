@@ -16,6 +16,8 @@
 //     each pinpointed component and watching the SLO (validate.go).
 package core
 
+import "fchain/internal/ingest"
+
 // Config holds every FChain tuning knob, with defaults matching the paper's
 // §III-A configuration.
 type Config struct {
@@ -153,6 +155,26 @@ type Config struct {
 	// SLO metric (vs the unscaled control trial) that scaling a culprit
 	// alone must achieve for the culprit to be confirmed (default 0.25).
 	ValidationSignificance float64
+
+	// ReorderWindow is how many seconds the ingest sanitizer buffers
+	// samples to reabsorb out-of-order delivery before releasing them to
+	// the model (default 5; negative disables reordering). Only the
+	// sanitizing Ingest path uses it; the strict Observe path rejects any
+	// time regression outright.
+	ReorderWindow int
+	// MaxFillGap is the longest collection gap (seconds) the sanitizer
+	// repairs by linear interpolation; longer gaps sever the metric's
+	// dense history instead (default 10; negative disables filling).
+	MaxFillGap int
+	// ClampSigma bounds accepted sample magnitudes to
+	// mean ± ClampSigma·stddev of the stream seen so far — a last-resort
+	// guard against corrupted readings (default 16; negative disables).
+	// The default is deliberately generous: genuine fault signatures are a
+	// few sigma and must pass untouched.
+	ClampSigma float64
+	// ClampMinSamples is how many samples the clamp needs before engaging
+	// (default 64).
+	ClampMinSamples int
 }
 
 // DefaultConfig returns the paper's default parameters.
@@ -242,5 +264,27 @@ func (c Config) withDefaults() Config {
 	if c.ValidationSignificance <= 0 {
 		c.ValidationSignificance = 0.25
 	}
+	if c.ReorderWindow == 0 {
+		c.ReorderWindow = ingest.DefaultReorderWindow
+	}
+	if c.MaxFillGap == 0 {
+		c.MaxFillGap = ingest.DefaultMaxFillGap
+	}
+	if c.ClampSigma == 0 {
+		c.ClampSigma = ingest.DefaultClampSigma
+	}
+	if c.ClampMinSamples == 0 {
+		c.ClampMinSamples = ingest.DefaultClampMinSamples
+	}
 	return c
+}
+
+// ingestConfig maps the data-quality knobs onto the sanitizer's own config.
+func (c Config) ingestConfig() ingest.Config {
+	return ingest.Config{
+		ReorderWindow:   c.ReorderWindow,
+		MaxFillGap:      c.MaxFillGap,
+		ClampSigma:      c.ClampSigma,
+		ClampMinSamples: c.ClampMinSamples,
+	}
 }

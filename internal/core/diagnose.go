@@ -17,6 +17,11 @@ type Culprit struct {
 	Metrics   []metric.Kind `json:"metrics"` // implicated metrics, most significant first
 	Reason    string        `json:"reason"`  // "source", "concurrent", or "independent"
 	Validated bool          `json:"validated,omitempty"`
+	// Confidence discounts the verdict by the data quality of the streams
+	// it was derived from, in (0, 1]: a culprit pinpointed from heavily
+	// repaired or gap-ridden data warrants re-checking once collection
+	// recovers rather than immediate remediation.
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // Diagnosis is the output of the integrated fault diagnosis module.
@@ -159,10 +164,11 @@ func Diagnose(reports []ComponentReport, totalComponents int, deps *depgraph.Gra
 
 func culpritFrom(r ComponentReport, reason string) Culprit {
 	return Culprit{
-		Component: r.Component,
-		Onset:     r.Onset,
-		Metrics:   r.AbnormalMetrics(),
-		Reason:    reason,
+		Component:  r.Component,
+		Onset:      r.Onset,
+		Metrics:    r.AbnormalMetrics(),
+		Reason:     reason,
+		Confidence: r.Quality.Confidence(),
 	}
 }
 
@@ -210,6 +216,26 @@ func (l *Localizer) Observe(component string, t int64, k metric.Kind, v float64)
 		return fmt.Errorf("core: unknown component %q", component)
 	}
 	return m.Observe(t, k, v)
+}
+
+// Ingest feeds one possibly-dirty sample through the component's sanitizing
+// path (see Monitor.Ingest).
+func (l *Localizer) Ingest(component string, t int64, k metric.Kind, v float64) error {
+	m, ok := l.monitors[component]
+	if !ok {
+		return fmt.Errorf("core: unknown component %q", component)
+	}
+	return m.Ingest(t, k, v)
+}
+
+// Quality reports the per-component data quality accumulated by the
+// sanitizing ingest path.
+func (l *Localizer) Quality() map[string]DataQuality {
+	out := make(map[string]DataQuality, len(l.names))
+	for _, name := range l.names {
+		out[name] = qualityOf(l.monitors[name].Quality())
+	}
+	return out
 }
 
 // Analyze asks every monitor for its look-back report at tv.

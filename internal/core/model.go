@@ -1,11 +1,27 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
+	"fchain/internal/ingest"
 	"fchain/internal/markov"
 	"fchain/internal/metric"
 	"fchain/internal/timeseries"
+)
+
+// Typed ingestion errors. Callers that feed monitors from untrusted
+// collection paths match these with errors.Is to decide between dropping the
+// sample and surfacing a collection-pipeline fault.
+var (
+	// ErrBadSample rejects a non-finite (NaN or ±Inf) metric value.
+	ErrBadSample = errors.New("core: bad sample")
+	// ErrTimeRegression rejects a sample whose timestamp does not advance
+	// past the last accepted one for the same metric. The dense ring
+	// indexing assumes one sample per second; an equal or earlier timestamp
+	// would silently misalign every later window query.
+	ErrTimeRegression = errors.New("core: time regression")
 )
 
 // Monitor is the slave-side state for one monitored component: an online
@@ -15,30 +31,51 @@ import (
 // pattern, so that change points caused by already-seen workload behaviour
 // predict well while fault-induced changes do not (paper §II-A).
 //
+// Samples enter through one of two paths. Observe is strict: it rejects
+// non-finite values and non-advancing timestamps with typed errors and is
+// meant for callers that control their collection loop. Ingest tolerates
+// dirty real-world streams: a per-metric sanitizer reorders slightly late
+// samples, drops garbage, interpolates short collection gaps, and severs the
+// dense history across long ones, accumulating quality counters that
+// propagate into every report.
+//
 // Monitor is not safe for concurrent use; FChain runs one collection
 // goroutine per host.
 type Monitor struct {
-	component string
-	cfg       Config
-	models    map[metric.Kind]*markov.Predictor
-	samples   map[metric.Kind]*timeseries.Ring
-	errs      map[metric.Kind]*timeseries.Ring
+	component  string
+	cfg        Config
+	models     map[metric.Kind]*markov.Predictor
+	samples    map[metric.Kind]*timeseries.Ring
+	errs       map[metric.Kind]*timeseries.Ring
+	sanitizers map[metric.Kind]*ingest.Sanitizer
+	lastT      map[metric.Kind]int64
+
+	// Scratch series backing the zero-copy analysis path: each analyzeMetric
+	// call rematerializes the rings into these and takes views. Safe because
+	// the monitor is single-goroutine and metrics are analyzed sequentially.
+	scratchVals *timeseries.Series
+	scratchErrs *timeseries.Series
 }
 
 // NewMonitor returns a monitor for the named component.
 func NewMonitor(component string, cfg Config) *Monitor {
 	cfg = cfg.withDefaults()
 	m := &Monitor{
-		component: component,
-		cfg:       cfg,
-		models:    make(map[metric.Kind]*markov.Predictor, metric.NumKinds),
-		samples:   make(map[metric.Kind]*timeseries.Ring, metric.NumKinds),
-		errs:      make(map[metric.Kind]*timeseries.Ring, metric.NumKinds),
+		component:   component,
+		cfg:         cfg,
+		models:      make(map[metric.Kind]*markov.Predictor, metric.NumKinds),
+		samples:     make(map[metric.Kind]*timeseries.Ring, metric.NumKinds),
+		errs:        make(map[metric.Kind]*timeseries.Ring, metric.NumKinds),
+		sanitizers:  make(map[metric.Kind]*ingest.Sanitizer, metric.NumKinds),
+		lastT:       make(map[metric.Kind]int64, metric.NumKinds),
+		scratchVals: &timeseries.Series{},
+		scratchErrs: &timeseries.Series{},
 	}
 	for _, k := range metric.Kinds {
 		m.models[k] = markov.New(cfg.MarkovBins, cfg.MarkovDecay)
 		m.samples[k] = timeseries.NewRing(cfg.RingCapacity)
 		m.errs[k] = timeseries.NewRing(cfg.RingCapacity)
+		m.sanitizers[k] = ingest.NewSanitizer(cfg.ingestConfig())
 	}
 	return m
 }
@@ -47,20 +84,97 @@ func NewMonitor(component string, cfg Config) *Monitor {
 func (m *Monitor) Component() string { return m.component }
 
 // Observe feeds one metric sample (taken at time t) into the model and the
-// bounded history. Samples must arrive in nondecreasing time order per
-// metric.
+// bounded history. It is the strict path: values must be finite
+// (ErrBadSample otherwise) and timestamps must strictly advance per metric
+// (ErrTimeRegression otherwise). Collection paths that cannot guarantee
+// either should use Ingest instead.
 func (m *Monitor) Observe(t int64, k metric.Kind, v float64) error {
-	model, ok := m.models[k]
-	if !ok {
+	if _, ok := m.models[k]; !ok {
 		return fmt.Errorf("core: invalid metric kind %v", k)
 	}
-	predErr, _ := model.Observe(v)
-	m.samples[k].Push(t, v)
-	m.errs[k].Push(t, predErr)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%w: %s=%v at t=%d", ErrBadSample, k, v, t)
+	}
+	if last, seen := m.lastT[k]; seen && t <= last {
+		return fmt.Errorf("%w: %s sample at t=%d, already observed t=%d", ErrTimeRegression, k, t, last)
+	}
+	m.push(t, k, v)
 	return nil
 }
 
-// ObserveVector feeds a full metric vector at time t.
+// push commits one validated sample to the model and histories.
+func (m *Monitor) push(t int64, k metric.Kind, v float64) {
+	predErr, _ := m.models[k].Observe(v)
+	m.samples[k].Push(t, v)
+	m.errs[k].Push(t, predErr)
+	m.lastT[k] = t
+}
+
+// Ingest feeds one possibly-dirty metric sample through the per-metric
+// sanitizer: non-finite values are dropped, corrupted magnitudes clamped,
+// slightly out-of-order arrivals buffered and reordered, short collection
+// gaps interpolated, and long gaps marked so the dense history is severed.
+// The error reports only an invalid metric kind; data problems are absorbed
+// into the quality counters rather than returned.
+func (m *Monitor) Ingest(t int64, k metric.Kind, v float64) error {
+	san, ok := m.sanitizers[k]
+	if !ok {
+		return fmt.Errorf("core: invalid metric kind %v", k)
+	}
+	for _, s := range san.Push(t, v) {
+		m.apply(k, s)
+	}
+	return nil
+}
+
+// IngestVector feeds a full possibly-dirty metric vector at time t.
+func (m *Monitor) IngestVector(t int64, vec *metric.Vector) error {
+	for _, k := range metric.Kinds {
+		if err := m.Ingest(t, k, vec.Get(k)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushIngest releases every sample still buffered in the reorder windows
+// with timestamp <= upTo. Analyze calls it with tv so an analysis never runs
+// behind samples the sanitizer is still holding.
+func (m *Monitor) FlushIngest(upTo int64) {
+	for _, k := range metric.Kinds {
+		for _, s := range m.sanitizers[k].Flush(upTo) {
+			m.apply(k, s)
+		}
+	}
+}
+
+// apply commits one sanitized sample, severing the metric's dense history
+// first when the sanitizer marked a long collection gap: the pre-gap samples
+// would misalign the dense window indexing, and predicting the first
+// post-gap sample from the last pre-gap state would charge the model a
+// phantom transition across the outage.
+func (m *Monitor) apply(k metric.Kind, s ingest.Sample) {
+	if s.GapBefore > 0 {
+		m.samples[k].Clear()
+		m.errs[k].Clear()
+		m.models[k].Break()
+	}
+	m.push(s.T, k, s.V)
+}
+
+// Quality aggregates the sanitizer statistics across all metrics of the
+// component. Monitors fed exclusively through the strict Observe path
+// report zero counters, which score as perfectly clean.
+func (m *Monitor) Quality() ingest.Stats {
+	var st ingest.Stats
+	for _, k := range metric.Kinds {
+		st.Merge(m.sanitizers[k].Stats())
+	}
+	return st
+}
+
+// ObserveVector feeds a full metric vector at time t through the strict
+// path.
 func (m *Monitor) ObserveVector(t int64, vec *metric.Vector) error {
 	for _, k := range metric.Kinds {
 		if err := m.Observe(t, k, vec.Get(k)); err != nil {
@@ -70,26 +184,18 @@ func (m *Monitor) ObserveVector(t int64, vec *metric.Vector) error {
 	return nil
 }
 
-// windowWith returns the samples and aligned prediction errors covering
-// [tv-W-Q, tv] for metric k under the given configuration.
-func (m *Monitor) windowWith(tv int64, k metric.Kind, cfg Config) (vals, errs *timeseries.Series) {
-	span := cfg.LookBack + cfg.BurstWindow
-	vals = m.samples[k].WindowBefore(tv, span)
-	errs = m.errs[k].WindowBefore(tv, span)
-	return vals, errs
+// materialize snapshots metric k's retained samples and prediction errors
+// into the monitor's scratch series, returning both. All window and context
+// queries of one analysis pass take zero-copy views of these; the views are
+// invalidated by the next materialize call.
+func (m *Monitor) materialize(k metric.Kind) (sv, se *timeseries.Series) {
+	sv = m.samples[k].SeriesInto(m.scratchVals)
+	se = m.errs[k].SeriesInto(m.scratchErrs)
+	return sv, se
 }
 
-// contextErrors returns the prediction errors recorded before time t — the
-// history preceding the look-back window, used for self-calibration.
-func (m *Monitor) contextErrors(t int64, k metric.Kind) []float64 {
-	s := m.errs[k].Series()
-	w := s.Window(s.Start(), t)
-	return w.Values()
-}
-
-// contextValues returns the raw samples recorded before time t.
-func (m *Monitor) contextValues(t int64, k metric.Kind) []float64 {
-	s := m.samples[k].Series()
-	w := s.Window(s.Start(), t)
-	return w.Values()
+// viewBefore returns a zero-copy view of up to w samples with timestamps in
+// (end-w, end] — the look-back window query.
+func viewBefore(s *timeseries.Series, end int64, w int) *timeseries.Series {
+	return s.WindowView(end-int64(w)+1, end+1)
 }

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+
+	"fchain/internal/ingest"
+)
+
+// DataQuality summarizes how trustworthy the metric streams behind a
+// component's report were. FChain's selection stage assumes dense,
+// in-order, finite samples; the ingest sanitizer repairs what it can and
+// counts what it couldn't, and this summary carries those counters to the
+// master so a diagnosis built on degraded data is flagged instead of being
+// presented with full confidence.
+type DataQuality struct {
+	// Score is the clean fraction of the streams, in [0, 1]; 1 means no
+	// sample was dropped, clamped, interpolated, or lost to a gap.
+	Score float64 `json:"score"`
+	// Stats breaks the score down into the sanitizer's counters.
+	Stats ingest.Stats `json:"stats,omitzero"`
+}
+
+// qualityOf folds sanitizer statistics into a report-ready summary.
+func qualityOf(st ingest.Stats) DataQuality {
+	return DataQuality{Score: st.Score(), Stats: st}
+}
+
+// Confidence maps the quality onto a culprit confidence in (0, 1]. A
+// zero-valued DataQuality (reports predating quality tracking, or monitors
+// fed through the strict Observe path only) counts as fully clean.
+func (q DataQuality) Confidence() float64 {
+	if q == (DataQuality{}) {
+		return 1
+	}
+	return q.Score
+}
+
+// String renders e.g. "quality 0.93 (dropped 12, filled 5, gaps 41s)".
+func (q DataQuality) String() string {
+	return fmt.Sprintf("quality %.2f (%s)", q.Confidence(), q.Stats.String())
+}

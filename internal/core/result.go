@@ -37,6 +37,30 @@ type LocalizeResult struct {
 	// Errors summarizes per-slave failures (timeouts, disconnects, open
 	// circuit breakers), one entry per unanswered slave.
 	Errors []string `json:"errors,omitempty"`
+
+	// Quality maps each reporting component to the data quality of the
+	// streams its report was derived from. Components fed clean, in-order
+	// data score 1; the map lets a caller tell "db is the culprit" derived
+	// from pristine data apart from the same verdict derived from a stream
+	// that lost half its samples.
+	Quality map[string]DataQuality `json:"quality,omitempty"`
+
+	// ClockOffsets records the estimated clock offset (seconds, slave
+	// clock minus master clock) of each slave whose reports needed onset
+	// normalization; slaves in sync with the master are absent.
+	ClockOffsets map[string]int64 `json:"clock_offsets,omitempty"`
+}
+
+// MinQuality returns the lowest per-component quality confidence in the
+// view (1 when no quality information was reported).
+func (r LocalizeResult) MinQuality() float64 {
+	min := 1.0
+	for _, q := range r.Quality {
+		if c := q.Confidence(); c < min {
+			min = c
+		}
+	}
+	return min
 }
 
 // Coverage returns the fraction of known components the diagnosis saw, in

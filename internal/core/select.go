@@ -33,6 +33,9 @@ type ComponentReport struct {
 	// Onset is the earliest abnormal change start across metrics; only
 	// meaningful when Abnormal reports true.
 	Onset int64 `json:"onset"`
+	// Quality summarizes how clean the metric streams behind this report
+	// were; the master folds it into per-culprit confidence.
+	Quality DataQuality `json:"quality,omitzero"`
 }
 
 // Abnormal reports whether any abnormal change point was selected.
@@ -119,7 +122,9 @@ func (m *Monitor) AnalyzeWindow(tv int64, lookBack int) ComponentReport {
 // analyzeWith runs the analysis under an alternative configuration (used by
 // the adaptive look-back retries, which widen the window).
 func (m *Monitor) analyzeWith(tv int64, cfg Config) ComponentReport {
-	report := ComponentReport{Component: m.component}
+	// Never analyze behind samples the reorder buffers are still holding.
+	m.FlushIngest(tv)
+	report := ComponentReport{Component: m.component, Quality: qualityOf(m.Quality())}
 	for _, k := range metric.Kinds {
 		ch, ok := m.analyzeMetric(tv, k, cfg)
 		if ok {
@@ -140,14 +145,17 @@ func (m *Monitor) analyzeWith(tv int64, cfg Config) ComponentReport {
 // analyzeMetric selects the earliest abnormal change for one metric; ok is
 // false when the metric exhibits none.
 func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config) (AbnormalChange, bool) {
-	vals, errsSeries := m.windowWith(tv, k, cfg)
+	sv, se := m.materialize(k)
+	span := cfg.LookBack + cfg.BurstWindow
+	vals := viewBefore(sv, tv, span)
+	errsSeries := viewBefore(se, tv, span)
 	if vals.Len() < cfg.SmoothWindow*3 || vals.Len() < 8 {
 		return AbnormalChange{}, false
 	}
-	raw := vals.Values()
+	raw := vals.ValuesView()
 	smoothWindow := cfg.SmoothWindow
 	if cfg.AdaptiveSmoothing {
-		smoothWindow = adaptiveSmoothWidth(m.contextValues(tv-int64(cfg.LookBack), k), cfg.SmoothWindow)
+		smoothWindow = adaptiveSmoothWidth(sv.WindowView(sv.Start(), tv-int64(cfg.LookBack)).ValuesView(), cfg.SmoothWindow)
 	}
 	smoothed := timeseries.Smooth(raw, smoothWindow)
 
@@ -174,7 +182,7 @@ func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config) (AbnormalCh
 	var contextFloor, contextValueStd float64
 	ctxP99 := math.Inf(1)
 	ctxP1 := math.Inf(-1)
-	if cv := m.contextValues(lookbackStart, k); len(cv) >= 8 {
+	if cv := sv.WindowView(sv.Start(), lookbackStart).ValuesView(); len(cv) >= 8 {
 		contextValueStd = timeseries.Std(cv)
 		if p99, err := timeseries.Percentile(cv, 99); err == nil {
 			ctxP99 = p99
@@ -192,7 +200,7 @@ func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config) (AbnormalCh
 	for i := len(smoothed) - 1; i >= 0 && smoothed[i] < ctxP1; i-- {
 		dwellLow++
 	}
-	if ctx := m.contextErrors(lookbackStart, k); len(ctx) >= 8 {
+	if ctx := se.WindowView(se.Start(), lookbackStart).ValuesView(); len(ctx) >= 8 {
 		p90, err := timeseries.Percentile(ctx, 90)
 		if err == nil {
 			contextFloor = cfg.SelfCalibration * p90

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -38,6 +39,102 @@ func TestObserveInvalidKind(t *testing.T) {
 	m := NewMonitor("c", DefaultConfig())
 	if err := m.Observe(0, metric.Kind(99), 1); err == nil {
 		t.Error("invalid kind should error")
+	}
+}
+
+func TestObserveRejectsBadSamples(t *testing.T) {
+	m := NewMonitor("c", DefaultConfig())
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		err := m.Observe(0, metric.CPU, v)
+		if !errors.Is(err, ErrBadSample) {
+			t.Errorf("Observe(%v) = %v, want ErrBadSample", v, err)
+		}
+	}
+	// Rejected samples must leave no trace in the history.
+	if _, _, ok := m.samples[metric.CPU].Last(); ok {
+		t.Error("rejected sample was recorded")
+	}
+	if err := m.Observe(0, metric.CPU, 1); err != nil {
+		t.Errorf("valid sample after rejections: %v", err)
+	}
+}
+
+func TestObserveRejectsTimeRegression(t *testing.T) {
+	m := NewMonitor("c", DefaultConfig())
+	if err := m.Observe(10, metric.CPU, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []int64{9, 10} { // earlier and equal both regress
+		err := m.Observe(tt, metric.CPU, 2)
+		if !errors.Is(err, ErrTimeRegression) {
+			t.Errorf("Observe(t=%d) = %v, want ErrTimeRegression", tt, err)
+		}
+	}
+	// Other metrics keep independent clocks.
+	if err := m.Observe(5, metric.Memory, 1); err != nil {
+		t.Errorf("independent metric rejected: %v", err)
+	}
+	if err := m.Observe(11, metric.CPU, 2); err != nil {
+		t.Errorf("advancing sample rejected: %v", err)
+	}
+	if m.samples[metric.CPU].Len() != 2 {
+		t.Errorf("history holds %d samples, want 2", m.samples[metric.CPU].Len())
+	}
+}
+
+func TestIngestAbsorbsDirtWithQuality(t *testing.T) {
+	m := NewMonitor("c", DefaultConfig())
+	if err := m.Ingest(0, metric.CPU, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ingest(1, metric.CPU, math.NaN()); err != nil {
+		t.Fatalf("Ingest must absorb NaN, got %v", err)
+	}
+	for ti := int64(2); ti < 40; ti++ {
+		if err := m.Ingest(ti, metric.CPU, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.FlushIngest(100)
+	st := m.Quality()
+	if st.DroppedInvalid != 1 || st.Filled != 1 {
+		t.Errorf("stats = %v, want the NaN dropped and its slot interpolated", st)
+	}
+	if q := qualityOf(st); q.Confidence() >= 1 || q.Confidence() <= 0 {
+		t.Errorf("confidence = %v, want degraded in (0,1)", q.Confidence())
+	}
+	rep := m.Analyze(90)
+	if rep.Quality.Stats.DroppedInvalid != 1 {
+		t.Errorf("report quality missing: %+v", rep.Quality)
+	}
+}
+
+func TestIngestLongGapSeversHistory(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxFillGap = 5
+	cfg.ReorderWindow = 1
+	m := NewMonitor("c", cfg)
+	for ti := int64(0); ti < 100; ti++ {
+		if err := m.Ingest(ti, metric.CPU, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 900-second outage, far beyond MaxFillGap.
+	for ti := int64(1000); ti < 1050; ti++ {
+		if err := m.Ingest(ti, metric.CPU, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.FlushIngest(2000)
+	s := m.samples[metric.CPU].Series()
+	if s.Start() < 1000 {
+		t.Errorf("pre-gap history survived: series starts at %d", s.Start())
+	}
+	if s.Len() != 50 {
+		t.Errorf("post-gap history holds %d samples, want 50", s.Len())
+	}
+	if st := m.Quality(); st.LongGaps != 1 || st.GapSeconds == 0 {
+		t.Errorf("gap not counted: %v", st)
 	}
 }
 

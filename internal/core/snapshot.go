@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"fchain/internal/markov"
+	"fchain/internal/metric"
+	"fchain/internal/timeseries"
+)
+
+// MonitorSnapshot is the complete serializable state of a Monitor: the
+// learned prediction model, the retained sample and prediction-error tails,
+// and the last accepted timestamp per metric. A slave checkpoints these so
+// a crashed-and-restarted daemon resumes localization-ready instead of
+// spending the whole self-calibration history relearning normal fluctuation.
+//
+// Maps are keyed by metric.Kind.String() so checkpoints stay readable and
+// stable across reorderings of the Kind constants.
+type MonitorSnapshot struct {
+	Component string                             `json:"component"`
+	Models    map[string]*markov.Snapshot        `json:"models"`
+	Samples   map[string]timeseries.RingSnapshot `json:"samples"`
+	Errs      map[string]timeseries.RingSnapshot `json:"errs"`
+	LastT     map[string]int64                   `json:"last_t,omitempty"`
+}
+
+// Snapshot captures the monitor's current state. The snapshot shares no
+// storage with the monitor.
+func (m *Monitor) Snapshot() *MonitorSnapshot {
+	s := &MonitorSnapshot{
+		Component: m.component,
+		Models:    make(map[string]*markov.Snapshot, metric.NumKinds),
+		Samples:   make(map[string]timeseries.RingSnapshot, metric.NumKinds),
+		Errs:      make(map[string]timeseries.RingSnapshot, metric.NumKinds),
+		LastT:     make(map[string]int64, metric.NumKinds),
+	}
+	for _, k := range metric.Kinds {
+		name := k.String()
+		s.Models[name] = m.models[k].Snapshot()
+		s.Samples[name] = m.samples[k].Snapshot()
+		s.Errs[name] = m.errs[k].Snapshot()
+		if last, seen := m.lastT[k]; seen {
+			s.LastT[name] = last
+		}
+	}
+	return s
+}
+
+// Restore replaces the monitor's per-metric state with the snapshot's,
+// validating every piece; on error the monitor is left unchanged. Metrics
+// absent from the snapshot keep their fresh state. Ring capacities follow
+// the monitor's current configuration, not the snapshot's: a restart with a
+// smaller RingCapacity keeps only the newest retained samples.
+func (m *Monitor) Restore(s *MonitorSnapshot) error {
+	if s == nil {
+		return fmt.Errorf("core: nil monitor snapshot")
+	}
+	if s.Component != m.component {
+		return fmt.Errorf("core: snapshot is for component %q, monitor is %q", s.Component, m.component)
+	}
+	models := make(map[metric.Kind]*markov.Predictor, len(s.Models))
+	for name, snap := range s.Models {
+		k, err := metric.ParseKind(name)
+		if err != nil {
+			return fmt.Errorf("core: snapshot model: %w", err)
+		}
+		p, err := markov.FromSnapshot(snap)
+		if err != nil {
+			return fmt.Errorf("core: snapshot model %s: %w", name, err)
+		}
+		models[k] = p
+	}
+	restoreRings := func(src map[string]timeseries.RingSnapshot, what string) (map[metric.Kind]*timeseries.Ring, error) {
+		out := make(map[metric.Kind]*timeseries.Ring, len(src))
+		for name, snap := range src {
+			k, err := metric.ParseKind(name)
+			if err != nil {
+				return nil, fmt.Errorf("core: snapshot %s ring: %w", what, err)
+			}
+			snap.Cap = m.cfg.RingCapacity
+			r, err := timeseries.RingFromSnapshot(snap)
+			if err != nil {
+				return nil, fmt.Errorf("core: snapshot %s ring %s: %w", what, name, err)
+			}
+			out[k] = r
+		}
+		return out, nil
+	}
+	samples, err := restoreRings(s.Samples, "sample")
+	if err != nil {
+		return err
+	}
+	errRings, err := restoreRings(s.Errs, "error")
+	if err != nil {
+		return err
+	}
+	lastT := make(map[metric.Kind]int64, len(s.LastT))
+	for name, t := range s.LastT {
+		k, err := metric.ParseKind(name)
+		if err != nil {
+			return fmt.Errorf("core: snapshot last_t: %w", err)
+		}
+		lastT[k] = t
+	}
+	for k, p := range models {
+		m.models[k] = p
+	}
+	for k, r := range samples {
+		m.samples[k] = r
+	}
+	for k, r := range errRings {
+		m.errs[k] = r
+	}
+	for k, t := range lastT {
+		m.lastT[k] = t
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fchain/internal/metric"
+)
+
+// trainedMonitor feeds a learned periodic signal with a fault step into
+// every metric.
+func trainedMonitor(t *testing.T, stepAt int) *Monitor {
+	t.Helper()
+	m := NewMonitor("db", DefaultConfig())
+	for _, k := range metric.Kinds {
+		feedSeries(t, m, k, periodicWithStep(900, stepAt, 40, 0.5, int64(k)))
+	}
+	return m
+}
+
+func TestMonitorSnapshotRoundTrip(t *testing.T) {
+	m := trainedMonitor(t, 850)
+	snap := m.Snapshot()
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded MonitorSnapshot
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewMonitor("db", DefaultConfig())
+	if err := fresh.Restore(&decoded); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	// The restored monitor must produce the same analysis verdict.
+	want := m.Analyze(899)
+	got := fresh.Analyze(899)
+	if !want.Abnormal() {
+		t.Fatal("control analysis found nothing; test signal broken")
+	}
+	if !got.Abnormal() || got.Onset != want.Onset {
+		t.Errorf("restored analysis = %+v, want onset %d", got, want.Onset)
+	}
+	// And its ingestion clock must carry over.
+	if err := fresh.Observe(899, metric.CPU, 1); err == nil {
+		t.Error("restored monitor accepted a replayed timestamp")
+	}
+	if err := fresh.Observe(900, metric.CPU, 1); err != nil {
+		t.Errorf("restored monitor rejected an advancing sample: %v", err)
+	}
+}
+
+func TestMonitorRestoreRejectsMismatch(t *testing.T) {
+	m := trainedMonitor(t, -1)
+	if err := NewMonitor("web", DefaultConfig()).Restore(m.Snapshot()); err == nil {
+		t.Error("component mismatch accepted")
+	}
+	bad := m.Snapshot()
+	bad.Models["bogus_metric"] = bad.Models[metric.CPU.String()]
+	if err := NewMonitor("db", DefaultConfig()).Restore(bad); err == nil {
+		t.Error("unknown metric name accepted")
+	}
+	if err := m.Restore(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.ckpt")
+	m := trainedMonitor(t, 850)
+	if err := SaveCheckpoint(path, m.Snapshot()); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	var snap MonitorSnapshot
+	if err := LoadCheckpoint(path, &snap); err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	fresh := NewMonitor("db", DefaultConfig())
+	if err := fresh.Restore(&snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if !fresh.Analyze(899).Abnormal() {
+		t.Error("checkpointed state lost the fault signature")
+	}
+	// No temp files may linger after a successful save.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("checkpoint dir holds %d files, want 1", len(entries))
+	}
+}
+
+func TestLoadCheckpointDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.ckpt")
+	if err := SaveCheckpoint(path, trainedMonitor(t, -1).Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Digit flip inside the payload region (after the "payload" key, so the
+	// envelope's own fields stay intact): JSON stays valid, only the
+	// checksum can tell.
+	flipped := append([]byte(nil), raw...)
+	start := bytes.Index(flipped, []byte(`"payload"`))
+	if start < 0 {
+		t.Fatal("no payload field in checkpoint file")
+	}
+	mutated := false
+	for i := start; i < len(flipped); i++ {
+		if flipped[i] == '7' {
+			flipped[i] = '9'
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Fatal("no digit to flip in payload")
+	}
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var snap MonitorSnapshot
+	if err := LoadCheckpoint(path, &snap); err == nil {
+		t.Error("corrupted checkpoint accepted")
+	}
+
+	// Truncated file.
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadCheckpoint(path, &snap); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+
+	// Wrong version.
+	var f map[string]any
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	f["version"] = CheckpointVersion + 1
+	bumped, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, bumped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadCheckpoint(path, &snap); err == nil {
+		t.Error("future-version checkpoint accepted")
+	}
+
+	// Missing file surfaces an error for the caller's cold-start fallback.
+	if err := LoadCheckpoint(filepath.Join(dir, "absent.ckpt"), &snap); err == nil {
+		t.Error("missing checkpoint accepted")
+	}
+}

@@ -112,6 +112,11 @@ func BurstSignal(x []float64, highFrac float64) ([]float64, error) {
 	if len(x) == 0 {
 		return nil, ErrEmpty
 	}
+	// NaN survives both clamps below and would poison lowRanks through the
+	// float→int conversion; treat it as "keep everything".
+	if math.IsNaN(highFrac) {
+		highFrac = 1
+	}
 	if highFrac < 0 {
 		highFrac = 0
 	}
@@ -158,6 +163,11 @@ func ExpectedError(x []float64, highFrac, pct float64) (float64, error) {
 		mags[i] = math.Abs(v)
 	}
 	sort.Float64s(mags)
+	// A NaN pct would slip past both clamps and turn rank into NaN, whose
+	// int conversion is unspecified — an out-of-range index at worst.
+	if math.IsNaN(pct) {
+		pct = 100
+	}
 	if pct < 0 {
 		pct = 0
 	}

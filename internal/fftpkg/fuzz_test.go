@@ -1,0 +1,133 @@
+package fftpkg
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// floatsFromBytes decodes data as little-endian float64s, keeping whatever
+// bit patterns the fuzzer invents — NaN, ±Inf, subnormals included.
+func floatsFromBytes(data []byte, max int) []float64 {
+	n := len(data) / 8
+	if n > max {
+		n = max
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return out
+}
+
+// allFinite reports whether every sample is an ordinary float.
+func allFinite(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzFFTRoundTrip drives FFT→IFFT with adversarial bit patterns: the pair
+// must never panic, and for finite bounded signals the round trip must
+// reproduce the input.
+func FuzzFFTRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	seed := make([]byte, 0, 64*8)
+	var buf [8]byte
+	for i := 0; i < 64; i++ {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(math.Sin(float64(i)/3)*50+50))
+		seed = append(seed, buf[:]...)
+	}
+	f.Add(seed)
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(math.NaN()))
+	f.Add(append(append([]byte{}, buf[:]...), buf[:]...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x := floatsFromBytes(data, 1024)
+		freq, err := FFT(x)
+		if len(x) == 0 {
+			if err != ErrEmpty {
+				t.Fatalf("FFT(empty) err = %v, want ErrEmpty", err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("FFT: %v", err)
+		}
+		back, err := IFFT(freq)
+		if err != nil {
+			t.Fatalf("IFFT: %v", err)
+		}
+		if len(back) < len(x) {
+			t.Fatalf("round trip shrank: %d -> %d", len(x), len(back))
+		}
+		if !allFinite(x) {
+			return // NaN/Inf legitimately poison the spectrum; no-panic is the contract
+		}
+		scale := 1.0
+		for _, v := range x {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		if scale > 1e12 {
+			return // extreme magnitudes trade precision for range; skip the equality check
+		}
+		for i, v := range x {
+			if math.Abs(back[i]-v) > 1e-6*scale*float64(len(freq)) {
+				t.Fatalf("round trip sample %d: got %v, want %v", i, back[i], v)
+			}
+		}
+	})
+}
+
+// FuzzExpectedError hammers the burstiness pipeline with adversarial
+// signals AND adversarial parameters (highFrac and pct are raw float bit
+// patterns, so NaN and ±Inf are in play). It must never panic, and with a
+// finite signal the result must be a finite nonnegative magnitude.
+func FuzzExpectedError(f *testing.F) {
+	f.Add([]byte{}, math.Float64bits(0.9), math.Float64bits(90.0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, math.Float64bits(math.NaN()), math.Float64bits(math.NaN()))
+	f.Add(make([]byte, 256), math.Float64bits(-3.5), math.Float64bits(1e300))
+
+	f.Fuzz(func(t *testing.T, data []byte, fracBits, pctBits uint64) {
+		x := floatsFromBytes(data, 1024)
+		highFrac := math.Float64frombits(fracBits)
+		pct := math.Float64frombits(pctBits)
+
+		burst, err := BurstSignal(x, highFrac)
+		if len(x) == 0 {
+			if err != ErrEmpty {
+				t.Fatalf("BurstSignal(empty) err = %v, want ErrEmpty", err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("BurstSignal: %v", err)
+		}
+		if len(burst) != len(x) {
+			t.Fatalf("BurstSignal length = %d, want %d", len(burst), len(x))
+		}
+
+		got, err := ExpectedError(x, highFrac, pct)
+		if err != nil {
+			t.Fatalf("ExpectedError: %v", err)
+		}
+		scale := 0.0
+		for _, v := range x {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		// Bounded finite signals cannot overflow inside the transform, so
+		// the percentile must come back as an ordinary magnitude.
+		if allFinite(x) && scale < 1e12 {
+			if math.IsNaN(got) || got < 0 {
+				t.Fatalf("ExpectedError(finite signal) = %v, want >= 0", got)
+			}
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package ingest
+
+import (
+	"math"
+	"math/rand"
+)
+
+// CorruptConfig parameterizes the seeded trace corruptor used by the chaos
+// ingest tests: it degrades a clean scenario trace the way a real
+// deployment's collection path does, so tests can assert that localization
+// degrades gracefully under dirty data instead of silently pinpointing the
+// wrong culprit with full confidence.
+type CorruptConfig struct {
+	// Seed makes the corruption deterministic.
+	Seed int64
+	// DropRate is the probability a sample is silently lost.
+	DropRate float64
+	// DupRate is the probability a sample is delivered twice.
+	DupRate float64
+	// NaNRate is the probability a sample's value is replaced by NaN.
+	NaNRate float64
+	// SpikeRate is the probability a sample's value is replaced by an
+	// absurd corrupted magnitude (value × SpikeScale).
+	SpikeRate float64
+	// SpikeScale multiplies spiked values (default 1e9).
+	SpikeScale float64
+	// JitterMax delays a sample by up to JitterMax positions in the
+	// delivery order, producing bounded out-of-order arrival (0 disables).
+	JitterMax int
+}
+
+// Corrupt applies the configured degradation to a clean, time-ordered
+// trace, returning the corrupted delivery order. The input is not
+// modified.
+func Corrupt(samples []Sample, cfg CorruptConfig) []Sample {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	scale := cfg.SpikeScale
+	if scale == 0 {
+		scale = 1e9
+	}
+	out := make([]Sample, 0, len(samples))
+	for _, s := range samples {
+		if rng.Float64() < cfg.DropRate {
+			continue
+		}
+		switch {
+		case rng.Float64() < cfg.NaNRate:
+			s.V = math.NaN()
+		case rng.Float64() < cfg.SpikeRate:
+			s.V *= scale
+		}
+		out = append(out, s)
+		if rng.Float64() < cfg.DupRate {
+			out = append(out, s)
+		}
+	}
+	if cfg.JitterMax > 0 {
+		// Bounded shuffle: swap each sample with one up to JitterMax
+		// positions ahead, yielding slightly out-of-order delivery without
+		// unbounded displacement.
+		for i := range out {
+			j := i + rng.Intn(cfg.JitterMax+1)
+			if j < len(out) {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}

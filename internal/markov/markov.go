@@ -236,6 +236,16 @@ func (p *Predictor) Observe(v float64) (predErr float64, predicted bool) {
 	return predErr, predicted
 }
 
+// Break severs the chain position without discarding learned transitions.
+// The slave calls it after a long collection gap: the pre-gap "previous
+// state" is stale, so predicting the next sample from it would charge the
+// model a phantom transition across the gap, but the accumulated transition
+// counts remain valid knowledge of the component's normal fluctuation.
+func (p *Predictor) Break() {
+	p.hasLast = false
+	p.lastBin = 0
+}
+
 // renormalize rescales all counts so the incremental weight returns to 1,
 // preserving every ratio.
 func (p *Predictor) renormalize() {

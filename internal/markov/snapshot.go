@@ -1,0 +1,109 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Snapshot is the complete serializable state of a Predictor. A slave
+// checkpoints its predictors through this so a restarted daemon resumes
+// with its learned normal-fluctuation model instead of cold-starting
+// through the self-calibration period — without the model, every change
+// after the restart is "never seen before" and would be flagged abnormal.
+type Snapshot struct {
+	Bins         int         `json:"bins"`
+	Decay        float64     `json:"decay"`
+	Lo           float64     `json:"lo"`
+	Hi           float64     `json:"hi"`
+	RangeSet     bool        `json:"range_set"`
+	Counts       [][]float64 `json:"counts,omitempty"`
+	LastBin      int         `json:"last_bin"`
+	HasLast      bool        `json:"has_last"`
+	IncWeight    float64     `json:"inc_weight"`
+	Observations int         `json:"observations"`
+}
+
+// Snapshot captures the predictor's current state. The returned snapshot
+// shares no storage with the predictor.
+func (p *Predictor) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Bins:         p.bins,
+		Decay:        p.decay,
+		Lo:           p.lo,
+		Hi:           p.hi,
+		RangeSet:     p.rangeSet,
+		LastBin:      p.lastBin,
+		HasLast:      p.hasLast,
+		IncWeight:    p.incWeight,
+		Observations: p.observations,
+	}
+	// Only non-empty rows are stored; a 40×40 matrix of zeros would bloat
+	// every checkpoint for cold metrics. nil rows restore as zero rows.
+	s.Counts = make([][]float64, p.bins)
+	for i, row := range p.counts {
+		if p.rowSum[i] == 0 {
+			continue
+		}
+		s.Counts[i] = append([]float64(nil), row...)
+	}
+	return s
+}
+
+// FromSnapshot rebuilds a predictor from a snapshot, validating every
+// invariant so a corrupted or hand-edited checkpoint cannot smuggle
+// NaN/negative state into the model.
+func FromSnapshot(s *Snapshot) (*Predictor, error) {
+	if s == nil {
+		return nil, errors.New("markov: nil snapshot")
+	}
+	if s.Bins < 2 {
+		return nil, fmt.Errorf("markov: snapshot bins %d < 2", s.Bins)
+	}
+	if s.Decay <= 0 || s.Decay > 1 || math.IsNaN(s.Decay) {
+		return nil, fmt.Errorf("markov: snapshot decay %v out of (0,1]", s.Decay)
+	}
+	if s.RangeSet && (s.Hi <= s.Lo || math.IsNaN(s.Lo) || math.IsNaN(s.Hi) || math.IsInf(s.Lo, 0) || math.IsInf(s.Hi, 0)) {
+		return nil, fmt.Errorf("markov: snapshot range [%v, %v] invalid", s.Lo, s.Hi)
+	}
+	if s.HasLast && (s.LastBin < 0 || s.LastBin >= s.Bins) {
+		return nil, fmt.Errorf("markov: snapshot last bin %d out of [0,%d)", s.LastBin, s.Bins)
+	}
+	if s.IncWeight <= 0 || math.IsNaN(s.IncWeight) || math.IsInf(s.IncWeight, 0) {
+		return nil, fmt.Errorf("markov: snapshot incremental weight %v invalid", s.IncWeight)
+	}
+	if s.Observations < 0 {
+		return nil, fmt.Errorf("markov: snapshot observations %d negative", s.Observations)
+	}
+	if len(s.Counts) > s.Bins {
+		return nil, fmt.Errorf("markov: snapshot has %d rows for %d bins", len(s.Counts), s.Bins)
+	}
+	p := New(s.Bins, s.Decay)
+	p.lo, p.hi = s.Lo, s.Hi
+	p.rangeSet = s.RangeSet
+	p.lastBin = s.LastBin
+	p.hasLast = s.HasLast
+	p.incWeight = s.IncWeight
+	p.observations = s.Observations
+	for i, row := range s.Counts {
+		if row == nil {
+			continue
+		}
+		if len(row) != s.Bins {
+			return nil, fmt.Errorf("markov: snapshot row %d has %d columns for %d bins", i, len(row), s.Bins)
+		}
+		var sum float64
+		for j, c := range row {
+			if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				return nil, fmt.Errorf("markov: snapshot count [%d][%d]=%v invalid", i, j, c)
+			}
+			p.counts[i][j] = c
+			sum += c
+		}
+		p.rowSum[i] = sum
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,117 @@
+package markov
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func trainedPredictor(seed int64, n int) *Predictor {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewDefault()
+	for i := 0; i < n; i++ {
+		p.Observe(50 + 10*math.Sin(float64(i)/9) + rng.Float64()*2)
+	}
+	return p
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	p := trainedPredictor(1, 500)
+	restored, err := FromSnapshot(p.Snapshot())
+	if err != nil {
+		t.Fatalf("FromSnapshot: %v", err)
+	}
+	// The restored predictor must behave identically: same prediction
+	// errors for the same future stream.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		v := 50 + 10*math.Sin(float64(i)/9) + rng.Float64()*2
+		e1, ok1 := p.Observe(v)
+		e2, ok2 := restored.Observe(v)
+		if ok1 != ok2 || math.Abs(e1-e2) > 1e-12 {
+			t.Fatalf("step %d diverged: (%v,%v) vs (%v,%v)", i, e1, ok1, e2, ok2)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	p := trainedPredictor(3, 300)
+	raw, err := json.Marshal(p.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	restored, err := FromSnapshot(&s)
+	if err != nil {
+		t.Fatalf("FromSnapshot: %v", err)
+	}
+	e1, _ := p.Observe(55)
+	e2, _ := restored.Observe(55)
+	if math.Abs(e1-e2) > 1e-12 {
+		t.Fatalf("diverged after JSON round trip: %v vs %v", e1, e2)
+	}
+}
+
+func TestSnapshotSharesNoStorage(t *testing.T) {
+	p := trainedPredictor(4, 200)
+	s := p.Snapshot()
+	p.Observe(1e6) // mutate the original
+	restored, err := FromSnapshot(s)
+	if err != nil {
+		t.Fatalf("FromSnapshot: %v", err)
+	}
+	if err := restored.Validate(); err != nil {
+		t.Fatalf("restored predictor invalid after source mutation: %v", err)
+	}
+}
+
+func TestFromSnapshotRejectsCorruption(t *testing.T) {
+	base := trainedPredictor(5, 200)
+	cases := map[string]func(*Snapshot){
+		"nil counts row len":  func(s *Snapshot) { s.Counts[0] = []float64{1} },
+		"negative count":      func(s *Snapshot) { s.Counts[0] = make([]float64, s.Bins); s.Counts[0][0] = -1 },
+		"nan count":           func(s *Snapshot) { s.Counts[0] = make([]float64, s.Bins); s.Counts[0][0] = math.NaN() },
+		"bins too small":      func(s *Snapshot) { s.Bins = 1 },
+		"bad decay":           func(s *Snapshot) { s.Decay = 1.5 },
+		"inverted range":      func(s *Snapshot) { s.Lo, s.Hi = s.Hi, s.Lo },
+		"last bin range":      func(s *Snapshot) { s.LastBin = s.Bins },
+		"bad inc weight":      func(s *Snapshot) { s.IncWeight = math.NaN() },
+		"negative obs":        func(s *Snapshot) { s.Observations = -1 },
+		"too many count rows": func(s *Snapshot) { s.Counts = append(s.Counts, nil) },
+	}
+	for name, corrupt := range cases {
+		s := base.Snapshot()
+		corrupt(s)
+		if _, err := FromSnapshot(s); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+	if _, err := FromSnapshot(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}
+
+func TestBreakSeversChainNotKnowledge(t *testing.T) {
+	p := trainedPredictor(6, 400)
+	before := p.Snapshot()
+	p.Break()
+	after := p.Snapshot()
+	if after.HasLast {
+		t.Error("Break did not clear chain position")
+	}
+	if after.Observations != before.Observations {
+		t.Error("Break discarded observation count")
+	}
+	// Learned transitions must survive: the first post-break observation
+	// has no previous state, the second predicts from learned counts again.
+	if _, ok := p.Observe(55); ok {
+		t.Error("first observation after Break should have no prediction")
+	}
+	if _, ok := p.Observe(55); !ok {
+		t.Error("second observation after Break should predict again")
+	}
+}

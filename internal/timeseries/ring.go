@@ -1,5 +1,7 @@
 package timeseries
 
+import "errors"
+
 // Ring is a fixed-capacity ring buffer of timestamped samples used by the
 // FChain slave daemon to retain a bounded history of each metric. The slave
 // only ever needs the look-back window [tv-W, tv] plus the burst-extraction
@@ -55,8 +57,8 @@ func (r *Ring) Last() (t int64, v float64, ok bool) {
 
 // Series materializes the retained samples, oldest first, as a Series
 // starting at the oldest retained timestamp. Gaps in timestamps are not
-// reconstructed; FChain's collectors sample on a strict 1-second cadence so
-// retained samples are contiguous.
+// reconstructed; the ingest sanitizer keeps retained samples contiguous
+// (short gaps filled, long gaps severed by Clear).
 func (r *Ring) Series() *Series {
 	if r.size == 0 {
 		return &Series{}
@@ -68,10 +70,80 @@ func (r *Ring) Series() *Series {
 	return &Series{start: r.times[r.head], vals: vals}
 }
 
+// SeriesInto materializes the retained samples like Series but reuses dst's
+// backing storage, growing it only when the ring holds more samples than
+// dst's capacity. It is the allocation-free primitive behind the hot
+// localize path; the returned series is dst, and any previously returned
+// views into dst are invalidated.
+func (r *Ring) SeriesInto(dst *Series) *Series {
+	if dst == nil {
+		return r.Series()
+	}
+	if r.size == 0 {
+		dst.start = 0
+		dst.vals = dst.vals[:0]
+		return dst
+	}
+	if cap(dst.vals) < r.size {
+		dst.vals = make([]float64, r.size)
+	}
+	dst.vals = dst.vals[:r.size]
+	for i := 0; i < r.size; i++ {
+		dst.vals[i] = r.vals[(r.head+i)%len(r.vals)]
+	}
+	dst.start = r.times[r.head]
+	return dst
+}
+
 // WindowBefore returns up to w samples with timestamps in (end-w, end],
 // oldest first, as a Series. It is the primitive behind FChain's look-back
 // window query.
 func (r *Ring) WindowBefore(end int64, w int) *Series {
 	s := r.Series()
 	return s.Window(end-int64(w)+1, end+1)
+}
+
+// Clear discards every retained sample. The slave severs a metric's dense
+// history this way after a long collection gap: the pre-gap samples would
+// otherwise be misaligned with the post-gap dense indexing.
+func (r *Ring) Clear() {
+	r.head = 0
+	r.size = 0
+}
+
+// RingSnapshot is the serializable state of a Ring: the retained samples,
+// oldest first, plus the capacity to rebuild it.
+type RingSnapshot struct {
+	Cap   int       `json:"cap"`
+	Times []int64   `json:"times,omitempty"`
+	Vals  []float64 `json:"vals,omitempty"`
+}
+
+// Snapshot captures the ring's retained samples for checkpointing.
+func (r *Ring) Snapshot() RingSnapshot {
+	s := RingSnapshot{Cap: len(r.vals)}
+	if r.size == 0 {
+		return s
+	}
+	s.Times = make([]int64, r.size)
+	s.Vals = make([]float64, r.size)
+	for i := 0; i < r.size; i++ {
+		idx := (r.head + i) % len(r.vals)
+		s.Times[i] = r.times[idx]
+		s.Vals[i] = r.vals[idx]
+	}
+	return s
+}
+
+// RingFromSnapshot rebuilds a ring from a snapshot, validating its shape.
+// A snapshot holding more samples than its capacity keeps only the newest.
+func RingFromSnapshot(s RingSnapshot) (*Ring, error) {
+	if len(s.Times) != len(s.Vals) {
+		return nil, errors.New("timeseries: ring snapshot times/vals length mismatch")
+	}
+	r := NewRing(s.Cap)
+	for i := range s.Vals {
+		r.Push(s.Times[i], s.Vals[i])
+	}
+	return r, nil
 }

@@ -104,6 +104,25 @@ func (s *Series) Window(from, to int64) *Series {
 	return New(from, s.vals[lo:hi])
 }
 
+// WindowView is Window without the copy: the returned sub-series shares the
+// receiver's storage. It is the allocation-free variant used on the hot
+// localize path; the view is invalidated by any mutation of the receiver
+// (Append, or rematerialization of a reused backing series).
+func (s *Series) WindowView(from, to int64) *Series {
+	if from < s.start {
+		from = s.start
+	}
+	if to > s.End() {
+		to = s.End()
+	}
+	if to <= from {
+		return &Series{start: from}
+	}
+	lo := int(from - s.start)
+	hi := int(to - s.start)
+	return &Series{start: from, vals: s.vals[lo:hi:hi]}
+}
+
 // Tail returns a sub-series holding the last n samples (or the whole series
 // when it is shorter than n).
 func (s *Series) Tail(n int) *Series {
@@ -113,6 +132,20 @@ func (s *Series) Tail(n int) *Series {
 	lo := len(s.vals) - n
 	return New(s.start+int64(lo), s.vals[lo:])
 }
+
+// TailView is Tail without the copy: the returned sub-series shares the
+// receiver's storage, with the same invalidation caveat as WindowView.
+func (s *Series) TailView(n int) *Series {
+	if n >= len(s.vals) {
+		return &Series{start: s.start, vals: s.vals}
+	}
+	lo := len(s.vals) - n
+	return &Series{start: s.start + int64(lo), vals: s.vals[lo:]}
+}
+
+// ValuesView returns the sample values without copying. The caller must
+// treat the slice as read-only; it aliases the series' storage.
+func (s *Series) ValuesView() []float64 { return s.vals }
 
 // String implements fmt.Stringer with a compact summary.
 func (s *Series) String() string {
