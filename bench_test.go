@@ -137,9 +137,13 @@ func BenchmarkModuleSelection(b *testing.B) {
 			}
 		}
 	}
+	// Steady state: a long-running daemon reuses the report buffer, so the
+	// whole selection pass — smoothing, CUSUM bootstrap, FFT burst
+	// extraction — must run allocation-free out of the pooled arenas.
+	var reports []fchain.ComponentReport
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = loc.Analyze(1999)
+		reports = loc.AnalyzeInto(reports, 1999)
 	}
 }
 

@@ -1,13 +1,21 @@
 // Command fchain-bench regenerates the tables and figures of the FChain
-// paper's evaluation (ICDCS 2013, §III) on the simulated testbed.
+// paper's evaluation (ICDCS 2013, §III) on the simulated testbed, and
+// doubles as the performance-regression harness: it measures the Table II
+// module micro-benchmarks, emits machine-readable BENCH_<date>.json
+// reports, and checks a fresh run against a committed baseline.
 //
 // Usage:
 //
 //	fchain-bench -all                 # every table and figure
 //	fchain-bench -exp fig6 -runs 30   # one experiment, 30 runs per fault
+//	fchain-bench -exp fig6 -parallel 4 # four campaign workers (same output)
 //	fchain-bench -list                # list experiment identifiers
+//	fchain-bench -bench -json BENCH_2026-08-05.json  # measure + save report
+//	fchain-bench -check BENCH_2026-08-05.json        # fail on >30% regression
 //
 // The paper uses 30-40 runs per fault; the shapes stabilize from ~10.
+// Campaign runs are independently seeded and reassembled in seed order, so
+// -parallel never changes a report, only how fast it is produced.
 package main
 
 import (
@@ -21,20 +29,33 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment to run (fig2..fig12, table1, table2)")
-		runs = flag.Int("runs", 10, "fault-injection runs per fault for accuracy experiments")
-		all  = flag.Bool("all", false, "run every experiment")
-		list = flag.Bool("list", false, "list experiment identifiers")
+		exp        = flag.String("exp", "", "experiment to run (fig2..fig12, table1, table2)")
+		runs       = flag.Int("runs", 10, "fault-injection runs per fault for accuracy experiments")
+		all        = flag.Bool("all", false, "run every experiment")
+		list       = flag.Bool("list", false, "list experiment identifiers")
+		parallel   = flag.Int("parallel", 0, "campaign workers (0 = all cores, 1 = serial; output is identical)")
+		omitTiming = flag.Bool("omit-timing", false, "drop wall-clock lines so reports diff cleanly across machines")
+		bench      = flag.Bool("bench", false, "run the module micro-benchmarks and scenario timing suite")
+		jsonOut    = flag.String("json", "", "with -bench: write the machine-readable report to this file")
+		benchRuns  = flag.Int("bench-runs", 4, "with -bench: runs per fault for the scenario speedup timings")
+		check      = flag.String("check", "", "re-measure module benchmarks and fail on regression vs this baseline JSON")
+		threshold  = flag.Float64("threshold", 0.30, "with -check: fractional ns/op slowdown tolerated")
 	)
 	flag.Parse()
-	if err := run(*exp, *runs, *all, *list); err != nil {
+	opts := scenario.RunOptions{Workers: *parallel, OmitTiming: *omitTiming}
+	if err := run(*exp, *runs, *all, *list, opts, *bench, *jsonOut, *benchRuns, *check, *threshold); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, runs int, all, list bool) error {
+func run(exp string, runs int, all, list bool, opts scenario.RunOptions, bench bool, jsonOut string, benchRuns int, check string, threshold float64) error {
 	switch {
+	case check != "":
+		return runCheck(check, threshold)
+	case bench:
+		_, err := runBench(jsonOut, benchRuns, true)
+		return err
 	case list:
 		for _, id := range scenario.Experiments() {
 			fmt.Println(id)
@@ -42,25 +63,28 @@ func run(exp string, runs int, all, list bool) error {
 		return nil
 	case all:
 		for _, id := range scenario.Experiments() {
-			if err := runOne(id, runs); err != nil {
+			if err := runOne(id, runs, opts); err != nil {
 				return err
 			}
 		}
 		return nil
 	case exp != "":
-		return runOne(exp, runs)
+		return runOne(exp, runs, opts)
 	default:
-		return fmt.Errorf("nothing to do: pass -exp <id>, -all, or -list")
+		return fmt.Errorf("nothing to do: pass -exp <id>, -all, -bench, -check <baseline>, or -list")
 	}
 }
 
-func runOne(id string, runs int) error {
+func runOne(id string, runs int, opts scenario.RunOptions) error {
+	opts.Runs = runs
 	start := time.Now()
-	out, err := scenario.Run(id, runs)
+	out, err := scenario.RunWith(id, opts)
 	if err != nil {
 		return fmt.Errorf("%s: %w", id, err)
 	}
 	fmt.Print(out)
-	fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	if !opts.OmitTiming {
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
 	return nil
 }

@@ -1,0 +1,254 @@
+package main
+
+// The micro-benchmark harness behind -bench/-json/-check: a self-contained
+// equivalent of `go test -bench '^BenchmarkModule'` that needs no testing
+// binary, so the CI smoke job and operators get machine-readable numbers
+// from the shipped command. Allocation counts come from the monotonic
+// runtime counters (Mallocs/TotalAlloc), so a GC mid-run does not skew
+// them.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"fchain"
+	"fchain/internal/benchjson"
+	"fchain/internal/timeseries"
+	"fchain/scenario"
+)
+
+// benchMinTime is how long each timed measurement must run; calibration
+// grows the iteration count until a run lasts at least this long.
+const benchMinTime = 200 * time.Millisecond
+
+// measure times fn(n) with increasing n until one run lasts benchMinTime.
+func measure(name string, fn func(n int)) benchjson.Result {
+	n := 1
+	for {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		fn(n)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if elapsed >= benchMinTime {
+			return benchjson.Result{
+				Name:        name,
+				Iterations:  n,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+				AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+				BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+			}
+		}
+		// Aim 20% past the target like testing.B, bounded to [2x, 100x].
+		next := int(1.2 * float64(n) * float64(benchMinTime) / float64(elapsed+1))
+		if next < 2*n {
+			next = 2 * n
+		}
+		if next > 100*n {
+			next = 100 * n
+		}
+		n = next
+	}
+}
+
+// moduleBenchmarks mirrors the BenchmarkModule* group in bench_test.go:
+// Table II's per-module overhead measurements on the real pipeline.
+func moduleBenchmarks() []benchjson.Result {
+	kinds := fchain.Kinds()
+	var out []benchjson.Result
+
+	out = append(out, measure("ModuleMonitoring", func(n int) {
+		loc := fchain.NewLocalizer(fchain.DefaultConfig(), []string{"c"})
+		for i := 0; i < n; i++ {
+			t := int64(i)
+			for _, k := range kinds {
+				if err := loc.Observe("c", t, k, float64(50+i%17)); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}))
+
+	out = append(out, measure("ModuleModeling1000", func(n int) {
+		for i := 0; i < n; i++ {
+			loc := fchain.NewLocalizer(fchain.DefaultConfig(), []string{"c"})
+			for t := int64(0); t < 1000; t++ {
+				for _, k := range kinds {
+					if err := loc.Observe("c", t, k, float64(40+t%23)); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+	}))
+
+	// Selection setup happens once, outside the timed region: steady state
+	// is a warm daemon reusing the report buffer and pooled arenas.
+	selLoc := fchain.NewLocalizer(fchain.DefaultConfig(), []string{"c"})
+	for t := int64(0); t < 2000; t++ {
+		for _, k := range kinds {
+			if err := selLoc.Observe("c", t, k, float64(40+t%23)+float64(t%7)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	var reports []fchain.ComponentReport
+	out = append(out, measure("ModuleSelection", func(n int) {
+		for i := 0; i < n; i++ {
+			reports = selLoc.AnalyzeInto(reports, 1999)
+		}
+	}))
+
+	diagReports := make([]fchain.ComponentReport, 7)
+	for i := range diagReports {
+		diagReports[i] = fchain.ComponentReport{Component: string(rune('a' + i))}
+	}
+	diagReports[2].Changes = []fchain.AbnormalChange{{
+		Component: "c", Metric: fchain.CPU, ChangeAt: 95, Onset: 90,
+		PredErr: 10, Expected: 1, Magnitude: 12,
+	}}
+	diagReports[2].Onset = 90
+	deps := fchain.NewDependencyGraph()
+	deps.AddEdge("a", "b", 1)
+	deps.AddEdge("b", "c", 1)
+	cfg := fchain.DefaultConfig()
+	out = append(out, measure("ModuleDiagnosis", func(n int) {
+		for i := 0; i < n; i++ {
+			_ = fchain.Diagnose(diagReports, len(diagReports), deps, cfg)
+		}
+	}))
+
+	view := timeseries.FromFunc(0, 2000, func(i int) float64 { return float64(40 + i%23) })
+	out = append(out, measure("ModuleWindowView", func(n int) {
+		for i := 0; i < n; i++ {
+			w := view.WindowView(1880, 2000)
+			if len(w.ValuesView()) != 120 {
+				panic("bad window")
+			}
+		}
+	}))
+
+	ring := timeseries.NewRing(1024)
+	for t := int64(0); t < 4096; t++ {
+		ring.Push(t, float64(t%97))
+	}
+	scratch := &timeseries.Series{}
+	ring.SeriesInto(scratch) // warm the scratch capacity
+	out = append(out, measure("ModuleSeriesInto", func(n int) {
+		for i := 0; i < n; i++ {
+			if ring.SeriesInto(scratch).Len() != 1024 {
+				panic("bad materialization")
+			}
+		}
+	}))
+
+	return out
+}
+
+// scenarioBenchmarks times full figure regeneration serially and with four
+// workers, asserting along the way that the two reports are byte-identical
+// (the parallel engine's determinism contract). Each configuration runs
+// once — these are seconds-scale campaigns.
+func scenarioBenchmarks(runs int) ([]benchjson.Result, []string, error) {
+	timeRun := func(name, id string, workers int) (benchjson.Result, string, error) {
+		start := time.Now()
+		out, err := scenario.RunWith(id, scenario.RunOptions{Runs: runs, Workers: workers, OmitTiming: true})
+		if err != nil {
+			return benchjson.Result{}, "", fmt.Errorf("%s: %w", id, err)
+		}
+		elapsed := time.Since(start)
+		return benchjson.Result{Name: name, Iterations: 1, NsPerOp: float64(elapsed.Nanoseconds())}, out, nil
+	}
+	var results []benchjson.Result
+	var notes []string
+	for _, id := range []string{scenario.Figure6, scenario.Figure9} {
+		serial, serialOut, err := timeRun("Scenario/"+id+"/serial", id, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		par, parOut, err := timeRun("Scenario/"+id+"/workers4", id, 4)
+		if err != nil {
+			return nil, nil, err
+		}
+		if serialOut != parOut {
+			return nil, nil, fmt.Errorf("%s: parallel report differs from serial report", id)
+		}
+		results = append(results, serial, par)
+		notes = append(notes, fmt.Sprintf("%s runs=%d: serial %.2fs, 4 workers %.2fs (%.2fx, on %d CPU(s)); outputs byte-identical",
+			id, runs, serial.NsPerOp/1e9, par.NsPerOp/1e9, serial.NsPerOp/par.NsPerOp, runtime.NumCPU()))
+	}
+	return results, notes, nil
+}
+
+// runBench executes the benchmark suite and optionally writes the JSON
+// report. withScenarios also times full figure regeneration (seconds per
+// entry; skipped by -check, which needs to stay fast and noise-free).
+func runBench(jsonPath string, benchRuns int, withScenarios bool) (*benchjson.Report, error) {
+	report := &benchjson.Report{
+		Date:       time.Now().Format("2006-01-02"),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	report.Results = moduleBenchmarks()
+	if withScenarios {
+		scen, notes, err := scenarioBenchmarks(benchRuns)
+		if err != nil {
+			return nil, err
+		}
+		report.Results = append(report.Results, scen...)
+		report.Notes = append(report.Notes, notes...)
+	}
+	report.Sort()
+	for _, r := range report.Results {
+		fmt.Printf("%-28s %12.0f ns/op %10.0f B/op %8.1f allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	for _, n := range report.Notes {
+		fmt.Println("#", n)
+	}
+	if jsonPath != "" {
+		if err := benchjson.Write(jsonPath, report); err != nil {
+			return nil, err
+		}
+		fmt.Println("benchmark report written to", jsonPath)
+	}
+	return report, nil
+}
+
+// runCheck re-measures the module benchmarks and fails if any regressed
+// past the threshold against the committed baseline. Scenario wall times
+// are informational (full campaigns on shared CI machines are too noisy to
+// gate on) and are not compared.
+func runCheck(baselinePath string, threshold float64) error {
+	baseline, err := benchjson.Read(baselinePath)
+	if err != nil {
+		return err
+	}
+	modules := &benchjson.Report{}
+	for _, r := range baseline.Results {
+		if len(r.Name) >= 6 && r.Name[:6] == "Module" {
+			modules.Results = append(modules.Results, r)
+		}
+	}
+	if len(modules.Results) == 0 {
+		return fmt.Errorf("baseline %s has no Module* benchmarks to check against", baselinePath)
+	}
+	current, err := runBench("", 0, false)
+	if err != nil {
+		return err
+	}
+	regressions, missing := benchjson.Compare(modules, current, threshold)
+	for _, name := range missing {
+		fmt.Printf("MISSING %s: benchmark in baseline but not measured\n", name)
+	}
+	for _, g := range regressions {
+		fmt.Println("REGRESSION", g)
+	}
+	if len(regressions) > 0 || len(missing) > 0 {
+		return fmt.Errorf("%d regression(s), %d missing benchmark(s) vs %s (threshold %.0f%%)",
+			len(regressions), len(missing), baselinePath, threshold*100)
+	}
+	fmt.Printf("benchmarks within %.0f%% of %s\n", threshold*100, baselinePath)
+	return nil
+}

@@ -117,6 +117,9 @@ func run(listen string, timeout time.Duration, retries int, heartbeat time.Durat
 			for slave, off := range res.ClockOffsets {
 				fmt.Printf("  clock offset %s: %+ds\n", slave, off)
 			}
+			if res.Stats.Tasks > 0 {
+				fmt.Printf("  analysis: %s\n", res.Stats)
+			}
 			for _, e := range res.Errors {
 				fmt.Println("  slave error:", e)
 			}

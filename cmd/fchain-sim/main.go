@@ -29,9 +29,10 @@ func main() {
 		validate = flag.Bool("validate", false, "run online pinpointing validation")
 		saveDeps = flag.String("save-deps", "", "write the discovered dependency graph to this file")
 		emitCSV  = flag.String("emit-csv", "", "write the collected metric samples (component,time,metric,value) to this file — feedable to fchain-slave")
+		parallel = flag.Int("parallel", 0, "analysis workers (0 = all cores, 1 = serial; the diagnosis is identical either way)")
 	)
 	flag.Parse()
-	if err := run(*app, *fault, *target, *seed, *inject, *validate, *saveDeps, *emitCSV); err != nil {
+	if err := run(*app, *fault, *target, *seed, *inject, *validate, *saveDeps, *emitCSV, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-sim:", err)
 		os.Exit(1)
 	}
@@ -101,7 +102,7 @@ func buildFault(name, target string, inject int64, rng *rand.Rand) (scenario.Fau
 	}
 }
 
-func run(app, faultName, target string, seed, inject int64, validate bool, saveDeps, emitCSV string) error {
+func run(app, faultName, target string, seed, inject int64, validate bool, saveDeps, emitCSV string, parallel int) error {
 	sys, defaultTarget, discoverable, err := buildSystem(app, seed)
 	if err != nil {
 		return err
@@ -147,7 +148,9 @@ func run(app, faultName, target string, seed, inject int64, validate bool, saveD
 		fmt.Println("metric samples written to", emitCSV)
 	}
 
-	loc := fchain.NewLocalizer(fchain.DefaultConfig(), sys.Components())
+	cfg := fchain.DefaultConfig()
+	cfg.Parallelism = parallel
+	loc := fchain.NewLocalizer(cfg, sys.Components())
 	for _, comp := range sys.Components() {
 		for _, k := range fchain.Kinds() {
 			s, err := sys.Series(comp, k)
@@ -161,12 +164,13 @@ func run(app, faultName, target string, seed, inject int64, validate bool, saveD
 			}
 		}
 	}
-	diag := loc.Localize(tv, deps)
+	diag, stats := loc.LocalizeStats(tv, deps)
 	fmt.Println("propagation chain:")
 	for _, r := range diag.Chain {
 		fmt.Printf("  %-10s onset=%d metrics=%v\n", r.Component, r.Onset, r.AbnormalMetrics())
 	}
 	fmt.Println("diagnosis:", diag)
+	fmt.Println("analysis:", stats)
 
 	if validate && len(diag.Culprits) > 0 {
 		results, err := fchain.Validate(func() (fchain.Adjuster, error) {

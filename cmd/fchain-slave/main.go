@@ -48,15 +48,16 @@ func main() {
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for crash-safe model checkpoints (empty disables)")
 		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint interval")
 		reorder    = flag.Int("reorder-window", 5, "seconds a sample may arrive out of order before it is dropped (-1 disables reordering)")
+		parallel   = flag.Int("parallel", 0, "analysis workers per analyze request (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
-	if err := run(*name, *components, *master, *skew, *backoff, *backoffMax, *ckptDir, *ckptEvery, *reorder); err != nil {
+	if err := run(*name, *components, *master, *skew, *backoff, *backoffMax, *ckptDir, *ckptEvery, *reorder, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-slave:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, components, master string, skew int64, backoff, backoffMax time.Duration, ckptDir string, ckptEvery time.Duration, reorder int) error {
+func run(name, components, master string, skew int64, backoff, backoffMax time.Duration, ckptDir string, ckptEvery time.Duration, reorder, parallel int) error {
 	if name == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -90,6 +91,7 @@ func run(name, components, master string, skew int64, backoff, backoffMax time.D
 	}
 	cfg := fchain.DefaultConfig()
 	cfg.ReorderWindow = reorder
+	cfg.Parallelism = parallel
 	slave := fchain.NewSlave(name, comps, cfg, opts...)
 	if restored := slave.RestoredComponents(); len(restored) > 0 {
 		fmt.Printf("restored checkpointed models for %v\n", restored)

@@ -104,6 +104,13 @@ type DataQuality = core.DataQuality
 // clamped, reordered, interpolated, long gaps) behind a DataQuality.
 type IngestStats = ingest.Stats
 
+// PoolStats reports how the analysis engine spent its time on one call:
+// worker pool shape plus per-phase latency histograms.
+type PoolStats = core.PoolStats
+
+// LatencyHist is the log2-bucketed nanosecond histogram inside PoolStats.
+type LatencyHist = core.LatencyHist
+
 // Sentinel errors returned by the strict Observe path. Use errors.Is to
 // test for them; both wrap details about the offending sample.
 var (
@@ -116,7 +123,9 @@ var (
 
 // Localizer is the whole FChain pipeline behind two calls: Observe for
 // every metric sample, Localize when a performance anomaly is detected.
-// It is not safe for concurrent use; run one per collection loop.
+// Monitor state is sharded per (component, metric), so concurrent Observe
+// calls and a concurrent Analyze/Localize are safe; analysis itself fans
+// out over a bounded worker pool sized by Config.Parallelism.
 type Localizer struct {
 	inner *core.Localizer
 }
@@ -157,12 +166,31 @@ func (l *Localizer) Quality() map[string]DataQuality { return l.inner.Quality() 
 // look-back window ending at tv, without running the diagnosis step.
 func (l *Localizer) Analyze(tv int64) []ComponentReport { return l.inner.Analyze(tv) }
 
+// AnalyzeInto is Analyze appending into dst (reset to length 0 first);
+// reusing the slice across calls keeps the steady-state analysis path
+// allocation-free.
+func (l *Localizer) AnalyzeInto(dst []ComponentReport, tv int64) []ComponentReport {
+	return l.inner.AnalyzeInto(dst, tv)
+}
+
+// AnalyzeStats is Analyze also returning the analysis engine's worker-pool
+// shape and per-phase latency histograms.
+func (l *Localizer) AnalyzeStats(tv int64) ([]ComponentReport, PoolStats) {
+	return l.inner.AnalyzeStats(tv)
+}
+
 // Localize runs the full pipeline at SLO-violation time tv. deps is the
 // inter-component dependency graph from offline discovery and may be nil
 // or empty (FChain then relies on propagation order alone, as it must for
 // continuous stream-processing systems).
 func (l *Localizer) Localize(tv int64, deps *DependencyGraph) Diagnosis {
 	return l.inner.Localize(tv, deps)
+}
+
+// LocalizeStats is Localize also returning the analysis engine's timing
+// counters (selection task latencies plus per-pass diagnosis latency).
+func (l *Localizer) LocalizeStats(tv int64, deps *DependencyGraph) (Diagnosis, PoolStats) {
+	return l.inner.LocalizeStats(tv, deps)
 }
 
 // Diagnose runs only the master-side integrated diagnosis over

@@ -1,0 +1,122 @@
+// Package benchjson defines the machine-readable benchmark report that
+// cmd/fchain-bench emits (BENCH_<date>.json) and the benchstat-style
+// comparison the CI smoke job uses to guard against performance
+// regressions: a committed baseline report is compared against a fresh
+// run, and any benchmark that got more than a threshold slower — or
+// started allocating where the baseline did not — fails the check.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Result is one benchmark measurement, in the same units `go test -bench`
+// reports.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Report is a full benchmark run.
+type Report struct {
+	// Date is the YYYY-MM-DD day of the run.
+	Date string `json:"date"`
+	// GoMaxProcs is the worker budget the parallel benchmarks ran with.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Notes carries free-form context (CPU model, derived speedups).
+	Notes   []string `json:"notes,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Find returns the named result, or nil.
+func (r *Report) Find(name string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// Sort orders results by name so reports diff cleanly.
+func (r *Report) Sort() {
+	sort.Slice(r.Results, func(i, j int) bool { return r.Results[i].Name < r.Results[j].Name })
+}
+
+// Write saves a report as indented JSON.
+func Write(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchjson: encode: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Read loads a report written by Write.
+func Read(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchjson: decode %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Regression is one benchmark that got worse than the comparison allows.
+type Regression struct {
+	Name     string
+	Kind     string // "time" or "allocs"
+	Baseline float64
+	Current  float64
+}
+
+func (g Regression) String() string {
+	switch g.Kind {
+	case "allocs":
+		return fmt.Sprintf("%s: allocs/op %.1f -> %.1f", g.Name, g.Baseline, g.Current)
+	default:
+		return fmt.Sprintf("%s: ns/op %.0f -> %.0f (%+.0f%%)",
+			g.Name, g.Baseline, g.Current, 100*(g.Current-g.Baseline)/g.Baseline)
+	}
+}
+
+// Compare checks current against baseline. threshold is the fractional
+// ns/op slowdown tolerated (0.30 = 30%); a small absolute slack absorbs
+// timer noise on sub-microsecond benchmarks. Allocation counts are held to
+// the same relative threshold plus a two-alloc slack (sync.Pool misses
+// after a GC make steady-state counts fractionally noisy). Benchmarks in
+// the baseline but absent from the current run are returned in missing —
+// a silently dropped benchmark must not pass the guard.
+func Compare(baseline, current *Report, threshold float64) (regressions []Regression, missing []string) {
+	const nsSlack = 50 // absolute ns/op slack for nanosecond-scale benchmarks
+	for _, base := range baseline.Results {
+		cur := current.Find(base.Name)
+		if cur == nil {
+			missing = append(missing, base.Name)
+			continue
+		}
+		if cur.NsPerOp > base.NsPerOp*(1+threshold)+nsSlack {
+			regressions = append(regressions, Regression{
+				Name: base.Name, Kind: "time",
+				Baseline: base.NsPerOp, Current: cur.NsPerOp,
+			})
+		}
+		allocLimit := base.AllocsPerOp*(1+threshold) + 2
+		if cur.AllocsPerOp > allocLimit {
+			regressions = append(regressions, Regression{
+				Name: base.Name, Kind: "allocs",
+				Baseline: base.AllocsPerOp, Current: cur.AllocsPerOp,
+			})
+		}
+	}
+	return regressions, missing
+}

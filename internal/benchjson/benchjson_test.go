@@ -1,0 +1,71 @@
+package benchjson
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	in := &Report{
+		Date:       "2026-08-05",
+		GoMaxProcs: 4,
+		Notes:      []string{"test run"},
+		Results: []Result{
+			{Name: "B", Iterations: 10, NsPerOp: 100, AllocsPerOp: 1, BytesPerOp: 64},
+			{Name: "A", Iterations: 5, NsPerOp: 2000},
+		},
+	}
+	in.Sort()
+	if in.Results[0].Name != "A" {
+		t.Fatal("Sort did not order by name")
+	}
+	if err := Write(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 || out.Date != in.Date || out.Find("B") == nil {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if out.Find("missing") != nil {
+		t.Error("Find on absent name should return nil")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Report{Results: []Result{
+		{Name: "fast", NsPerOp: 100_000, AllocsPerOp: 0},
+		{Name: "ok", NsPerOp: 50_000, AllocsPerOp: 5},
+		{Name: "gone", NsPerOp: 1000},
+	}}
+	cur := &Report{Results: []Result{
+		// 2x slower and now allocating: two regressions.
+		{Name: "fast", NsPerOp: 200_000, AllocsPerOp: 4},
+		// Within threshold and alloc slack: clean.
+		{Name: "ok", NsPerOp: 60_000, AllocsPerOp: 6},
+	}}
+	regs, missing := Compare(base, cur, 0.30)
+	if len(missing) != 1 || missing[0] != "gone" {
+		t.Errorf("missing = %v, want [gone]", missing)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want time+allocs for fast", regs)
+	}
+	for _, g := range regs {
+		if g.Name != "fast" {
+			t.Errorf("unexpected regression %v", g)
+		}
+		if g.String() == "" {
+			t.Error("empty regression description")
+		}
+	}
+	// Nanosecond-scale benchmarks get absolute slack: 10ns -> 40ns is noise.
+	tiny := &Report{Results: []Result{{Name: "t", NsPerOp: 10}}}
+	tinyCur := &Report{Results: []Result{{Name: "t", NsPerOp: 40}}}
+	if regs, _ := Compare(tiny, tinyCur, 0.30); len(regs) != 0 {
+		t.Errorf("sub-slack delta flagged: %v", regs)
+	}
+}

@@ -15,7 +15,6 @@ package changepoint
 import (
 	"math"
 	"math/rand"
-	"sort"
 
 	"fchain/internal/timeseries"
 )
@@ -61,17 +60,50 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Scratch holds the reusable working memory of one detection caller: the
+// bootstrap shuffle buffer and the detected/filtered point slices. A zero
+// Scratch is ready to use; after the first few calls warm its buffers,
+// detection and outlier filtering allocate nothing. A Scratch is owned by
+// one goroutine at a time — the parallel analysis engine keeps one per
+// worker. Slices returned by the scratch-based methods alias the scratch
+// and are invalidated by its next use.
+type Scratch struct {
+	shuffled []float64
+	points   []Point
+	outliers []Point
+	mags     []float64
+}
+
 // Detect finds change points in vals using CUSUM + bootstrap with recursive
 // segmentation, returning them in increasing index order.
 func Detect(vals []float64, cfg Config) []Point {
+	var sc Scratch
+	return sc.Detect(vals, cfg)
+}
+
+// Detect is the scratch-reusing variant of the package-level Detect: the
+// returned slice is backed by the scratch and only valid until its next
+// Detect call.
+func (sc *Scratch) Detect(vals []float64, cfg Config) []Point {
 	cfg = cfg.withDefaults()
-	var out []Point
-	detectSegment(vals, 0, cfg, &out)
-	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	if cap(sc.shuffled) < len(vals) {
+		sc.shuffled = make([]float64, len(vals))
+	}
+	sc.points = sc.points[:0]
+	sc.detectSegment(vals, 0, cfg)
+	out := sc.points
+	// Insertion sort: point counts are small, indices are unique (segments
+	// are disjoint), and sort.Slice would box its argument — the only
+	// allocation left on the hot detection path.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Index < out[j-1].Index; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
 	return out
 }
 
-func detectSegment(vals []float64, offset int, cfg Config, out *[]Point) {
+func (sc *Scratch) detectSegment(vals []float64, offset int, cfg Config) {
 	if len(vals) < cfg.MinSegment {
 		return
 	}
@@ -79,21 +111,21 @@ func detectSegment(vals []float64, offset int, cfg Config, out *[]Point) {
 	if idx <= 0 || idx >= len(vals)-1 {
 		return
 	}
-	conf := bootstrapConfidence(vals, sdiff, cfg)
+	conf := bootstrapConfidence(vals, sdiff, cfg, sc.shuffled[:len(vals)])
 	if conf < cfg.Confidence {
 		return
 	}
 	before := timeseries.Mean(vals[:idx])
 	after := timeseries.Mean(vals[idx:])
-	*out = append(*out, Point{
+	sc.points = append(sc.points, Point{
 		Index:      offset + idx,
 		Confidence: conf,
 		Magnitude:  math.Abs(after - before),
 		Before:     before,
 		After:      after,
 	})
-	detectSegment(vals[:idx], offset, cfg, out)
-	detectSegment(vals[idx:], offset+idx, cfg, out)
+	sc.detectSegment(vals[:idx], offset, cfg)
+	sc.detectSegment(vals[idx:], offset+idx, cfg)
 }
 
 // cusumPeak returns the index of the maximum |CUSUM| and the CUSUM range
@@ -124,12 +156,12 @@ func cusumPeak(vals []float64) (idx int, sdiff float64) {
 }
 
 // bootstrapConfidence estimates the fraction of random reorderings of vals
-// whose CUSUM range falls below the observed one.
-func bootstrapConfidence(vals []float64, observed float64, cfg Config) float64 {
+// whose CUSUM range falls below the observed one. shuffled is a
+// caller-provided resampling buffer of len(vals).
+func bootstrapConfidence(vals []float64, observed float64, cfg Config, shuffled []float64) float64 {
 	if observed == 0 {
 		return 0
 	}
-	shuffled := make([]float64, len(vals))
 	copy(shuffled, vals)
 	below := 0
 	for b := 0; b < cfg.Bootstraps; b++ {
@@ -149,19 +181,28 @@ func bootstrapConfidence(vals []float64, observed float64, cfg Config) float64 {
 // typically 1.0–2.0). With fewer than 3 candidates all are kept, since no
 // meaningful outlier statistics exist.
 func SelectOutliers(points []Point, sigma float64) []Point {
+	var sc Scratch
+	return sc.SelectOutliers(points, sigma)
+}
+
+// SelectOutliers is the scratch-reusing variant of the package-level
+// SelectOutliers: the returned slice is backed by the scratch and only valid
+// until its next SelectOutliers call.
+func (sc *Scratch) SelectOutliers(points []Point, sigma float64) []Point {
 	if len(points) < 3 {
-		out := make([]Point, len(points))
-		copy(out, points)
+		out := append(sc.outliers[:0], points...)
+		sc.outliers = out
 		return out
 	}
-	mags := make([]float64, len(points))
-	for i, p := range points {
-		mags[i] = p.Magnitude
+	mags := sc.mags[:0]
+	for _, p := range points {
+		mags = append(mags, p.Magnitude)
 	}
+	sc.mags = mags
 	mean := timeseries.Mean(mags)
 	sd := timeseries.Std(mags)
 	thresh := mean + sigma*sd
-	var out []Point
+	out := sc.outliers[:0]
 	for _, p := range points {
 		if p.Magnitude > thresh {
 			out = append(out, p)
@@ -178,6 +219,7 @@ func SelectOutliers(points []Point, sigma float64) []Point {
 		}
 		out = append(out, best)
 	}
+	sc.outliers = out
 	return out
 }
 

@@ -530,6 +530,7 @@ func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, e
 		reports []core.ComponentReport
 		usedTV  int64
 		retries int
+		waitNS  int64
 		err     error
 	}
 	answers := make(chan answer, len(conns))
@@ -540,11 +541,17 @@ func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, e
 				answers <- answer{slave: sc.name, err: fmt.Errorf("cluster: circuit open for slave %s", sc.name)}
 				return
 			}
+			start := time.Now()
 			a := m.askSlave(ctx, sc, tv, lookBack, attempts, perAttempt)
 			sc.recordResult(a.err == nil, m.brThreshold)
-			answers <- answer{slave: sc.name, reports: a.reports, usedTV: a.usedTV, retries: a.retries, err: a.err}
+			answers <- answer{slave: sc.name, reports: a.reports, usedTV: a.usedTV, retries: a.retries, waitNS: time.Since(start).Nanoseconds(), err: a.err}
 		}()
 	}
+	// The request fans out to every slave at once, so the pool width is the
+	// slave count; the select histogram records each slave's answer latency
+	// (its remote selection work plus the wire).
+	res.Stats.Workers = len(conns)
+	res.Stats.Tasks = len(conns)
 
 	var reports []core.ComponentReport
 	seen := make(map[string]bool)
@@ -556,6 +563,7 @@ func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, e
 			continue
 		}
 		res.SlavesAnswered++
+		res.Stats.Select.Observe(a.waitNS)
 		// Clock-offset normalization: the slave echoed which clock its
 		// onsets are in. The propagation chain orders components by onset
 		// across slaves, so per-slave offsets must be removed before
@@ -593,7 +601,9 @@ func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, e
 	if len(reports) == 0 && len(res.Errors) > 0 {
 		return res, fmt.Errorf("cluster: all slaves failed: %s", res.Errors[0])
 	}
+	diagStart := time.Now()
 	res.Diagnosis = core.Diagnose(reports, res.ComponentsKnown, m.deps, m.cfg)
+	res.Stats.Diagnose.Observe(time.Since(diagStart).Nanoseconds())
 	m.mu.Lock()
 	m.history = append(m.history, DiagnosisRecord{TV: tv, Diagnosis: res.Diagnosis, Degraded: res.Degraded})
 	if len(m.history) > historyLimit {

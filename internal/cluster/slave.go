@@ -8,6 +8,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -91,10 +92,10 @@ type Slave struct {
 	restored           []string // components restored from checkpoints
 	stopCkpt           chan struct{}
 
-	// monMu serializes all monitor state access: collection (Observe/
-	// Ingest), analysis, and checkpoint snapshots run on different
-	// goroutines, and core.Monitor itself is single-goroutine.
-	monMu sync.Mutex
+	// Monitor state needs no slave-level lock: core.Monitor shards its
+	// state per metric, so collection (Observe/Ingest), analysis, and
+	// checkpoint snapshots running on different goroutines synchronize on
+	// the shard mutexes and contend only per metric touched.
 
 	mu       sync.Mutex
 	monitors map[string]*core.Monitor
@@ -254,12 +255,10 @@ func (s *Slave) CheckpointNow() error {
 		monitors[comp] = mon
 	}
 	s.mu.Unlock()
-	s.monMu.Lock()
 	snaps := make(map[string]*core.MonitorSnapshot, len(monitors))
 	for comp, mon := range monitors {
 		snaps[comp] = mon.Snapshot()
 	}
-	s.monMu.Unlock()
 	var firstErr error
 	for comp, snap := range snaps {
 		if err := core.SaveCheckpoint(s.checkpointPath(comp), snap); err != nil && firstErr == nil {
@@ -299,8 +298,6 @@ func (s *Slave) Observe(component string, t int64, k metric.Kind, v float64) err
 	if !ok {
 		return fmt.Errorf("cluster: slave %s does not monitor %q", s.name, component)
 	}
-	s.monMu.Lock()
-	defer s.monMu.Unlock()
 	return mon.Observe(t+s.skew, k, v)
 }
 
@@ -315,8 +312,6 @@ func (s *Slave) Ingest(component string, t int64, k metric.Kind, v float64) erro
 	if !ok {
 		return fmt.Errorf("cluster: slave %s does not monitor %q", s.name, component)
 	}
-	s.monMu.Lock()
-	defer s.monMu.Unlock()
 	return mon.Ingest(t+s.skew, k, v)
 }
 
@@ -329,8 +324,6 @@ func (s *Slave) Quality() map[string]core.DataQuality {
 		monitors[comp] = mon
 	}
 	s.mu.Unlock()
-	s.monMu.Lock()
-	defer s.monMu.Unlock()
 	out := make(map[string]core.DataQuality, len(monitors))
 	for comp, mon := range monitors {
 		st := mon.Quality()
@@ -533,24 +526,23 @@ func (s *Slave) serveLoop(w *connWriter) error {
 
 // analyzeWithWindow honors the master's per-request look-back override: the
 // monitors retain RingCapacity samples, so any window up to that bound can
-// be analyzed regardless of the slave's configured default.
+// be analyzed regardless of the slave's configured default. The per-metric
+// selection tasks of all local components run on one bounded worker pool
+// (cfg.Parallelism; collection keeps flowing meanwhile — analysis only
+// briefly locks each metric shard while copying its history).
 func (s *Slave) analyzeWithWindow(tv int64, lookBack int) []core.ComponentReport {
 	s.mu.Lock()
-	monitors := make([]*core.Monitor, 0, len(s.monitors))
-	for _, mon := range s.monitors {
-		monitors = append(monitors, mon)
+	names := make([]string, 0, len(s.monitors))
+	for name := range s.monitors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	monitors := make([]*core.Monitor, len(names))
+	for i, name := range names {
+		monitors[i] = s.monitors[name]
 	}
 	s.mu.Unlock()
-	s.monMu.Lock()
-	defer s.monMu.Unlock()
-	reports := make([]core.ComponentReport, 0, len(monitors))
-	for _, mon := range monitors {
-		if lookBack > 0 {
-			reports = append(reports, mon.AnalyzeWindow(tv+s.skew, lookBack))
-		} else {
-			reports = append(reports, mon.Analyze(tv+s.skew))
-		}
-	}
+	reports, _ := core.AnalyzeMonitors(monitors, tv+s.skew, lookBack, s.cfg.Parallelism)
 	return reports
 }
 

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+
+	"fchain/internal/changepoint"
+	"fchain/internal/timeseries"
+)
+
+// arena is the scratch memory one analysis worker owns while it runs: the
+// materialized sample/error series the zero-copy window views point into,
+// the smoothing/detrending/percentile buffers, the change-point detector's
+// scratch, and a reseedable RNG for the bootstrap. Pooling arenas is what
+// keeps the hot localize path allocation-free once the buffers have grown to
+// the workload's window sizes.
+//
+// Ownership rule: an arena belongs to exactly one goroutine between getArena
+// and putArena, and everything analyzeMetric returns by value is copied out
+// of it before the next metric reuses the buffers.
+type arena struct {
+	vals timeseries.Series // materialized samples; views alias its storage
+	errs timeseries.Series // materialized prediction errors
+
+	smooth  []float64 // smoothed window
+	detrend []float64 // detrended FFT input
+	diffs   []float64 // sample-to-sample differences (adaptive smoothing)
+	pctile  []float64 // percentile sort buffer
+
+	cp changepoint.Scratch
+
+	// src/rng implement the deterministic per-(component, metric, tv)
+	// bootstrap source without a rand.New allocation per metric: the source
+	// is reseeded in place, which restores the exact stream rand.New would
+	// have produced for that seed.
+	src rand.Source
+	rng *rand.Rand
+}
+
+var arenaPool = sync.Pool{New: func() any {
+	src := rand.NewSource(1)
+	return &arena{src: src, rng: rand.New(src)}
+}}
+
+func getArena() *arena  { return arenaPool.Get().(*arena) }
+func putArena(a *arena) { arenaPool.Put(a) }
+
+// seededRand reseeds the arena's RNG and returns it. The returned *rand.Rand
+// is only valid until the next seededRand call on the same arena.
+func (a *arena) seededRand(seed int64) *rand.Rand {
+	a.src.Seed(seed)
+	return a.rng
+}

@@ -16,7 +16,11 @@
 //     each pinpointed component and watching the SLO (validate.go).
 package core
 
-import "fchain/internal/ingest"
+import (
+	"runtime"
+
+	"fchain/internal/ingest"
+)
 
 // Config holds every FChain tuning knob, with defaults matching the paper's
 // §III-A configuration.
@@ -175,6 +179,16 @@ type Config struct {
 	// ClampMinSamples is how many samples the clamp needs before engaging
 	// (default 64).
 	ClampMinSamples int
+
+	// Parallelism bounds the analysis worker pool that fans abnormal change
+	// point selection out per component and, within a component, per metric:
+	// 0 (the default) resolves to runtime.GOMAXPROCS(0) at analysis time, 1
+	// forces the serial path, and larger values cap the pool. The setting
+	// never changes results — every selection task is deterministic per
+	// (component, metric, tv), so parallel output is bit-identical to
+	// serial. It stays 0 in withDefaults so configurations serialized on one
+	// machine do not pin another machine to the wrong core count.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's default parameters.
@@ -277,6 +291,18 @@ func (c Config) withDefaults() Config {
 		c.ClampMinSamples = ingest.DefaultClampMinSamples
 	}
 	return c
+}
+
+// workers resolves the Parallelism knob against the machine: 0 means
+// GOMAXPROCS, anything below 1 is clamped to the serial path.
+func (c Config) workers() int {
+	if c.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if c.Parallelism < 1 {
+		return 1
+	}
+	return c.Parallelism
 }
 
 // ingestConfig maps the data-quality knobs onto the sanitizer's own config.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"fchain/internal/depgraph"
 	"fchain/internal/metric"
@@ -238,13 +239,60 @@ func (l *Localizer) Quality() map[string]DataQuality {
 	return out
 }
 
-// Analyze asks every monitor for its look-back report at tv.
+// Analyze asks every monitor for its look-back report at tv. With more than
+// one component and cfg.Parallelism allowing it, the per-metric selection
+// tasks run on a bounded worker pool; the reports are bit-identical to the
+// serial order either way.
 func (l *Localizer) Analyze(tv int64) []ComponentReport {
-	reports := make([]ComponentReport, 0, len(l.names))
-	for _, name := range l.names {
-		reports = append(reports, l.monitors[name].Analyze(tv))
-	}
+	reports, _ := l.analyzeAll(nil, tv, l.cfg)
 	return reports
+}
+
+// AnalyzeInto is Analyze appending into dst (reset to length 0 first): a
+// caller reusing the slice across calls makes the steady-state analysis
+// path allocation-free.
+func (l *Localizer) AnalyzeInto(dst []ComponentReport, tv int64) []ComponentReport {
+	reports, _ := l.analyzeAll(dst, tv, l.cfg)
+	return reports
+}
+
+// AnalyzeStats is Analyze also returning the engine's timing counters.
+func (l *Localizer) AnalyzeStats(tv int64) ([]ComponentReport, PoolStats) {
+	return l.analyzeAll(nil, tv, l.cfg)
+}
+
+// analyzeAll runs the analysis engine over every monitor under cfg.
+func (l *Localizer) analyzeAll(dst []ComponentReport, tv int64, cfg Config) ([]ComponentReport, PoolStats) {
+	if cap(dst) >= len(l.names) {
+		dst = dst[:0]
+	} else {
+		dst = make([]ComponentReport, 0, len(l.names))
+	}
+	workers := cfg.workers()
+	if workers <= 1 || len(l.names) <= 1 {
+		// Serial fast path. serialStats is a separate variable from the
+		// parallel branch's stats on purpose: the parallel engine leaks its
+		// stats pointer into worker goroutines, and sharing one variable
+		// would heap-allocate it on this allocation-free path too.
+		var serialStats PoolStats
+		serialStats.Workers = 1
+		serialStats.Tasks = len(l.names) * metric.NumKinds
+		a := getArena()
+		for _, name := range l.names {
+			dst = append(dst, l.monitors[name].analyzeArena(tv, cfg, a, &serialStats.Select))
+		}
+		putArena(a)
+		return dst, serialStats
+	}
+	var stats PoolStats
+	monitors := make([]*Monitor, len(l.names))
+	cfgs := make([]Config, len(l.names))
+	for i, name := range l.names {
+		monitors[i] = l.monitors[name]
+		cfgs[i] = cfg
+	}
+	dst = analyzeMonitors(dst, monitors, cfgs, tv, workers, &stats)
+	return dst, stats
 }
 
 // Localize runs the full pipeline: per-component abnormal change point
@@ -258,9 +306,20 @@ func (l *Localizer) Analyze(tv int64) []ComponentReport {
 // DiskHog situation, for which it manually switches from W=100 to W=500
 // (§III-A, §III-F).
 func (l *Localizer) Localize(tv int64, deps *depgraph.Graph) Diagnosis {
-	diag := Diagnose(l.Analyze(tv), len(l.names), deps, l.cfg)
+	diag, _ := l.LocalizeStats(tv, deps)
+	return diag
+}
+
+// LocalizeStats is Localize also returning the engine's per-phase timing:
+// selection task latencies plus one diagnosis observation per pass
+// (adaptive look-back retries accumulate).
+func (l *Localizer) LocalizeStats(tv int64, deps *depgraph.Graph) (Diagnosis, PoolStats) {
+	reports, stats := l.analyzeAll(nil, tv, l.cfg)
+	t0 := time.Now()
+	diag := Diagnose(reports, len(l.names), deps, l.cfg)
+	stats.Diagnose.Observe(time.Since(t0).Nanoseconds())
 	if !l.cfg.AdaptiveLookBack || len(diag.Chain) > 0 {
-		return diag
+		return diag, stats
 	}
 	for w := l.cfg.LookBack * 3; w <= l.cfg.MaxLookBack*3; w *= 3 {
 		window := w
@@ -272,14 +331,14 @@ func (l *Localizer) Localize(tv int64, deps *depgraph.Graph) Diagnosis {
 		// Ring capacity stays as provisioned; monitors retain
 		// RingCapacity samples, so the widened analysis sees as much of
 		// the longer window as the slave kept.
-		reports := make([]ComponentReport, 0, len(l.names))
-		for _, name := range l.names {
-			reports = append(reports, l.monitors[name].analyzeWith(tv, wide))
-		}
+		reports, st := l.analyzeAll(nil, tv, wide)
+		stats.Merge(st)
+		t0 = time.Now()
 		diag = Diagnose(reports, len(l.names), deps, wide)
+		stats.Diagnose.Observe(time.Since(t0).Nanoseconds())
 		if len(diag.Chain) > 0 || window == l.cfg.MaxLookBack {
-			return diag
+			return diag, stats
 		}
 	}
-	return diag
+	return diag, stats
 }

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"fchain/internal/metric"
+)
+
+// This file implements the parallel analysis engine: a bounded worker pool
+// that fans abnormal change point selection out as one task per
+// (component, metric) pair, each worker owning a pooled arena so the
+// selection kernels stay allocation-free under concurrency.
+//
+// Determinism contract: every task is a pure function of (monitor state at
+// materialize time, tv, cfg) — the bootstrap RNG is reseeded per task from
+// hashSeed(component, metric, tv) — and results are written to a
+// preallocated slot indexed by task, then assembled in canonical component
+// and metric order. Output is therefore bit-identical to the serial path at
+// any worker count.
+//
+// Single-component analyses stay serial regardless of the knob: the
+// per-violation hot path (one component per call in the module benchmarks)
+// would pay goroutine fan-out and result-slot allocation for at most six
+// tasks, and keeping it serial keeps it allocation-free.
+
+// analyzeSerial analyzes the monitors in order on one shared arena,
+// appending to dst.
+func analyzeSerial(dst []ComponentReport, monitors []*Monitor, cfgs []Config, tv int64, stats *PoolStats) []ComponentReport {
+	a := getArena()
+	for i, mon := range monitors {
+		dst = append(dst, mon.analyzeArena(tv, cfgs[i], a, &stats.Select))
+	}
+	putArena(a)
+	return dst
+}
+
+// analyzeMonitors is the engine entry point: it analyzes every monitor at
+// tv under its matching config (cfgs[i] for monitors[i]), appending one
+// report per monitor to dst in monitor order. workers <= 1, a single
+// monitor, or no monitors run serially.
+func analyzeMonitors(dst []ComponentReport, monitors []*Monitor, cfgs []Config, tv int64, workers int, stats *PoolStats) []ComponentReport {
+	numTasks := len(monitors) * metric.NumKinds
+	stats.Tasks += numTasks
+	if workers > numTasks {
+		workers = numTasks
+	}
+	if stats.Workers < 1 {
+		stats.Workers = 1
+	}
+	if workers <= 1 || len(monitors) <= 1 {
+		return analyzeSerial(dst, monitors, cfgs, tv, stats)
+	}
+	if workers > stats.Workers {
+		stats.Workers = workers
+	}
+
+	// Per-component prepass under no concurrency: flush the reorder buffers
+	// and capture quality exactly as the serial path does before analyzing.
+	qualities := make([]DataQuality, len(monitors))
+	for i, mon := range monitors {
+		mon.FlushIngest(tv)
+		qualities[i] = qualityOf(mon.Quality())
+	}
+
+	type taskResult struct {
+		ch AbnormalChange
+		ok bool
+	}
+	results := make([]taskResult, numTasks)
+	tasks := make(chan int)
+	var (
+		wg      sync.WaitGroup
+		statsMu sync.Mutex
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := getArena()
+			defer putArena(a)
+			var hist LatencyHist
+			for idx := range tasks {
+				mon := monitors[idx/metric.NumKinds]
+				k := metric.Kinds[idx%metric.NumKinds]
+				t0 := time.Now()
+				ch, ok := mon.analyzeMetric(tv, k, cfgs[idx/metric.NumKinds], a)
+				hist.Observe(time.Since(t0).Nanoseconds())
+				results[idx] = taskResult{ch: ch, ok: ok}
+			}
+			statsMu.Lock()
+			stats.Select.Merge(hist)
+			statsMu.Unlock()
+		}()
+	}
+	for i := 0; i < numTasks; i++ {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+
+	// Canonical-order assembly: reports in monitor order, changes in metric
+	// kind order, exactly like the serial loop.
+	for ci, mon := range monitors {
+		rep := ComponentReport{Component: mon.Component(), Quality: qualities[ci]}
+		for ki := 0; ki < metric.NumKinds; ki++ {
+			if r := results[ci*metric.NumKinds+ki]; r.ok {
+				rep.Changes = append(rep.Changes, r.ch)
+			}
+		}
+		if len(rep.Changes) > 0 {
+			rep.Onset = rep.Changes[0].Onset
+			for _, ch := range rep.Changes[1:] {
+				if ch.Onset < rep.Onset {
+					rep.Onset = ch.Onset
+				}
+			}
+		}
+		dst = append(dst, rep)
+	}
+	return dst
+}
+
+// AnalyzeMonitors analyzes several independent monitors on one bounded
+// worker pool, fanning out per (component, metric) task: the slave daemon
+// uses it to answer a master's analyze request with all local components in
+// flight at once. lookBack > 0 overrides each monitor's configured look-back
+// window; workers follows the Config.Parallelism convention (0 =
+// GOMAXPROCS, 1 = serial). Reports are returned in monitor order and are
+// bit-identical to analyzing each monitor serially.
+func AnalyzeMonitors(monitors []*Monitor, tv int64, lookBack, workers int) ([]ComponentReport, PoolStats) {
+	var stats PoolStats
+	cfgs := make([]Config, len(monitors))
+	for i, mon := range monitors {
+		cfgs[i] = mon.cfg
+		if lookBack > 0 {
+			cfgs[i].LookBack = lookBack
+		}
+	}
+	if workers == 0 {
+		workers = Config{}.workers()
+	}
+	reports := analyzeMonitors(make([]ComponentReport, 0, len(monitors)), monitors, cfgs, tv, workers, &stats)
+	return reports, stats
+}

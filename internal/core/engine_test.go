@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"fchain/internal/metric"
+)
+
+// feedMonitors builds n warmed-up monitors with per-component signal
+// shapes; components past the midpoint get a level shift near the end so
+// some reports carry abnormal changes and some do not.
+func feedMonitors(t *testing.T, n int, horizon int64) ([]*Monitor, []Config) {
+	t.Helper()
+	monitors := make([]*Monitor, n)
+	cfgs := make([]Config, n)
+	for i := range monitors {
+		cfg := Config{LookBack: 100}
+		mon := NewMonitor(fmt.Sprintf("c%d", i), cfg)
+		for ts := int64(0); ts < horizon; ts++ {
+			for _, k := range metric.Kinds {
+				v := float64(40+(ts+int64(i)*7)%23) + float64(int64(k))
+				if i >= n/2 && ts >= horizon-40 {
+					v += 35 // injected level shift
+				}
+				if err := mon.Observe(ts, k, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		monitors[i] = mon
+		cfgs[i] = cfg
+	}
+	return monitors, cfgs
+}
+
+// TestAnalyzeMonitorsMatchesSerial is the determinism contract of the
+// parallel engine: the same monitors analyzed at any worker count must
+// produce identical reports in identical order.
+func TestAnalyzeMonitorsMatchesSerial(t *testing.T) {
+	const horizon = 600
+	monitors, _ := feedMonitors(t, 6, horizon)
+	serial, serialStats := AnalyzeMonitors(monitors, horizon-1, 0, 1)
+	if serialStats.Tasks != 6*metric.NumKinds {
+		t.Errorf("serial Tasks = %d, want %d", serialStats.Tasks, 6*metric.NumKinds)
+	}
+	abnormal := 0
+	for _, r := range serial {
+		if len(r.Changes) > 0 {
+			abnormal++
+		}
+	}
+	if abnormal == 0 {
+		t.Fatal("test signal produced no abnormal components; the equality check would be vacuous")
+	}
+	for _, workers := range []int{2, 4, 7} {
+		par, stats := AnalyzeMonitors(monitors, horizon-1, 0, workers)
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("workers=%d: reports differ from serial\nserial: %+v\nparallel: %+v", workers, serial, par)
+		}
+		if stats.Tasks != serialStats.Tasks {
+			t.Errorf("workers=%d: Tasks = %d, want %d", workers, stats.Tasks, serialStats.Tasks)
+		}
+		if stats.Select.Count == 0 {
+			t.Errorf("workers=%d: no selection latencies recorded", workers)
+		}
+	}
+}
+
+// TestMonitorConcurrentObserveAnalyze drives collection and analysis into
+// one Monitor from many goroutines at once — exactly the slave daemon's
+// shape, where the ingest loop and the master's analyze requests overlap.
+// Run under -race this checks the per-metric shard locking; the assertions
+// check that analysis still sees coherent, non-empty state.
+func TestMonitorConcurrentObserveAnalyze(t *testing.T) {
+	cfg := Config{LookBack: 100}
+	mon := NewMonitor("c", cfg)
+	const warm = 500
+	for ts := int64(0); ts < warm; ts++ {
+		for _, k := range metric.Kinds {
+			if err := mon.Observe(ts, k, float64(40+ts%23)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	// One writer per metric: Observe requires per-metric monotone time, and
+	// a real collector feeds each attribute stream independently.
+	for _, k := range metric.Kinds {
+		wg.Add(1)
+		go func(k metric.Kind) {
+			defer wg.Done()
+			for ts := int64(warm); ts < warm+2000; ts++ {
+				var err error
+				// Exercise both ingest paths: the direct one and the
+				// sanitizing one.
+				if k%2 == 0 {
+					err = mon.Ingest(ts, k, float64(40+ts%23))
+				} else {
+					err = mon.Observe(ts, k, float64(40+ts%23))
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(k)
+	}
+	// Concurrent analyzers and a quality poller racing the writers.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				report := mon.Analyze(warm - 1)
+				if report.Component != "c" {
+					t.Errorf("report for %q, want c", report.Component)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 200; j++ {
+			mon.Quality()
+		}
+	}()
+	wg.Wait()
+
+	// The monitor must still be fully functional after the storm.
+	if report := mon.Analyze(warm + 1999); report.Component != "c" {
+		t.Errorf("post-storm report for %q, want c", report.Component)
+	}
+}
+
+// TestLocalizerConcurrentObserveAnalyze stresses the public facade the way
+// a daemon uses it: per-component feeders racing whole-system Analyze
+// calls.
+func TestLocalizerConcurrentObserveAnalyze(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	loc := NewLocalizer(Config{LookBack: 100}, names)
+	const warm = 400
+	for ts := int64(0); ts < warm; ts++ {
+		for _, c := range names {
+			for _, k := range metric.Kinds {
+				if err := loc.Observe(c, ts, k, float64(30+ts%17)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for _, c := range names {
+		wg.Add(1)
+		go func(c string) {
+			defer wg.Done()
+			for ts := int64(warm); ts < warm+800; ts++ {
+				for _, k := range metric.Kinds {
+					if err := loc.Observe(c, ts, k, float64(30+ts%17)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var reports []ComponentReport
+			for j := 0; j < 25; j++ {
+				reports = loc.AnalyzeInto(reports[:0], warm-1)
+				if len(reports) != len(names) {
+					t.Errorf("got %d reports, want %d", len(reports), len(names))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestLatencyHist checks the log2 bucketing, merge, and quantile edges the
+// pool statistics rely on.
+func TestLatencyHist(t *testing.T) {
+	var h LatencyHist
+	for _, ns := range []int64{100, 200, 1000, 1_000_000} {
+		h.Observe(ns)
+	}
+	if h.Count != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count)
+	}
+	if h.MaxNS != 1_000_000 {
+		t.Errorf("MaxNS = %d, want 1000000", h.MaxNS)
+	}
+	if mean := h.MeanNS(); mean != (100+200+1000+1_000_000)/4 {
+		t.Errorf("MeanNS = %d", mean)
+	}
+	// The p50 upper edge must cover the second-smallest observation but be
+	// far below the max.
+	if q := h.QuantileNS(0.5); q < 200 || q > 100_000 {
+		t.Errorf("QuantileNS(0.5) = %d out of range", q)
+	}
+	if q := h.QuantileNS(1); q < 1_000_000 {
+		t.Errorf("QuantileNS(1) = %d, want >= max", q)
+	}
+	var other LatencyHist
+	other.Observe(50)
+	other.Merge(h)
+	if other.Count != 5 || other.MaxNS != 1_000_000 {
+		t.Errorf("after merge: Count=%d MaxNS=%d", other.Count, other.MaxNS)
+	}
+	if s := other.String(); s == "" {
+		t.Error("String() empty")
+	}
+	var zero LatencyHist
+	if got := zero.QuantileNS(0.99); got != 0 {
+		t.Errorf("zero QuantileNS = %d, want 0", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"fchain/internal/ingest"
 	"fchain/internal/markov"
@@ -24,6 +25,48 @@ var (
 	ErrTimeRegression = errors.New("core: time regression")
 )
 
+// metricShard bundles everything the monitor keeps for one metric — the
+// online prediction model, the bounded sample and prediction-error
+// histories, the ingest sanitizer, and the last accepted timestamp — behind
+// its own mutex. Sharding by metric is what lets the collection goroutine
+// keep observing one metric while analysis workers snapshot the others:
+// the two paths only ever contend on the single shard they both touch, and
+// the analyze path holds that shard's lock just long enough to copy the
+// retained history into its private arena.
+type metricShard struct {
+	mu        sync.Mutex
+	model     *markov.Predictor
+	samples   *timeseries.Ring
+	errs      *timeseries.Ring
+	sanitizer *ingest.Sanitizer
+	lastT     int64
+	hasLast   bool
+}
+
+// push commits one validated sample to the shard's model and histories. The
+// caller holds the shard's lock.
+func (sh *metricShard) push(t int64, v float64) {
+	predErr, _ := sh.model.Observe(v)
+	sh.samples.Push(t, v)
+	sh.errs.Push(t, predErr)
+	sh.lastT = t
+	sh.hasLast = true
+}
+
+// apply commits one sanitized sample, severing the metric's dense history
+// first when the sanitizer marked a long collection gap: the pre-gap samples
+// would misalign the dense window indexing, and predicting the first
+// post-gap sample from the last pre-gap state would charge the model a
+// phantom transition across the outage. The caller holds the shard's lock.
+func (sh *metricShard) apply(s ingest.Sample) {
+	if s.GapBefore > 0 {
+		sh.samples.Clear()
+		sh.errs.Clear()
+		sh.model.Break()
+	}
+	sh.push(s.T, s.V)
+}
+
 // Monitor is the slave-side state for one monitored component: an online
 // prediction model per metric plus bounded sample and prediction-error
 // histories. It implements the "normal fluctuation modeling" module of
@@ -39,43 +82,29 @@ var (
 // dense history across long ones, accumulating quality counters that
 // propagate into every report.
 //
-// Monitor is not safe for concurrent use; FChain runs one collection
-// goroutine per host.
+// Monitor is safe for concurrent use: state is sharded per metric, so the
+// collection path (Observe/Ingest) and the analysis path contend only when
+// they touch the same metric, and then only for the duration of a history
+// copy. Analysis runs on a point-in-time copy of each shard taken under the
+// shard lock.
 type Monitor struct {
-	component  string
-	cfg        Config
-	models     map[metric.Kind]*markov.Predictor
-	samples    map[metric.Kind]*timeseries.Ring
-	errs       map[metric.Kind]*timeseries.Ring
-	sanitizers map[metric.Kind]*ingest.Sanitizer
-	lastT      map[metric.Kind]int64
-
-	// Scratch series backing the zero-copy analysis path: each analyzeMetric
-	// call rematerializes the rings into these and takes views. Safe because
-	// the monitor is single-goroutine and metrics are analyzed sequentially.
-	scratchVals *timeseries.Series
-	scratchErrs *timeseries.Series
+	component string
+	cfg       Config
+	// shards is indexed directly by metric.Kind (kinds start at 1; index 0
+	// is unused), trading one unused slot for branch-free lookup.
+	shards [metric.NumKinds + 1]metricShard
 }
 
 // NewMonitor returns a monitor for the named component.
 func NewMonitor(component string, cfg Config) *Monitor {
 	cfg = cfg.withDefaults()
-	m := &Monitor{
-		component:   component,
-		cfg:         cfg,
-		models:      make(map[metric.Kind]*markov.Predictor, metric.NumKinds),
-		samples:     make(map[metric.Kind]*timeseries.Ring, metric.NumKinds),
-		errs:        make(map[metric.Kind]*timeseries.Ring, metric.NumKinds),
-		sanitizers:  make(map[metric.Kind]*ingest.Sanitizer, metric.NumKinds),
-		lastT:       make(map[metric.Kind]int64, metric.NumKinds),
-		scratchVals: &timeseries.Series{},
-		scratchErrs: &timeseries.Series{},
-	}
+	m := &Monitor{component: component, cfg: cfg}
 	for _, k := range metric.Kinds {
-		m.models[k] = markov.New(cfg.MarkovBins, cfg.MarkovDecay)
-		m.samples[k] = timeseries.NewRing(cfg.RingCapacity)
-		m.errs[k] = timeseries.NewRing(cfg.RingCapacity)
-		m.sanitizers[k] = ingest.NewSanitizer(cfg.ingestConfig())
+		sh := &m.shards[k]
+		sh.model = markov.New(cfg.MarkovBins, cfg.MarkovDecay)
+		sh.samples = timeseries.NewRing(cfg.RingCapacity)
+		sh.errs = timeseries.NewRing(cfg.RingCapacity)
+		sh.sanitizer = ingest.NewSanitizer(cfg.ingestConfig())
 	}
 	return m
 }
@@ -83,31 +112,36 @@ func NewMonitor(component string, cfg Config) *Monitor {
 // Component returns the monitored component's name.
 func (m *Monitor) Component() string { return m.component }
 
+// shard returns metric k's shard, or nil for an invalid kind.
+func (m *Monitor) shard(k metric.Kind) *metricShard {
+	if k < 1 || int(k) >= len(m.shards) {
+		return nil
+	}
+	return &m.shards[k]
+}
+
 // Observe feeds one metric sample (taken at time t) into the model and the
 // bounded history. It is the strict path: values must be finite
 // (ErrBadSample otherwise) and timestamps must strictly advance per metric
 // (ErrTimeRegression otherwise). Collection paths that cannot guarantee
 // either should use Ingest instead.
 func (m *Monitor) Observe(t int64, k metric.Kind, v float64) error {
-	if _, ok := m.models[k]; !ok {
+	sh := m.shard(k)
+	if sh == nil {
 		return fmt.Errorf("core: invalid metric kind %v", k)
 	}
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return fmt.Errorf("%w: %s=%v at t=%d", ErrBadSample, k, v, t)
 	}
-	if last, seen := m.lastT[k]; seen && t <= last {
+	sh.mu.Lock()
+	if sh.hasLast && t <= sh.lastT {
+		last := sh.lastT
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %s sample at t=%d, already observed t=%d", ErrTimeRegression, k, t, last)
 	}
-	m.push(t, k, v)
+	sh.push(t, v)
+	sh.mu.Unlock()
 	return nil
-}
-
-// push commits one validated sample to the model and histories.
-func (m *Monitor) push(t int64, k metric.Kind, v float64) {
-	predErr, _ := m.models[k].Observe(v)
-	m.samples[k].Push(t, v)
-	m.errs[k].Push(t, predErr)
-	m.lastT[k] = t
 }
 
 // Ingest feeds one possibly-dirty metric sample through the per-metric
@@ -117,13 +151,15 @@ func (m *Monitor) push(t int64, k metric.Kind, v float64) {
 // The error reports only an invalid metric kind; data problems are absorbed
 // into the quality counters rather than returned.
 func (m *Monitor) Ingest(t int64, k metric.Kind, v float64) error {
-	san, ok := m.sanitizers[k]
-	if !ok {
+	sh := m.shard(k)
+	if sh == nil {
 		return fmt.Errorf("core: invalid metric kind %v", k)
 	}
-	for _, s := range san.Push(t, v) {
-		m.apply(k, s)
+	sh.mu.Lock()
+	for _, s := range sh.sanitizer.Push(t, v) {
+		sh.apply(s)
 	}
+	sh.mu.Unlock()
 	return nil
 }
 
@@ -142,24 +178,13 @@ func (m *Monitor) IngestVector(t int64, vec *metric.Vector) error {
 // behind samples the sanitizer is still holding.
 func (m *Monitor) FlushIngest(upTo int64) {
 	for _, k := range metric.Kinds {
-		for _, s := range m.sanitizers[k].Flush(upTo) {
-			m.apply(k, s)
+		sh := &m.shards[k]
+		sh.mu.Lock()
+		for _, s := range sh.sanitizer.Flush(upTo) {
+			sh.apply(s)
 		}
+		sh.mu.Unlock()
 	}
-}
-
-// apply commits one sanitized sample, severing the metric's dense history
-// first when the sanitizer marked a long collection gap: the pre-gap samples
-// would misalign the dense window indexing, and predicting the first
-// post-gap sample from the last pre-gap state would charge the model a
-// phantom transition across the outage.
-func (m *Monitor) apply(k metric.Kind, s ingest.Sample) {
-	if s.GapBefore > 0 {
-		m.samples[k].Clear()
-		m.errs[k].Clear()
-		m.models[k].Break()
-	}
-	m.push(s.T, k, s.V)
 }
 
 // Quality aggregates the sanitizer statistics across all metrics of the
@@ -168,7 +193,10 @@ func (m *Monitor) apply(k metric.Kind, s ingest.Sample) {
 func (m *Monitor) Quality() ingest.Stats {
 	var st ingest.Stats
 	for _, k := range metric.Kinds {
-		st.Merge(m.sanitizers[k].Stats())
+		sh := &m.shards[k]
+		sh.mu.Lock()
+		st.Merge(sh.sanitizer.Stats())
+		sh.mu.Unlock()
 	}
 	return st
 }
@@ -185,17 +213,15 @@ func (m *Monitor) ObserveVector(t int64, vec *metric.Vector) error {
 }
 
 // materialize snapshots metric k's retained samples and prediction errors
-// into the monitor's scratch series, returning both. All window and context
-// queries of one analysis pass take zero-copy views of these; the views are
-// invalidated by the next materialize call.
-func (m *Monitor) materialize(k metric.Kind) (sv, se *timeseries.Series) {
-	sv = m.samples[k].SeriesInto(m.scratchVals)
-	se = m.errs[k].SeriesInto(m.scratchErrs)
+// into the arena's series under the shard lock, returning both. All window
+// and context queries of one analysis pass take zero-copy views of these;
+// the views are invalidated by the arena's next materialize. Once the copy
+// is out, analysis proceeds without blocking the collection path.
+func (m *Monitor) materialize(k metric.Kind, a *arena) (sv, se *timeseries.Series) {
+	sh := &m.shards[k]
+	sh.mu.Lock()
+	sv = sh.samples.SeriesInto(&a.vals)
+	se = sh.errs.SeriesInto(&a.errs)
+	sh.mu.Unlock()
 	return sv, se
-}
-
-// viewBefore returns a zero-copy view of up to w samples with timestamps in
-// (end-w, end] — the look-back window query.
-func viewBefore(s *timeseries.Series, end int64, w int) *timeseries.Series {
-	return s.WindowView(end-int64(w)+1, end+1)
 }

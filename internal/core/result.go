@@ -49,6 +49,13 @@ type LocalizeResult struct {
 	// clock minus master clock) of each slave whose reports needed onset
 	// normalization; slaves in sync with the master are absent.
 	ClockOffsets map[string]int64 `json:"clock_offsets,omitempty"`
+
+	// Stats carries the analysis engine's timing counters for this call:
+	// in-process localizers report per-metric selection task latencies,
+	// the cluster master reports per-slave answer latencies, and both time
+	// the integrated diagnosis — the latency the cluster CLI surfaces
+	// alongside quality and coverage.
+	Stats PoolStats `json:"stats,omitzero"`
 }
 
 // MinQuality returns the lowest per-component quality confidence in the

@@ -2,8 +2,8 @@ package core
 
 import (
 	"math"
-	"math/rand"
 	"sort"
+	"time"
 
 	"fchain/internal/changepoint"
 	"fchain/internal/fftpkg"
@@ -120,13 +120,30 @@ func (m *Monitor) AnalyzeWindow(tv int64, lookBack int) ComponentReport {
 }
 
 // analyzeWith runs the analysis under an alternative configuration (used by
-// the adaptive look-back retries, which widen the window).
+// the adaptive look-back retries, which widen the window), borrowing a
+// pooled arena for the pass.
 func (m *Monitor) analyzeWith(tv int64, cfg Config) ComponentReport {
+	a := getArena()
+	report := m.analyzeArena(tv, cfg, a, nil)
+	putArena(a)
+	return report
+}
+
+// analyzeArena runs the full per-component analysis on the caller's arena;
+// hist, when non-nil, receives one latency observation per metric task.
+func (m *Monitor) analyzeArena(tv int64, cfg Config, a *arena, hist *LatencyHist) ComponentReport {
 	// Never analyze behind samples the reorder buffers are still holding.
 	m.FlushIngest(tv)
 	report := ComponentReport{Component: m.component, Quality: qualityOf(m.Quality())}
 	for _, k := range metric.Kinds {
-		ch, ok := m.analyzeMetric(tv, k, cfg)
+		var t0 time.Time
+		if hist != nil {
+			t0 = time.Now()
+		}
+		ch, ok := m.analyzeMetric(tv, k, cfg, a)
+		if hist != nil {
+			hist.Observe(time.Since(t0).Nanoseconds())
+		}
 		if ok {
 			report.Changes = append(report.Changes, ch)
 		}
@@ -143,35 +160,42 @@ func (m *Monitor) analyzeWith(tv int64, cfg Config) ComponentReport {
 }
 
 // analyzeMetric selects the earliest abnormal change for one metric; ok is
-// false when the metric exhibits none.
-func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config) (AbnormalChange, bool) {
-	sv, se := m.materialize(k)
+// false when the metric exhibits none. All working memory comes from the
+// caller's arena, so a warmed-up analysis allocates nothing; the monitor's
+// shard lock is held only inside materialize, never across the analysis.
+func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config, a *arena) (AbnormalChange, bool) {
+	sv, se := m.materialize(k, a)
 	span := cfg.LookBack + cfg.BurstWindow
-	vals := viewBefore(sv, tv, span)
-	errsSeries := viewBefore(se, tv, span)
+	vals := sv.ViewRange(tv-int64(span)+1, tv+1)
+	errsSeries := se.ViewRange(tv-int64(span)+1, tv+1)
 	if vals.Len() < cfg.SmoothWindow*3 || vals.Len() < 8 {
 		return AbnormalChange{}, false
 	}
 	raw := vals.ValuesView()
 	smoothWindow := cfg.SmoothWindow
 	if cfg.AdaptiveSmoothing {
-		smoothWindow = adaptiveSmoothWidth(sv.WindowView(sv.Start(), tv-int64(cfg.LookBack)).ValuesView(), cfg.SmoothWindow)
+		ctx := sv.ViewRange(sv.Start(), tv-int64(cfg.LookBack))
+		smoothWindow = adaptiveSmoothWidth(ctx.ValuesView(), cfg.SmoothWindow, a)
 	}
-	smoothed := timeseries.Smooth(raw, smoothWindow)
+	smoothed := timeseries.SmoothInto(a.smooth, raw, smoothWindow)
+	a.smooth = smoothed
 
 	// The look-back region starts W before tv; the extra BurstWindow of
 	// older samples only provides context for FFT extraction and rollback.
 	lookbackStart := tv - int64(cfg.LookBack)
-	points := changepoint.Detect(smoothed, changepoint.Config{
+	points := a.cp.Detect(smoothed, changepoint.Config{
 		Bootstraps: cfg.Bootstraps,
 		Confidence: cfg.CPConfidence,
-		// Deterministic per (component, metric, tv) for reproducibility.
-		Rand: rand.New(rand.NewSource(hashSeed(m.component, int64(k), tv))),
+		// Deterministic per (component, metric, tv) for reproducibility:
+		// reseeding the arena's source restores the exact stream a fresh
+		// rand.New(rand.NewSource(seed)) would produce, whichever worker
+		// runs the task.
+		Rand: a.seededRand(hashSeed(m.component, int64(k), tv)),
 	})
 	if len(points) == 0 {
 		return AbnormalChange{}, false
 	}
-	outliers := changepoint.SelectOutliers(points, cfg.OutlierSigma)
+	outliers := a.cp.SelectOutliers(points, cfg.OutlierSigma)
 
 	// Self-calibration: all retained history before the look-back window
 	// characterizes how predictable this metric was before the anomaly
@@ -182,12 +206,13 @@ func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config) (AbnormalCh
 	var contextFloor, contextValueStd float64
 	ctxP99 := math.Inf(1)
 	ctxP1 := math.Inf(-1)
-	if cv := sv.WindowView(sv.Start(), lookbackStart).ValuesView(); len(cv) >= 8 {
+	cvSeries := sv.ViewRange(sv.Start(), lookbackStart)
+	if cv := cvSeries.ValuesView(); len(cv) >= 8 {
 		contextValueStd = timeseries.Std(cv)
-		if p99, err := timeseries.Percentile(cv, 99); err == nil {
+		if p99, err := timeseries.PercentileScratch(cv, 99, &a.pctile); err == nil {
 			ctxP99 = p99
 		}
-		if p1, err := timeseries.Percentile(cv, 1); err == nil {
+		if p1, err := timeseries.PercentileScratch(cv, 1, &a.pctile); err == nil {
 			ctxP1 = p1
 		}
 	}
@@ -200,8 +225,9 @@ func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config) (AbnormalCh
 	for i := len(smoothed) - 1; i >= 0 && smoothed[i] < ctxP1; i-- {
 		dwellLow++
 	}
-	if ctx := se.WindowView(se.Start(), lookbackStart).ValuesView(); len(ctx) >= 8 {
-		p90, err := timeseries.Percentile(ctx, 90)
+	ctxSeries := se.ViewRange(se.Start(), lookbackStart)
+	if ctx := ctxSeries.ValuesView(); len(ctx) >= 8 {
+		p90, err := timeseries.PercentileScratch(ctx, 90, &a.pctile)
 		if err == nil {
 			contextFloor = cfg.SelfCalibration * p90
 		}
@@ -223,14 +249,14 @@ func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config) (AbnormalCh
 		if t < lookbackStart {
 			continue // context region, not the look-back window
 		}
-		pe := m.predictionErrorNear(errsSeries, p.Index)
+		pe := predictionErrorNear(&errsSeries, p.Index)
 		var exp, fftExp float64
 		if cfg.FixedThreshold > 0 {
 			// Fixed-Filtering baseline: one absolute threshold for every
 			// metric, every application (paper §III-A scheme 6).
 			exp, fftExp = cfg.FixedThreshold, cfg.FixedThreshold
 		} else {
-			e, err := expectedErrorAt(raw, p.Index, cfg)
+			e, err := expectedErrorAt(raw, p.Index, cfg, a)
 			if err != nil {
 				continue
 			}
@@ -314,11 +340,14 @@ func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config) (AbnormalCh
 // is ~sqrt(2) for white noise and near 0 for a smooth signal. Metrics
 // dominated by sampling noise earn a wider window; smooth ones keep the
 // configured default so sharp manifestations stay sharp.
-func adaptiveSmoothWidth(ctx []float64, base int) int {
+func adaptiveSmoothWidth(ctx []float64, base int, a *arena) int {
 	if len(ctx) < 16 {
 		return base
 	}
-	diffs := make([]float64, len(ctx)-1)
+	if cap(a.diffs) < len(ctx)-1 {
+		a.diffs = make([]float64, len(ctx)-1)
+	}
+	diffs := a.diffs[:len(ctx)-1]
 	for i := 1; i < len(ctx); i++ {
 		diffs[i-1] = ctx[i] - ctx[i-1]
 	}
@@ -396,7 +425,7 @@ func shiftPersists(smoothed []float64, p changepoint.Point, frac float64) bool {
 // predictionErrorNear returns the largest online prediction error within a
 // small neighborhood of the change point (smoothing shifts indices by a few
 // samples).
-func (m *Monitor) predictionErrorNear(errs *timeseries.Series, idx int) float64 {
+func predictionErrorNear(errs *timeseries.Series, idx int) float64 {
 	lo := idx - 2
 	if lo < 0 {
 		lo = 0
@@ -423,7 +452,7 @@ func (m *Monitor) predictionErrorNear(errs *timeseries.Series, idx int) float64 
 // window is linearly detrended first: the expected error measures
 // high-frequency variability, and a deterministic trend would otherwise
 // leak across the spectrum.
-func expectedErrorAt(raw []float64, idx int, cfg Config) (float64, error) {
+func expectedErrorAt(raw []float64, idx int, cfg Config, a *arena) (float64, error) {
 	hi := idx
 	lo := idx - 2*cfg.BurstWindow
 	if lo < 0 {
@@ -435,13 +464,24 @@ func expectedErrorAt(raw []float64, idx int, cfg Config) (float64, error) {
 			hi = len(raw)
 		}
 	}
-	return fftpkg.ExpectedError(detrend(raw[lo:hi]), cfg.TopFreqFrac, cfg.BurstPercentile)
+	a.detrend = detrendInto(a.detrend, raw[lo:hi])
+	return fftpkg.ExpectedError(a.detrend, cfg.TopFreqFrac, cfg.BurstPercentile)
 }
 
 // detrend returns a copy of vals with the least-squares line removed.
 func detrend(vals []float64) []float64 {
+	return detrendInto(nil, vals)
+}
+
+// detrendInto is detrend writing into dst, which is grown as needed and
+// returned; passing a reused buffer makes repeated detrending
+// allocation-free. dst must not alias vals.
+func detrendInto(dst, vals []float64) []float64 {
 	n := len(vals)
-	out := make([]float64, n)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	out := dst[:n]
 	if n < 3 {
 		copy(out, vals)
 		return out

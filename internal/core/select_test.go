@@ -51,7 +51,7 @@ func TestObserveRejectsBadSamples(t *testing.T) {
 		}
 	}
 	// Rejected samples must leave no trace in the history.
-	if _, _, ok := m.samples[metric.CPU].Last(); ok {
+	if _, _, ok := m.shards[metric.CPU].samples.Last(); ok {
 		t.Error("rejected sample was recorded")
 	}
 	if err := m.Observe(0, metric.CPU, 1); err != nil {
@@ -77,8 +77,8 @@ func TestObserveRejectsTimeRegression(t *testing.T) {
 	if err := m.Observe(11, metric.CPU, 2); err != nil {
 		t.Errorf("advancing sample rejected: %v", err)
 	}
-	if m.samples[metric.CPU].Len() != 2 {
-		t.Errorf("history holds %d samples, want 2", m.samples[metric.CPU].Len())
+	if m.shards[metric.CPU].samples.Len() != 2 {
+		t.Errorf("history holds %d samples, want 2", m.shards[metric.CPU].samples.Len())
 	}
 }
 
@@ -126,7 +126,7 @@ func TestIngestLongGapSeversHistory(t *testing.T) {
 		}
 	}
 	m.FlushIngest(2000)
-	s := m.samples[metric.CPU].Series()
+	s := m.shards[metric.CPU].samples.Series()
 	if s.Start() < 1000 {
 		t.Errorf("pre-gap history survived: series starts at %d", s.Start())
 	}
@@ -145,7 +145,7 @@ func TestObserveVector(t *testing.T) {
 	if err := m.ObserveVector(0, &vec); err != nil {
 		t.Fatal(err)
 	}
-	if _, v, ok := m.samples[metric.CPU].Last(); !ok || v != 42 {
+	if _, v, ok := m.shards[metric.CPU].samples.Last(); !ok || v != 42 {
 		t.Errorf("sample not recorded: %v %v", v, ok)
 	}
 }
@@ -345,7 +345,7 @@ func TestAdaptiveSmoothWidth(t *testing.T) {
 	for i := range noisy {
 		noisy[i] = rng.NormFloat64()
 	}
-	if got := adaptiveSmoothWidth(noisy, 5); got != 11 {
+	if got := adaptiveSmoothWidth(noisy, 5, &arena{}); got != 11 {
 		t.Errorf("white-noise width = %d, want 11", got)
 	}
 	// Slow sine: keep the default.
@@ -353,15 +353,15 @@ func TestAdaptiveSmoothWidth(t *testing.T) {
 	for i := range smooth {
 		smooth[i] = math.Sin(2 * math.Pi * float64(i) / 100)
 	}
-	if got := adaptiveSmoothWidth(smooth, 5); got != 5 {
+	if got := adaptiveSmoothWidth(smooth, 5, &arena{}); got != 5 {
 		t.Errorf("smooth-signal width = %d, want 5", got)
 	}
 	// Too little context: keep the default.
-	if got := adaptiveSmoothWidth(noisy[:8], 5); got != 5 {
+	if got := adaptiveSmoothWidth(noisy[:8], 5, &arena{}); got != 5 {
 		t.Errorf("short-context width = %d, want 5", got)
 	}
 	// Constant signal: keep the default.
-	if got := adaptiveSmoothWidth(make([]float64, 50), 5); got != 5 {
+	if got := adaptiveSmoothWidth(make([]float64, 50), 5, &arena{}); got != 5 {
 		t.Errorf("constant-signal width = %d, want 5", got)
 	}
 }

@@ -36,12 +36,15 @@ func (m *Monitor) Snapshot() *MonitorSnapshot {
 	}
 	for _, k := range metric.Kinds {
 		name := k.String()
-		s.Models[name] = m.models[k].Snapshot()
-		s.Samples[name] = m.samples[k].Snapshot()
-		s.Errs[name] = m.errs[k].Snapshot()
-		if last, seen := m.lastT[k]; seen {
-			s.LastT[name] = last
+		sh := &m.shards[k]
+		sh.mu.Lock()
+		s.Models[name] = sh.model.Snapshot()
+		s.Samples[name] = sh.samples.Snapshot()
+		s.Errs[name] = sh.errs.Snapshot()
+		if sh.hasLast {
+			s.LastT[name] = sh.lastT
 		}
+		sh.mu.Unlock()
 	}
 	return s
 }
@@ -103,16 +106,29 @@ func (m *Monitor) Restore(s *MonitorSnapshot) error {
 		lastT[k] = t
 	}
 	for k, p := range models {
-		m.models[k] = p
+		sh := &m.shards[k]
+		sh.mu.Lock()
+		sh.model = p
+		sh.mu.Unlock()
 	}
 	for k, r := range samples {
-		m.samples[k] = r
+		sh := &m.shards[k]
+		sh.mu.Lock()
+		sh.samples = r
+		sh.mu.Unlock()
 	}
 	for k, r := range errRings {
-		m.errs[k] = r
+		sh := &m.shards[k]
+		sh.mu.Lock()
+		sh.errs = r
+		sh.mu.Unlock()
 	}
 	for k, t := range lastT {
-		m.lastT[k] = t
+		sh := &m.shards[k]
+		sh.mu.Lock()
+		sh.lastT = t
+		sh.hasLast = true
+		sh.mu.Unlock()
 	}
 	return nil
 }

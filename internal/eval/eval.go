@@ -7,7 +7,9 @@ package eval
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"fchain/internal/apps"
 	"fchain/internal/baseline"
@@ -118,6 +120,30 @@ type RunConfig struct {
 	SustainSec int
 	// DepTraceSec is the offline dependency-capture duration (default 600).
 	DepTraceSec int
+	// Workers bounds how many fault-injection runs of a campaign execute
+	// concurrently: 0 uses GOMAXPROCS, 1 forces serial execution, and any
+	// other value is the cap. Every run is seeded independently and results
+	// are assembled in seed order, so the output is identical at any worker
+	// count.
+	Workers int
+	// OmitTiming drops wall-clock measurement lines from figure reports so
+	// that output is byte-stable across machines and worker counts (used by
+	// the parallel-equivalence tests and regression diffs).
+	OmitTiming bool
+}
+
+// workers resolves the effective campaign concurrency. Zero means "all
+// cores, decided now": the zero value is never rewritten by withDefaults, so
+// a serialized RunConfig does not pin the core count of the machine that
+// wrote it.
+func (c RunConfig) workers() int {
+	if c.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -210,20 +236,61 @@ func RunTrial(b Benchmark, fc apps.FaultCase, seed int64, cfg RunConfig) (*Trial
 
 // Campaign runs N seeds of one fault case, returning the completed trials
 // (skipping runs without violations) and the skip count.
+//
+// Runs are independent — each is a pure function of (benchmark, fault,
+// seed, cfg) — so they execute on cfg.Workers goroutines. Results are
+// collected per seed and assembled in seed order afterwards, which makes
+// the returned trials, skip count, and any error exactly what a serial
+// loop would have produced.
 func Campaign(b Benchmark, fc apps.FaultCase, runs int, cfg RunConfig) ([]*TrialBundle, int, error) {
+	workers := cfg.workers()
+	if workers > runs {
+		workers = runs
+	}
+	type slot struct {
+		tb  *TrialBundle
+		err error
+	}
+	results := make([]slot, runs)
+	if workers <= 1 {
+		for seed := int64(1); seed <= int64(runs); seed++ {
+			tb, err := RunTrial(b, fc, seed, cfg)
+			results[seed-1] = slot{tb: tb, err: err}
+		}
+	} else {
+		seeds := make(chan int64)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for seed := range seeds {
+					tb, err := RunTrial(b, fc, seed, cfg)
+					results[seed-1] = slot{tb: tb, err: err}
+				}
+			}()
+		}
+		for seed := int64(1); seed <= int64(runs); seed++ {
+			seeds <- seed
+		}
+		close(seeds)
+		wg.Wait()
+	}
+	// Seed-order assembly replays serial semantics: a hard error at seed s
+	// returns with only the skips observed before s, exactly as the serial
+	// loop would have stopped there.
 	var out []*TrialBundle
 	skipped := 0
-	for seed := int64(1); seed <= int64(runs); seed++ {
-		tb, err := RunTrial(b, fc, seed, cfg)
-		if err != nil {
+	for _, r := range results {
+		if r.err != nil {
 			var nv *ErrNoViolation
-			if asNoViolation(err, &nv) {
+			if asNoViolation(r.err, &nv) {
 				skipped++
 				continue
 			}
-			return nil, skipped, err
+			return nil, skipped, r.err
 		}
-		out = append(out, tb)
+		out = append(out, r.tb)
 	}
 	return out, skipped, nil
 }

@@ -78,8 +78,13 @@ func AccuracyFigure(title string, b Benchmark, faults []apps.FaultCase, runs int
 		for _, r := range single {
 			sb.WriteString(pointLine(r) + "\n")
 		}
-		fmt.Fprintf(&sb, "  localization wall time: %v per trial (paper: \"within a few seconds\")\n",
-			perTrial.Round(time.Millisecond))
+		// The wall-time line is the only machine-dependent text in the
+		// accuracy figures; OmitTiming drops it so parallel and serial
+		// regenerations can be compared byte for byte.
+		if !cfg.OmitTiming {
+			fmt.Fprintf(&sb, "  localization wall time: %v per trial (paper: \"within a few seconds\")\n",
+				perTrial.Round(time.Millisecond))
+		}
 		hist, err := EvaluateAll(baseline.HistogramSweep(DefaultHistogramThresholds), trials)
 		if err != nil {
 			return "", err

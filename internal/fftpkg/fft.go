@@ -8,6 +8,13 @@
 // portion of the signal with an FFT/inverse-FFT round trip, and uses a high
 // percentile of the burst magnitude as the *expected* prediction error for
 // that point (paper §II-B, Fig. 4).
+//
+// The per-violation analysis path calls ExpectedError once per candidate
+// change point across every metric of every component, so the transform is
+// built to be allocation-free in steady state: twiddle factors are computed
+// once per padded size and cached process-wide, and the complex/float
+// working buffers come from pools. The exported FFT/IFFT keep their
+// allocating, caller-owns-the-result signatures.
 package fftpkg
 
 import (
@@ -15,10 +22,78 @@ import (
 	"math"
 	"math/cmplx"
 	"sort"
+	"sync"
 )
 
 // ErrEmpty is returned when a transform is requested on an empty signal.
 var ErrEmpty = errors.New("fftpkg: empty signal")
+
+// plan holds the precomputed twiddle factors for one padded size. For each
+// butterfly stage of length L the plan stores the L/2 powers of the stage's
+// root of unity, laid out stage after stage (1 + 2 + ... + n/2 = n-1
+// entries per direction). Plans are immutable once built and shared across
+// goroutines.
+type plan struct {
+	n        int
+	fwd, inv []complex128
+}
+
+// plans caches one *plan per padded size, keyed by int n. Analysis windows
+// cluster around a handful of sizes (the burst window's next power of two),
+// so the cache stays tiny.
+var plans sync.Map
+
+func planFor(n int) *plan {
+	if p, ok := plans.Load(n); ok {
+		return p.(*plan)
+	}
+	p := &plan{n: n}
+	if n >= 2 {
+		p.fwd = make([]complex128, 0, n-1)
+		p.inv = make([]complex128, 0, n-1)
+		for length := 2; length <= n; length <<= 1 {
+			ang := 2 * math.Pi / float64(length)
+			wlFwd := cmplx.Exp(complex(0, -ang))
+			wlInv := cmplx.Exp(complex(0, ang))
+			wf, wi := complex(1, 0), complex(1, 0)
+			for k := 0; k < length/2; k++ {
+				p.fwd = append(p.fwd, wf)
+				p.inv = append(p.inv, wi)
+				// Running product, matching the original on-the-fly
+				// twiddle computation bit for bit so cached transforms
+				// reproduce the exact historical outputs.
+				wf *= wlFwd
+				wi *= wlInv
+			}
+		}
+	}
+	actual, _ := plans.LoadOrStore(n, p)
+	return actual.(*plan)
+}
+
+// scratch pools the working buffers of the allocation-free entry points.
+// Buffers are stored via pointers (a plain slice in an interface would
+// re-box on every Put) and grown to the largest size seen.
+type scratch struct {
+	cbuf []complex128
+	fbuf []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func (s *scratch) complexBuf(n int) []complex128 {
+	if cap(s.cbuf) < n {
+		s.cbuf = make([]complex128, n)
+	}
+	return s.cbuf[:n]
+}
+
+func (s *scratch) floatBuf(n int) []float64 {
+	if cap(s.fbuf) < n {
+		s.fbuf = make([]float64, n)
+	}
+	return s.fbuf[:n]
+}
 
 // FFT computes the discrete Fourier transform of x using an iterative
 // radix-2 Cooley-Tukey algorithm. The input is zero-padded to the next power
@@ -57,8 +132,9 @@ func IFFT(freq []complex128) ([]float64, error) {
 	return out, nil
 }
 
-// transform performs an in-place iterative radix-2 FFT. inverse selects the
-// conjugate transform (without the 1/n scaling, which IFFT applies).
+// transform performs an in-place iterative radix-2 FFT using the cached
+// twiddle plan for len(buf). inverse selects the conjugate transform
+// (without the 1/n scaling, which IFFT applies).
 func transform(buf []complex128, inverse bool) {
 	n := len(buf)
 	if n < 2 {
@@ -75,23 +151,23 @@ func transform(buf []complex128, inverse bool) {
 			buf[i], buf[j] = buf[j], buf[i]
 		}
 	}
+	tw := planFor(n).fwd
+	if inverse {
+		tw = planFor(n).inv
+	}
+	stage := 0
 	for length := 2; length <= n; length <<= 1 {
-		ang := 2 * math.Pi / float64(length)
-		if !inverse {
-			ang = -ang
-		}
-		wl := cmplx.Exp(complex(0, ang))
+		half := length / 2
+		w := tw[stage : stage+half]
 		for start := 0; start < n; start += length {
-			w := complex(1, 0)
-			half := length / 2
 			for k := 0; k < half; k++ {
 				u := buf[start+k]
-				v := buf[start+k+half] * w
+				v := buf[start+k+half] * w[k]
 				buf[start+k] = u + v
 				buf[start+k+half] = u - v
-				w *= wl
 			}
 		}
+		stage += half
 	}
 }
 
@@ -103,15 +179,10 @@ func nextPow2(n int) int {
 	return p
 }
 
-// BurstSignal isolates the high-frequency component of x. Frequencies are
-// ranked by index (distance from DC); the top highFrac fraction of the
-// spectrum (e.g. 0.9 keeps the 90% highest frequencies, discarding the
-// slow-moving 10%) is retained and transformed back to the time domain.
-// The result has the same length as x.
-func BurstSignal(x []float64, highFrac float64) ([]float64, error) {
-	if len(x) == 0 {
-		return nil, ErrEmpty
-	}
+// burstInto computes the burst signal of x into the pooled complex buffer
+// and returns it (length = padded n; the caller reads the first len(x)
+// entries' real parts, already 1/n-scaled).
+func burstInto(sc *scratch, x []float64, highFrac float64) []complex128 {
 	// NaN survives both clamps below and would poison lowRanks through the
 	// float→int conversion; treat it as "keep everything".
 	if math.IsNaN(highFrac) {
@@ -123,11 +194,15 @@ func BurstSignal(x []float64, highFrac float64) ([]float64, error) {
 	if highFrac > 1 {
 		highFrac = 1
 	}
-	freq, err := FFT(x)
-	if err != nil {
-		return nil, err
+	n := nextPow2(len(x))
+	buf := sc.complexBuf(n)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
 	}
-	n := len(freq)
+	for i := len(x); i < n; i++ {
+		buf[i] = 0
+	}
+	transform(buf, false)
 	// Frequency index k and n-k represent the same physical frequency; rank
 	// by min(k, n-k). DC (k=0) is the lowest frequency. We zero the lowest
 	// (1-highFrac) fraction of distinct frequency ranks.
@@ -139,28 +214,50 @@ func BurstSignal(x []float64, highFrac float64) ([]float64, error) {
 			rank = n - k
 		}
 		if rank < lowRanks {
-			freq[k] = 0
+			buf[k] = 0
 		}
 	}
-	burst, err := IFFT(freq)
-	if err != nil {
-		return nil, err
+	transform(buf, true)
+	inv := complex(1/float64(n), 0)
+	for i := range buf {
+		buf[i] *= inv
 	}
-	return burst[:len(x)], nil
+	return buf
+}
+
+// BurstSignal isolates the high-frequency component of x. Frequencies are
+// ranked by index (distance from DC); the top highFrac fraction of the
+// spectrum (e.g. 0.9 keeps the 90% highest frequencies, discarding the
+// slow-moving 10%) is retained and transformed back to the time domain.
+// The result has the same length as x.
+func BurstSignal(x []float64, highFrac float64) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	sc := scratchPool.Get().(*scratch)
+	buf := burstInto(sc, x, highFrac)
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = real(buf[i])
+	}
+	scratchPool.Put(sc)
+	return out, nil
 }
 
 // ExpectedError computes FChain's burstiness-adaptive expected prediction
 // error for the window x around a candidate change point: the pct-th
 // percentile (e.g. 90) of the absolute burst-signal magnitude, where the
-// burst signal keeps the top highFrac of frequencies (paper §II-B).
+// burst signal keeps the top highFrac of frequencies (paper §II-B). It
+// allocates nothing in steady state.
 func ExpectedError(x []float64, highFrac, pct float64) (float64, error) {
-	burst, err := BurstSignal(x, highFrac)
-	if err != nil {
-		return 0, err
+	if len(x) == 0 {
+		return 0, ErrEmpty
 	}
-	mags := make([]float64, len(burst))
-	for i, v := range burst {
-		mags[i] = math.Abs(v)
+	sc := scratchPool.Get().(*scratch)
+	buf := burstInto(sc, x, highFrac)
+	mags := sc.floatBuf(len(x))
+	for i := range mags {
+		mags[i] = math.Abs(real(buf[i]))
 	}
 	sort.Float64s(mags)
 	// A NaN pct would slip past both clamps and turn rank into NaN, whose
@@ -177,9 +274,11 @@ func ExpectedError(x []float64, highFrac, pct float64) (float64, error) {
 	rank := pct / 100 * float64(len(mags)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
-	if lo == hi {
-		return mags[lo], nil
+	out := mags[lo]
+	if lo != hi {
+		frac := rank - float64(lo)
+		out = mags[lo]*(1-frac) + mags[hi]*frac
 	}
-	frac := rank - float64(lo)
-	return mags[lo]*(1-frac) + mags[hi]*frac, nil
+	scratchPool.Put(sc)
+	return out, nil
 }

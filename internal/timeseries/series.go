@@ -123,6 +123,25 @@ func (s *Series) WindowView(from, to int64) *Series {
 	return &Series{start: from, vals: s.vals[lo:hi:hi]}
 }
 
+// ViewRange is WindowView returning the sub-series by value: hot paths that
+// take many short-lived window views per call use it to keep the views on
+// the stack instead of allocating a *Series each. The same aliasing and
+// invalidation caveats as WindowView apply.
+func (s *Series) ViewRange(from, to int64) Series {
+	if from < s.start {
+		from = s.start
+	}
+	if to > s.End() {
+		to = s.End()
+	}
+	if to <= from {
+		return Series{start: from}
+	}
+	lo := int(from - s.start)
+	hi := int(to - s.start)
+	return Series{start: from, vals: s.vals[lo:hi:hi]}
+}
+
 // Tail returns a sub-series holding the last n samples (or the whole series
 // when it is shorter than n).
 func (s *Series) Tail(n int) *Series {
@@ -181,6 +200,15 @@ func Std(vals []float64) float64 {
 // Percentile returns the p-th percentile (0 <= p <= 100) of the values using
 // nearest-rank interpolation. It returns ErrEmpty for empty input.
 func Percentile(vals []float64, p float64) (float64, error) {
+	var scratch []float64
+	return PercentileScratch(vals, p, &scratch)
+}
+
+// PercentileScratch is Percentile with a caller-owned sort buffer: vals is
+// copied into *scratch (grown as needed and written back), so a reused
+// scratch makes repeated percentile queries allocation-free. The input is
+// never mutated.
+func PercentileScratch(vals []float64, p float64, scratch *[]float64) (float64, error) {
 	if len(vals) == 0 {
 		return 0, ErrEmpty
 	}
@@ -190,8 +218,8 @@ func Percentile(vals []float64, p float64) (float64, error) {
 	if p > 100 {
 		p = 100
 	}
-	sorted := make([]float64, len(vals))
-	copy(sorted, vals)
+	sorted := append((*scratch)[:0], vals...)
+	*scratch = sorted
 	sort.Float64s(sorted)
 	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
@@ -227,7 +255,17 @@ func MinMax(vals []float64) (lo, hi float64, err error) {
 // input. FChain smooths raw monitoring data before change point detection to
 // remove sampling noise (paper §II-B, following PAL).
 func Smooth(vals []float64, width int) []float64 {
-	out := make([]float64, len(vals))
+	return SmoothInto(nil, vals, width)
+}
+
+// SmoothInto is Smooth writing into dst, which is grown as needed and
+// returned; passing a reused buffer makes repeated smoothing
+// allocation-free. dst must not alias vals.
+func SmoothInto(dst []float64, vals []float64, width int) []float64 {
+	if cap(dst) < len(vals) {
+		dst = make([]float64, len(vals))
+	}
+	out := dst[:len(vals)]
 	if width <= 1 {
 		copy(out, vals)
 		return out

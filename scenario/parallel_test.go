@@ -1,0 +1,43 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"fchain/scenario"
+)
+
+// TestRunWithParallelEquivalence is the end-to-end determinism contract of
+// the parallel campaign engine: regenerating any figure with four workers
+// must produce a report byte-identical to the serial one. OmitTiming is
+// set on both sides — wall-clock lines are the one intentionally
+// machine-dependent part of a report.
+func TestRunWithParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates eleven figures twice; skipped in -short")
+	}
+	ids := []string{
+		scenario.Figure2, scenario.Figure3, scenario.Figure4, scenario.Figure5,
+		scenario.Figure6, scenario.Figure7, scenario.Figure8, scenario.Figure9,
+		scenario.Figure10, scenario.Figure11, scenario.Figure12,
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			serial, err := scenario.RunWith(id, scenario.RunOptions{Runs: 2, Workers: 1, OmitTiming: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := scenario.RunWith(id, scenario.RunOptions{Runs: 2, Workers: 4, OmitTiming: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial != parallel {
+				t.Errorf("parallel report differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+			}
+			if len(serial) == 0 {
+				t.Error("empty report")
+			}
+		})
+	}
+}

@@ -157,15 +157,36 @@ func Experiments() []string {
 	}
 }
 
+// RunOptions tunes how an experiment is regenerated.
+type RunOptions struct {
+	// Runs is the number of fault-injection runs per fault for the accuracy
+	// experiments (the paper uses 30-40; 10-20 gives stable shapes much
+	// faster); it is ignored by the walk-through figures. <=0 means 10.
+	Runs int
+	// Workers bounds how many fault-injection runs execute concurrently:
+	// 0 uses all cores, 1 forces serial execution. The report text is
+	// identical at any worker count — runs are independently seeded and
+	// results assembled in seed order.
+	Workers int
+	// OmitTiming drops wall-clock measurement lines so the report is
+	// byte-stable across machines and worker counts.
+	OmitTiming bool
+}
+
 // Run regenerates one of the paper's tables or figures and returns its
-// textual report. runs is the number of fault-injection runs per fault for
-// the accuracy experiments (the paper uses 30-40; 10-20 gives stable shapes
-// much faster); it is ignored by the walk-through figures.
+// textual report, using all cores. runs is the number of fault-injection
+// runs per fault for the accuracy experiments; see RunOptions.Runs.
 func Run(id string, runs int) (string, error) {
+	return RunWith(id, RunOptions{Runs: runs})
+}
+
+// RunWith is Run with explicit concurrency and output options.
+func RunWith(id string, opts RunOptions) (string, error) {
+	runs := opts.Runs
 	if runs <= 0 {
 		runs = 10
 	}
-	cfg := eval.RunConfig{}
+	cfg := eval.RunConfig{Workers: opts.Workers, OmitTiming: opts.OmitTiming}
 	switch id {
 	case Figure2:
 		return eval.Figure2(2)
