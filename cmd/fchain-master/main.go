@@ -13,6 +13,11 @@
 //	localize <tv>     run fault localization for violation time tv
 //	history           print past localizations
 //	quit              shut down
+//
+// Observability: -debug-addr starts an HTTP introspection server
+// (Prometheus /metrics, /healthz with per-slave liveness, /trace/last,
+// pprof), -journal appends machine-readable JSONL pipeline events, and
+// -log-level tunes the structured key=value log on stderr.
 package main
 
 import (
@@ -21,11 +26,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"fchain"
+	"fchain/internal/obs"
 )
 
 func main() {
@@ -36,15 +43,25 @@ func main() {
 		heartbeat = flag.Duration("heartbeat", 10*time.Second, "slave liveness probe interval (0 disables)")
 		hbMisses  = flag.Int("heartbeat-misses", 3, "consecutive missed heartbeats before a slave is evicted")
 		deps      = flag.String("deps", "", "dependency graph file from offline discovery (optional)")
+		debugAddr = flag.String("debug-addr", "", "HTTP debug server address serving /metrics, /healthz, /trace/last and pprof (empty disables)")
+		journal   = flag.String("journal", "", "append machine-readable JSONL pipeline events to this file (empty disables)")
+		logLevel  = flag.String("log-level", "info", "stderr log level: debug, info, warn, error")
 	)
 	flag.Parse()
-	if err := run(*listen, *timeout, *retries, *heartbeat, *hbMisses, *deps); err != nil {
+	if err := run(*listen, *timeout, *retries, *heartbeat, *hbMisses, *deps, *debugAddr, *journal, *logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-master:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, timeout time.Duration, retries int, heartbeat time.Duration, hbMisses int, depsPath string) error {
+func run(listen string, timeout time.Duration, retries int, heartbeat time.Duration, hbMisses int, depsPath, debugAddr, journalPath, logLevel string) error {
+	sink, err := obs.NewSink(os.Stderr, logLevel, journalPath)
+	if err != nil {
+		return err
+	}
+	defer sink.EventJournal().Close()
+	log := sink.Logger()
+
 	var deps *fchain.DependencyGraph
 	if depsPath != "" {
 		g, err := fchain.LoadDependencies(depsPath)
@@ -57,11 +74,24 @@ func run(listen string, timeout time.Duration, retries int, heartbeat time.Durat
 	master := fchain.NewMaster(fchain.DefaultConfig(), deps,
 		fchain.WithHeartbeat(heartbeat, hbMisses),
 		fchain.WithLocalizeRetries(retries),
-		fchain.WithLocalizeTimeout(timeout))
+		fchain.WithLocalizeTimeout(timeout),
+		fchain.WithMasterObs(sink))
 	if err := master.Start(listen); err != nil {
 		return err
 	}
 	defer master.Close()
+	if debugAddr != "" {
+		dbg, err := obs.StartDebug(debugAddr, obs.DebugConfig{
+			Registry: sink.Registry(),
+			Traces:   sink.TraceRing(),
+			Health:   func() any { return master.Health() },
+		})
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		log.Info("debug server listening", "addr", dbg.Addr())
+	}
 	fmt.Printf("fchain-master listening on %s\n", master.Addr())
 	fmt.Println("commands: slaves | health | localize <tv> | history | quit")
 
@@ -78,7 +108,9 @@ func run(listen string, timeout time.Duration, retries int, heartbeat time.Durat
 			}
 			fmt.Printf("  (%d components total)\n", len(master.Components()))
 		case "health":
-			for name, h := range master.Health() {
+			health := master.Health()
+			for _, name := range sortedKeys(health) {
+				h := health[name]
 				extra := ""
 				if h.Misses > 0 {
 					extra += fmt.Sprintf(" misses=%d", h.Misses)
@@ -105,24 +137,7 @@ func run(listen string, timeout time.Duration, retries int, heartbeat time.Durat
 				fmt.Println("localize failed:", err)
 				continue
 			}
-			fmt.Println(res)
-			for comp, q := range res.Quality {
-				if q.Confidence() < 1 {
-					fmt.Printf("  %s: %s\n", comp, q)
-				}
-			}
-			if mq := res.MinQuality(); mq < 1 {
-				fmt.Printf("  min quality confidence: %.3f\n", mq)
-			}
-			for slave, off := range res.ClockOffsets {
-				fmt.Printf("  clock offset %s: %+ds\n", slave, off)
-			}
-			if res.Stats.Tasks > 0 {
-				fmt.Printf("  analysis: %s\n", res.Stats)
-			}
-			for _, e := range res.Errors {
-				fmt.Println("  slave error:", e)
-			}
+			printResult(res)
 		case "history":
 			for _, rec := range master.History() {
 				mark := ""
@@ -138,4 +153,39 @@ func run(listen string, timeout time.Duration, retries int, heartbeat time.Durat
 		}
 	}
 	return sc.Err()
+}
+
+// printResult renders one localization; map-keyed sections are printed in
+// sorted order so console output is reproducible run to run.
+func printResult(res fchain.LocalizeResult) {
+	fmt.Println(res)
+	for _, comp := range sortedKeys(res.Quality) {
+		if q := res.Quality[comp]; q.Confidence() < 1 {
+			fmt.Printf("  %s: %s\n", comp, q)
+		}
+	}
+	if mq := res.MinQuality(); mq < 1 {
+		fmt.Printf("  min quality confidence: %.3f\n", mq)
+	}
+	for _, slave := range sortedKeys(res.ClockOffsets) {
+		fmt.Printf("  clock offset %s: %+ds\n", slave, res.ClockOffsets[slave])
+	}
+	if res.Stats.Tasks > 0 {
+		fmt.Printf("  analysis: %s\n", res.Stats)
+	}
+	if res.Trace != nil {
+		fmt.Printf("  trace: %d spans recorded (see /trace/last with -debug-addr)\n", res.Trace.SpanCount())
+	}
+	for _, e := range res.Errors {
+		fmt.Println("  slave error:", e)
+	}
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

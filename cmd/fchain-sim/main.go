@@ -15,7 +15,10 @@ import (
 	"math/rand"
 	"os"
 
+	"encoding/json"
+
 	"fchain"
+	"fchain/internal/obs"
 	"fchain/scenario"
 )
 
@@ -30,9 +33,10 @@ func main() {
 		saveDeps = flag.String("save-deps", "", "write the discovered dependency graph to this file")
 		emitCSV  = flag.String("emit-csv", "", "write the collected metric samples (component,time,metric,value) to this file — feedable to fchain-slave")
 		parallel = flag.Int("parallel", 0, "analysis workers (0 = all cores, 1 = serial; the diagnosis is identical either way)")
+		traceOut = flag.String("trace-out", "", "write the localization's full evidence trace (JSON span tree) to this file")
 	)
 	flag.Parse()
-	if err := run(*app, *fault, *target, *seed, *inject, *validate, *saveDeps, *emitCSV, *parallel); err != nil {
+	if err := run(*app, *fault, *target, *seed, *inject, *validate, *saveDeps, *emitCSV, *parallel, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-sim:", err)
 		os.Exit(1)
 	}
@@ -102,7 +106,7 @@ func buildFault(name, target string, inject int64, rng *rand.Rand) (scenario.Fau
 	}
 }
 
-func run(app, faultName, target string, seed, inject int64, validate bool, saveDeps, emitCSV string, parallel int) error {
+func run(app, faultName, target string, seed, inject int64, validate bool, saveDeps, emitCSV string, parallel int, traceOut string) error {
 	sys, defaultTarget, discoverable, err := buildSystem(app, seed)
 	if err != nil {
 		return err
@@ -164,13 +168,24 @@ func run(app, faultName, target string, seed, inject int64, validate bool, saveD
 			}
 		}
 	}
-	diag, stats := loc.LocalizeStats(tv, deps)
+	diag, stats, trace := loc.LocalizeTraced(tv, deps)
 	fmt.Println("propagation chain:")
 	for _, r := range diag.Chain {
 		fmt.Printf("  %-10s onset=%d metrics=%v\n", r.Component, r.Onset, r.AbnormalMetrics())
 	}
 	fmt.Println("diagnosis:", diag)
 	fmt.Println("analysis:", stats)
+	fmt.Printf("trace: %d spans recorded\n", trace.SpanCount())
+	if traceOut != "" {
+		raw, err := json.MarshalIndent(trace, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteFileAtomic(traceOut, append(raw, '\n')); err != nil {
+			return err
+		}
+		fmt.Println("evidence trace written to", traceOut)
+	}
 
 	if validate && len(diag.Culprits) > 0 {
 		results, err := fchain.Validate(func() (fchain.Adjuster, error) {

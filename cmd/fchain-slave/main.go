@@ -23,6 +23,12 @@
 // Usage:
 //
 //	some-collector | fchain-slave -name host1 -components web,app1 -master 10.0.0.1:7070
+//
+// Observability: -debug-addr starts an HTTP introspection server
+// (Prometheus /metrics with ingest/analyze counters, /healthz, the most
+// recent analysis traces, pprof), -journal appends JSONL events (analyze
+// requests, connection state changes), and -log-level tunes the structured
+// key=value log on stderr.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"time"
 
 	"fchain"
+	"fchain/internal/obs"
 )
 
 func main() {
@@ -49,15 +56,18 @@ func main() {
 		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint interval")
 		reorder    = flag.Int("reorder-window", 5, "seconds a sample may arrive out of order before it is dropped (-1 disables reordering)")
 		parallel   = flag.Int("parallel", 0, "analysis workers per analyze request (0 = all cores, 1 = serial)")
+		debugAddr  = flag.String("debug-addr", "", "HTTP debug server address serving /metrics, /healthz, /trace/last and pprof (empty disables)")
+		journal    = flag.String("journal", "", "append machine-readable JSONL events to this file (empty disables)")
+		logLevel   = flag.String("log-level", "info", "stderr log level: debug, info, warn, error")
 	)
 	flag.Parse()
-	if err := run(*name, *components, *master, *skew, *backoff, *backoffMax, *ckptDir, *ckptEvery, *reorder, *parallel); err != nil {
+	if err := run(*name, *components, *master, *skew, *backoff, *backoffMax, *ckptDir, *ckptEvery, *reorder, *parallel, *debugAddr, *journal, *logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-slave:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, components, master string, skew int64, backoff, backoffMax time.Duration, ckptDir string, ckptEvery time.Duration, reorder, parallel int) error {
+func run(name, components, master string, skew int64, backoff, backoffMax time.Duration, ckptDir string, ckptEvery time.Duration, reorder, parallel int, debugAddr, journalPath, logLevel string) error {
 	if name == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -69,17 +79,17 @@ func run(name, components, master string, skew int64, backoff, backoffMax time.D
 	if components == "" || len(comps) == 0 {
 		return fmt.Errorf("-components is required")
 	}
+	sink, err := obs.NewSink(os.Stderr, logLevel, journalPath)
+	if err != nil {
+		return err
+	}
+	defer sink.EventJournal().Close()
+	log := sink.Logger()
+	// Collection is local, so master outages only cost their own duration;
+	// the sink's logger records every link-state transition.
 	opts := []fchain.SlaveOption{
 		fchain.WithBackoff(backoff, backoffMax),
-		// Collection is local, so outages only cost their own duration;
-		// log transitions so operators can see the link state.
-		fchain.WithStateCallback(func(state fchain.ConnState, err error) {
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "master connection %s: %v\n", state, err)
-				return
-			}
-			fmt.Fprintf(os.Stderr, "master connection %s\n", state)
-		}),
+		fchain.WithSlaveObs(sink),
 	}
 	if skew != 0 {
 		opts = append(opts, fchain.WithClockSkew(skew))
@@ -100,6 +110,17 @@ func run(name, components, master string, skew int64, backoff, backoffMax time.D
 		return err
 	}
 	defer slave.Close()
+	if debugAddr != "" {
+		dbg, err := obs.StartDebug(debugAddr, obs.DebugConfig{
+			Registry: sink.Registry(),
+			Traces:   sink.TraceRing(),
+		})
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		log.Info("debug server listening", "addr", dbg.Addr())
+	}
 	fmt.Printf("fchain-slave %s registered with %s, monitoring %v\n", name, master, comps)
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -112,7 +133,7 @@ func run(name, components, master string, skew int64, backoff, backoffMax time.D
 		}
 		comp, t, kind, value, err := parseSample(text)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "line %d: %v\n", line, err)
+			log.Warn("bad sample line", "line", line, "err", err)
 			continue
 		}
 		// Ingest, not Observe: real collectors hiccup, so the feed goes
@@ -120,7 +141,7 @@ func run(name, components, master string, skew int64, backoff, backoffMax time.D
 		// counted against the component's data quality instead of being a
 		// per-line error.
 		if err := slave.Ingest(comp, t, kind, value); err != nil {
-			fmt.Fprintf(os.Stderr, "line %d: %v\n", line, err)
+			log.Warn("ingest rejected sample", "line", line, "err", err)
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -48,6 +48,7 @@ import (
 	"fchain/internal/depgraph"
 	"fchain/internal/ingest"
 	"fchain/internal/metric"
+	"fchain/internal/obs"
 )
 
 // Kind identifies one of the six monitored system metrics.
@@ -193,6 +194,30 @@ func (l *Localizer) LocalizeStats(tv int64, deps *DependencyGraph) (Diagnosis, P
 	return l.inner.LocalizeStats(tv, deps)
 }
 
+// Trace is the span tree recorded for one traced localization: per-phase
+// spans (analyze, diagnose) over per-component spans over per-metric
+// selection spans, each carrying the evidence behind the verdict (candidate
+// change points, filter decisions, rollback onsets). Normalize strips
+// wall-clock timings for golden comparison.
+type Trace = obs.Trace
+
+// Span is one timed operation inside a Trace.
+type Span = obs.Span
+
+// LocalizeTraced is LocalizeStats also recording the full evidence trace:
+// why each (component, metric) pair was or was not selected, and how the
+// propagation chain was assembled. The span tree is deterministic — it is
+// bit-identical (after Normalize) at any Config.Parallelism.
+func (l *Localizer) LocalizeTraced(tv int64, deps *DependencyGraph) (Diagnosis, PoolStats, *Trace) {
+	return l.inner.LocalizeTraced(tv, deps)
+}
+
+// ObservabilitySink bundles the observability outputs a daemon threads
+// through its layers: a leveled logger, a metrics registry, a ring of
+// recent traces, and a JSONL event journal. Any field may be nil; nil
+// components discard their input at negligible cost.
+type ObservabilitySink = obs.Sink
+
 // Diagnose runs only the master-side integrated diagnosis over
 // already-computed component reports (as the distributed master does).
 // totalComponents is the application's component count.
@@ -278,6 +303,13 @@ func WithBreaker(threshold int, cooldown time.Duration) MasterOption {
 	return cluster.WithBreaker(threshold, cooldown)
 }
 
+// WithMasterObs attaches an observability sink to the master: every
+// Localize records a trace into the ring, updates the metrics registry,
+// and journals its verdict; slave lifecycle events are logged.
+func WithMasterObs(sink *ObservabilitySink) MasterOption {
+	return cluster.WithMasterObs(sink)
+}
+
 // NewMaster creates a master with the given configuration and dependency
 // graph; call Start to listen.
 func NewMaster(cfg Config, deps *DependencyGraph, opts ...MasterOption) *Master {
@@ -348,6 +380,13 @@ const (
 // WithStateCallback registers a connection-state observer on the slave.
 func WithStateCallback(fn func(state ConnState, err error)) SlaveOption {
 	return cluster.WithStateCallback(fn)
+}
+
+// WithSlaveObs attaches an observability sink to the slave: ingest and
+// analyze counters, per-request selection latency histograms, analysis
+// traces into the ring, and connection-state logging.
+func WithSlaveObs(sink *ObservabilitySink) SlaveOption {
+	return cluster.WithSlaveObs(sink)
 }
 
 // NewSlave creates a slave monitoring the given components; call Connect

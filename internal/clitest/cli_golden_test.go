@@ -1,0 +1,200 @@
+package clitest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"fchain/internal/golden"
+)
+
+// Wall-clock durations, ephemeral ports, and latency histograms vary run to
+// run; everything else in the console output is pinned by the goldens.
+var (
+	addrRe = regexp.MustCompile(`127\.0\.0\.1:\d+`)
+	durRe  = regexp.MustCompile(`\b\d+(?:\.\d+)?(?:ns|µs|us|ms|s|m|h)\b`)
+)
+
+func normalizeCLI(out []byte) []byte {
+	norm := addrRe.ReplaceAll(out, []byte("<ADDR>"))
+	norm = durRe.ReplaceAll(norm, []byte("<DUR>"))
+	return norm
+}
+
+// TestCLIGoldenSim pins fchain-sim's full console output for a canonical
+// run. Regenerate with `go test ./... -update` after an intentional
+// output or pipeline change.
+func TestCLIGoldenSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	simBin, _, _ := buildBinaries(t)
+	out, err := exec.Command(simBin,
+		"-app", "rubis", "-fault", "cpuhog", "-seed", "1", "-inject", "1700",
+		"-parallel", "1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("fchain-sim: %v\n%s", err, out)
+	}
+	golden.Assert(t, golden.Path("sim-rubis-cpuhog.txt"), normalizeCLI(out))
+}
+
+// consoleBlock sends one console command to the master and returns every
+// output line it produced. A deliberately unknown sentinel command sent
+// right behind it marks where the block ends.
+func consoleBlock(t *testing.T, in io.Writer, r *bufio.Reader, cmd, sentinel string) string {
+	t.Helper()
+	fmt.Fprintln(in, cmd)
+	fmt.Fprintln(in, sentinel)
+	var b strings.Builder
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading console output after %q: %v\ngot so far:\n%s", cmd, err, b.String())
+		}
+		if strings.Contains(line, "unknown command") && strings.Contains(line, sentinel) {
+			return b.String()
+		}
+		b.WriteString(line)
+	}
+}
+
+// TestCLIGoldenMasterConsole pins the master's health and localize console
+// output for the canonical RUBiS CpuHog capture, and checks the -debug-addr
+// endpoints end to end (healthz up, localize counters exported).
+func TestCLIGoldenMasterConsole(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	simBin, masterBin, slaveBin := buildBinaries(t)
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "metrics.csv")
+	depsPath := filepath.Join(dir, "deps.json")
+
+	simOut, err := exec.Command(simBin,
+		"-app", "rubis", "-fault", "cpuhog", "-seed", "1", "-inject", "1700",
+		"-emit-csv", csvPath, "-save-deps", depsPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("fchain-sim: %v\n%s", err, simOut)
+	}
+	m := regexp.MustCompile(`SLO violation detected at t=(\d+)`).FindSubmatch(simOut)
+	if m == nil {
+		t.Fatalf("no tv in sim output:\n%s", simOut)
+	}
+	tv := string(m[1])
+
+	master := exec.Command(masterBin, "-listen", "127.0.0.1:0", "-deps", depsPath,
+		"-debug-addr", "127.0.0.1:0", "-journal", filepath.Join(dir, "master.jsonl"))
+	masterIn, err := master.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterOut, err := master.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var masterErr strings.Builder
+	master.Stderr = &masterErr
+	if err := master.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		fmt.Fprintln(masterIn, "quit")
+		master.Wait()
+	}()
+	reader := bufio.NewReader(masterOut)
+	addr := ""
+	for addr == "" {
+		line, err := reader.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading master output: %v\nstderr:\n%s", err, masterErr.String())
+		}
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = strings.TrimSpace(line[i+len("listening on "):])
+		}
+	}
+	// Skip the banner line so captures start at the first command response.
+	if _, err := reader.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slaves []*exec.Cmd
+	for _, comp := range []string{"web", "app1", "app2", "db"} {
+		var lines []string
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(line, comp+",") {
+				lines = append(lines, line)
+			}
+		}
+		// -parallel 1 keeps the slaves' analysis serial so nothing about
+		// the machine's core count can leak into the golden output.
+		slave := exec.Command(slaveBin, "-name", "host-"+comp, "-components", comp, "-master", addr,
+			"-parallel", "1")
+		slave.Stdin = strings.NewReader(strings.Join(lines, "\n"))
+		if err := slave.Start(); err != nil {
+			t.Fatal(err)
+		}
+		slaves = append(slaves, slave)
+	}
+	defer func() {
+		for _, s := range slaves {
+			s.Process.Kill()
+			s.Wait()
+		}
+	}()
+	registered := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for registered < 4 && time.Now().Before(deadline) {
+		block := consoleBlock(t, masterIn, reader, "slaves", "sync-slaves")
+		registered = strings.Count(block, "host-")
+		if registered < 4 {
+			time.Sleep(300 * time.Millisecond)
+		}
+	}
+	if registered < 4 {
+		t.Fatalf("only %d slaves registered", registered)
+	}
+
+	health := consoleBlock(t, masterIn, reader, "health", "sync-health")
+	localize := consoleBlock(t, masterIn, reader, "localize "+tv, "sync-localize")
+	out := "== health\n" + health + "== localize " + tv + "\n" + localize
+	golden.Assert(t, golden.Path("master-console.txt"), normalizeCLI([]byte(out)))
+
+	// The -debug-addr plumbing end to end: the structured log names the
+	// debug address; its /healthz answers and /metrics exports the
+	// localization counters.
+	dm := regexp.MustCompile(`debug server listening" addr=(\S+)`).FindStringSubmatch(masterErr.String())
+	if dm == nil {
+		t.Fatalf("master log has no debug server line:\n%s", masterErr.String())
+	}
+	resp, err := http.Get("http://" + dm[1] + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + dm[1] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{`fchain_localize_total{outcome="ok"} 1`, "fchain_diagnose_total 1"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+// Registers the module-wide -update golden-file flag in this package's
+// test binary; `go test ./... -update` fails on any test binary that
+// does not define it. See fchain/internal/golden.
+package clitest_test
+
+import _ "fchain/internal/golden"

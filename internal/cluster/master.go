@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fchain/internal/core"
 	"fchain/internal/depgraph"
+	"fchain/internal/obs"
 )
 
 // Master is the FChain master daemon: it accepts slave registrations and,
@@ -27,6 +29,7 @@ import (
 type Master struct {
 	cfg  core.Config
 	deps *depgraph.Graph
+	obs  *obs.Sink
 
 	ln net.Listener
 
@@ -96,6 +99,15 @@ func WithBreaker(threshold int, cooldown time.Duration) MasterOption {
 			m.brCooldown = cooldown
 		}
 	}
+}
+
+// WithMasterObs attaches an observability sink: every Localize records a
+// pipeline trace (attached to the result and retained in the sink's trace
+// ring), counters and latency histograms land in the sink's registry, events
+// in its journal, and lifecycle transitions in its logger. All sink
+// components are optional; a nil sink (the default) disables everything.
+func WithMasterObs(sink *obs.Sink) MasterOption {
+	return func(m *Master) { m.obs = sink }
 }
 
 // slaveConn is the master-side state of one registered slave.
@@ -293,7 +305,11 @@ func (m *Master) serveConn(conn net.Conn) {
 	for _, comp := range sc.components {
 		m.known[comp] = true
 	}
+	registered := len(m.slaves)
 	m.mu.Unlock()
+	m.obs.Logger().Info("slave registered", "slave", sc.name, "components", len(sc.components))
+	m.obs.Registry().Gauge("fchain_slaves_registered", "Currently registered slaves.").Set(float64(registered))
+	_ = m.obs.EventJournal().Record("slave_registered", map[string]any{"slave": sc.name, "components": sc.components})
 	defer func() {
 		m.mu.Lock()
 		if m.slaves[sc.name] == sc {
@@ -302,7 +318,11 @@ func (m *Master) serveConn(conn net.Conn) {
 				m.evicted[sc.name] = true
 			}
 		}
+		remaining := len(m.slaves)
 		m.mu.Unlock()
+		m.obs.Logger().Warn("slave disconnected", "slave", sc.name)
+		m.obs.Registry().Gauge("fchain_slaves_registered", "Currently registered slaves.").Set(float64(remaining))
+		_ = m.obs.EventJournal().Record("slave_disconnected", map[string]any{"slave": sc.name})
 		sc.failAll(fmt.Sprintf("slave %s disconnected", sc.name))
 	}()
 
@@ -381,9 +401,13 @@ func (m *Master) probe(sc *slaveConn) {
 func (m *Master) miss(sc *slaveConn) {
 	sc.mu.Lock()
 	sc.misses++
+	misses := sc.misses
 	evict := sc.misses >= m.hbMaxMisses
 	sc.mu.Unlock()
+	m.obs.Logger().Debug("heartbeat miss", "slave", sc.name, "misses", misses)
 	if evict {
+		m.obs.Logger().Warn("evicting slave after missed heartbeats", "slave", sc.name, "misses", misses)
+		m.obs.Registry().Counter("fchain_slave_evictions_total", "Slaves evicted for missed heartbeats.").Inc()
 		// Closing the connection makes its serveConn exit, which evicts
 		// the slave and fails any in-flight requests.
 		_ = sc.w.conn.Close()
@@ -492,9 +516,13 @@ var ErrNoSlaves = errors.New("cluster: no slaves registered")
 // partial-view one.
 func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, error) {
 	var res core.LocalizeResult
+	tr := obs.NewTrace("localize", tv)
+	root := tr.Start(-1, "localize")
 	m.mu.Lock()
 	if len(m.slaves) == 0 {
 		m.mu.Unlock()
+		m.obs.Registry().CounterWith("fchain_localize_total", "Localize calls by outcome.",
+			map[string]string{"outcome": "no_slaves"}).Inc()
 		return res, ErrNoSlaves
 	}
 	conns := make([]*slaveConn, 0, len(m.slaves))
@@ -508,6 +536,8 @@ func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, e
 	res.SlavesTotal = len(conns)
 	res.ComponentsKnown = len(m.known)
 	m.mu.Unlock()
+	tr.AttrInt(root, "slaves", int64(res.SlavesTotal))
+	tr.AttrInt(root, "components", int64(res.ComponentsKnown))
 
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
@@ -558,12 +588,21 @@ func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, e
 	for range conns {
 		a := <-answers
 		res.Retries += a.retries
+		ask := tr.Start(root, "ask:"+a.slave)
+		tr.AttrInt(ask, "retries", int64(a.retries))
 		if a.err != nil {
+			tr.Attr(ask, "error", a.err.Error())
+			tr.End(ask)
+			m.obs.Logger().Warn("slave analyze failed", "slave", a.slave, "err", a.err)
 			res.Errors = append(res.Errors, a.err.Error())
 			continue
 		}
+		tr.AttrInt(ask, "reports", int64(len(a.reports)))
+		tr.End(ask)
 		res.SlavesAnswered++
 		res.Stats.Select.Observe(a.waitNS)
+		m.obs.Registry().Histogram("fchain_slave_answer_latency_ns",
+			"Per-slave analyze answer latency (remote selection plus the wire).").Observe(a.waitNS)
 		// Clock-offset normalization: the slave echoed which clock its
 		// onsets are in. The propagation chain orders components by onset
 		// across slaves, so per-slave offsets must be removed before
@@ -599,11 +638,26 @@ func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, e
 	res.ComponentsReported = len(seen)
 	res.Degraded = res.SlavesAnswered < res.SlavesTotal || res.ComponentsReported < res.ComponentsKnown
 	if len(reports) == 0 && len(res.Errors) > 0 {
+		m.obs.Registry().CounterWith("fchain_localize_total", "Localize calls by outcome.",
+			map[string]string{"outcome": "error"}).Inc()
+		m.obs.Logger().Error("localize failed: no slave answered", "tv", tv, "first_err", res.Errors[0])
+		_ = m.obs.EventJournal().Record("localize_failed", map[string]any{"tv": tv, "errors": res.Errors})
 		return res, fmt.Errorf("cluster: all slaves failed: %s", res.Errors[0])
 	}
+	dg := tr.Start(root, "diagnose")
 	diagStart := time.Now()
 	res.Diagnosis = core.Diagnose(reports, res.ComponentsKnown, m.deps, m.cfg)
 	res.Stats.Diagnose.Observe(time.Since(diagStart).Nanoseconds())
+	tr.AttrInt(dg, "chain", int64(len(res.Diagnosis.Chain)))
+	tr.Attr(dg, "culprits", strings.Join(res.Diagnosis.CulpritNames(), ","))
+	tr.AttrBool(dg, "external", res.Diagnosis.ExternalFactor)
+	tr.End(dg)
+	tr.Attr(root, "verdict", res.Diagnosis.String())
+	tr.AttrBool(root, "degraded", res.Degraded)
+	tr.End(root)
+	res.Trace = tr
+	m.obs.TraceRing().Add(tr)
+	m.instrumentLocalize(tv, &res)
 	m.mu.Lock()
 	m.history = append(m.history, DiagnosisRecord{TV: tv, Diagnosis: res.Diagnosis, Degraded: res.Degraded})
 	if len(m.history) > historyLimit {
@@ -611,6 +665,40 @@ func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, e
 	}
 	m.mu.Unlock()
 	return res, nil
+}
+
+// instrumentLocalize records one completed localization in the sink's
+// metrics, journal, and log (all no-ops without a sink).
+func (m *Master) instrumentLocalize(tv int64, res *core.LocalizeResult) {
+	if m.obs == nil {
+		return
+	}
+	reg := m.obs.Registry()
+	reg.CounterWith("fchain_localize_total", "Localize calls by outcome.",
+		map[string]string{"outcome": "ok"}).Inc()
+	reg.Counter("fchain_diagnose_total", "Integrated diagnosis passes.").Inc()
+	if res.Degraded {
+		reg.Counter("fchain_localize_degraded_total", "Localizations over a partial view.").Inc()
+	}
+	sel := res.Stats.Select
+	reg.Histogram("fchain_selection_latency_ns", "Abnormal change point selection latency.").
+		MergeLog2(sel.Buckets[:], sel.Count, sel.SumNS, sel.MaxNS)
+	diag := res.Stats.Diagnose
+	reg.Histogram("fchain_diagnose_latency_ns", "Integrated diagnosis latency.").
+		MergeLog2(diag.Buckets[:], diag.Count, diag.SumNS, diag.MaxNS)
+	m.obs.Logger().Info("localize complete",
+		"tv", tv,
+		"verdict", res.Diagnosis.String(),
+		"slaves", fmt.Sprintf("%d/%d", res.SlavesAnswered, res.SlavesTotal),
+		"degraded", res.Degraded)
+	_ = m.obs.EventJournal().Record("localize", map[string]any{
+		"tv":        tv,
+		"culprits":  res.Diagnosis.CulpritNames(),
+		"external":  res.Diagnosis.ExternalFactor,
+		"chain_len": len(res.Diagnosis.Chain),
+		"slaves":    res.SlavesAnswered,
+		"degraded":  res.Degraded,
+	})
 }
 
 // askResult is one slave's analyze outcome after retries.

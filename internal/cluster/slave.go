@@ -14,6 +14,7 @@ import (
 
 	"fchain/internal/core"
 	"fchain/internal/metric"
+	"fchain/internal/obs"
 )
 
 // ConnState describes the slave's link to the master, reported through the
@@ -83,6 +84,13 @@ type Slave struct {
 	backoffMax     time.Duration
 	reconnect      bool
 	onState        func(ConnState, error)
+
+	// Observability sink plus pre-resolved hot-path metrics: the per-sample
+	// ingest counters are looked up once at construction so feeding a sample
+	// costs one atomic increment (or nothing, without a sink).
+	obs           *obs.Sink
+	ingestSamples *obs.Counter
+	ingestErrors  *obs.Counter
 
 	// Crash-safe model persistence: with a checkpoint directory set, the
 	// slave restores each monitor from its last checkpoint at construction
@@ -178,6 +186,15 @@ func WithCheckpointInterval(d time.Duration) SlaveOption {
 	})
 }
 
+// WithSlaveObs attaches an observability sink: ingest and analyze counters
+// plus selection latency histograms land in its registry, each analyze
+// request's trace in its trace ring, events in its journal, and connection
+// state transitions in its logger. A nil sink (the default) disables
+// everything.
+func WithSlaveObs(sink *obs.Sink) SlaveOption {
+	return slaveOptionFunc(func(s *Slave) { s.obs = sink })
+}
+
 // NewSlave creates a slave monitoring the given components.
 func NewSlave(name string, components []string, cfg core.Config, opts ...SlaveOption) *Slave {
 	s := &Slave{
@@ -201,6 +218,10 @@ func NewSlave(name string, components []string, cfg core.Config, opts ...SlaveOp
 	for _, o := range opts {
 		o.apply(s)
 	}
+	s.ingestSamples = s.obs.Registry().Counter("fchain_ingest_samples_total",
+		"Metric samples fed into the slave's models.")
+	s.ingestErrors = s.obs.Registry().Counter("fchain_ingest_errors_total",
+		"Samples rejected by the ingest path.")
 	if s.checkpointDir != "" {
 		s.restoreCheckpoints()
 		s.wg.Add(1)
@@ -298,7 +319,13 @@ func (s *Slave) Observe(component string, t int64, k metric.Kind, v float64) err
 	if !ok {
 		return fmt.Errorf("cluster: slave %s does not monitor %q", s.name, component)
 	}
-	return mon.Observe(t+s.skew, k, v)
+	err := mon.Observe(t+s.skew, k, v)
+	if err != nil {
+		s.ingestErrors.Inc()
+	} else {
+		s.ingestSamples.Inc()
+	}
+	return err
 }
 
 // Ingest feeds one possibly-dirty metric sample through the component's
@@ -312,7 +339,13 @@ func (s *Slave) Ingest(component string, t int64, k metric.Kind, v float64) erro
 	if !ok {
 		return fmt.Errorf("cluster: slave %s does not monitor %q", s.name, component)
 	}
-	return mon.Ingest(t+s.skew, k, v)
+	err := mon.Ingest(t+s.skew, k, v)
+	if err != nil {
+		s.ingestErrors.Inc()
+	} else {
+		s.ingestSamples.Inc()
+	}
+	return err
 }
 
 // Quality reports per-component data quality accumulated by the sanitizing
@@ -403,6 +436,17 @@ func (s *Slave) dialRegister(addr string) (*connWriter, error) {
 }
 
 func (s *Slave) notify(state ConnState, err error) {
+	if log := s.obs.Logger(); log != nil {
+		switch state {
+		case StateDisconnected:
+			log.Warn("master connection lost", "slave", s.name, "err", err)
+		case StateReconnecting:
+			log.Debug("reconnecting to master", "slave", s.name)
+		default:
+			log.Info("connection state changed", "slave", s.name, "state", state.String())
+		}
+	}
+	_ = s.obs.EventJournal().Record("conn_state", map[string]any{"slave": s.name, "state": state.String()})
 	if s.onState != nil {
 		s.onState(state, err)
 	}
@@ -542,7 +586,28 @@ func (s *Slave) analyzeWithWindow(tv int64, lookBack int) []core.ComponentReport
 		monitors[i] = s.monitors[name]
 	}
 	s.mu.Unlock()
-	reports, _ := core.AnalyzeMonitors(monitors, tv+s.skew, lookBack, s.cfg.Parallelism)
+	var (
+		reports []core.ComponentReport
+		stats   core.PoolStats
+	)
+	if s.obs.TraceRing() != nil {
+		var tr *obs.Trace
+		reports, stats, tr = core.AnalyzeMonitorsTraced(monitors, tv+s.skew, lookBack, s.cfg.Parallelism)
+		s.obs.TraceRing().Add(tr)
+	} else {
+		reports, stats = core.AnalyzeMonitors(monitors, tv+s.skew, lookBack, s.cfg.Parallelism)
+	}
+	if reg := s.obs.Registry(); reg != nil {
+		reg.Counter("fchain_analyze_requests_total", "Analyze requests served.").Inc()
+		reg.Counter("fchain_selection_tasks_total", "Per-metric selection tasks executed.").
+			Add(int64(stats.Tasks))
+		sel := stats.Select
+		reg.Histogram("fchain_selection_latency_ns", "Abnormal change point selection latency.").
+			MergeLog2(sel.Buckets[:], sel.Count, sel.SumNS, sel.MaxNS)
+	}
+	_ = s.obs.EventJournal().Record("analyze", map[string]any{
+		"slave": s.name, "tv": tv, "lookback": lookBack, "reports": len(reports),
+	})
 	return reports
 }
 

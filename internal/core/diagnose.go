@@ -8,6 +8,7 @@ import (
 
 	"fchain/internal/depgraph"
 	"fchain/internal/metric"
+	"fchain/internal/obs"
 	"fchain/internal/timeseries"
 )
 
@@ -244,7 +245,7 @@ func (l *Localizer) Quality() map[string]DataQuality {
 // tasks run on a bounded worker pool; the reports are bit-identical to the
 // serial order either way.
 func (l *Localizer) Analyze(tv int64) []ComponentReport {
-	reports, _ := l.analyzeAll(nil, tv, l.cfg)
+	reports, _ := l.analyzeAll(nil, tv, l.cfg, nil, -1)
 	return reports
 }
 
@@ -252,17 +253,25 @@ func (l *Localizer) Analyze(tv int64) []ComponentReport {
 // caller reusing the slice across calls makes the steady-state analysis
 // path allocation-free.
 func (l *Localizer) AnalyzeInto(dst []ComponentReport, tv int64) []ComponentReport {
-	reports, _ := l.analyzeAll(dst, tv, l.cfg)
+	reports, _ := l.analyzeAll(dst, tv, l.cfg, nil, -1)
 	return reports
 }
 
 // AnalyzeStats is Analyze also returning the engine's timing counters.
 func (l *Localizer) AnalyzeStats(tv int64) ([]ComponentReport, PoolStats) {
-	return l.analyzeAll(nil, tv, l.cfg)
+	return l.analyzeAll(nil, tv, l.cfg, nil, -1)
 }
 
-// analyzeAll runs the analysis engine over every monitor under cfg.
-func (l *Localizer) analyzeAll(dst []ComponentReport, tv int64, cfg Config) ([]ComponentReport, PoolStats) {
+// analyzeAll runs the analysis engine over every monitor under cfg. With a
+// non-nil trace it opens an analyze span under parent and records the
+// per-component span tree beneath it.
+func (l *Localizer) analyzeAll(dst []ComponentReport, tv int64, cfg Config, tr *obs.Trace, parent int) ([]ComponentReport, PoolStats) {
+	an := -1
+	if tr != nil {
+		an = tr.Start(parent, "analyze")
+		tr.AttrInt(an, "tasks", int64(len(l.names)*metric.NumKinds))
+		tr.AttrInt(an, "lookback", int64(cfg.LookBack))
+	}
 	if cap(dst) >= len(l.names) {
 		dst = dst[:0]
 	} else {
@@ -279,9 +288,10 @@ func (l *Localizer) analyzeAll(dst []ComponentReport, tv int64, cfg Config) ([]C
 		serialStats.Tasks = len(l.names) * metric.NumKinds
 		a := getArena()
 		for _, name := range l.names {
-			dst = append(dst, l.monitors[name].analyzeArena(tv, cfg, a, &serialStats.Select))
+			dst = append(dst, l.monitors[name].analyzeArena(tv, cfg, a, &serialStats.Select, tr, an))
 		}
 		putArena(a)
+		tr.End(an)
 		return dst, serialStats
 	}
 	var stats PoolStats
@@ -291,7 +301,8 @@ func (l *Localizer) analyzeAll(dst []ComponentReport, tv int64, cfg Config) ([]C
 		monitors[i] = l.monitors[name]
 		cfgs[i] = cfg
 	}
-	dst = analyzeMonitors(dst, monitors, cfgs, tv, workers, &stats)
+	dst = analyzeMonitors(dst, monitors, cfgs, tv, workers, &stats, tr, an)
+	tr.End(an)
 	return dst, stats
 }
 
@@ -314,10 +325,30 @@ func (l *Localizer) Localize(tv int64, deps *depgraph.Graph) Diagnosis {
 // selection task latencies plus one diagnosis observation per pass
 // (adaptive look-back retries accumulate).
 func (l *Localizer) LocalizeStats(tv int64, deps *depgraph.Graph) (Diagnosis, PoolStats) {
-	reports, stats := l.analyzeAll(nil, tv, l.cfg)
-	t0 := time.Now()
-	diag := Diagnose(reports, len(l.names), deps, l.cfg)
-	stats.Diagnose.Observe(time.Since(t0).Nanoseconds())
+	return l.localize(tv, deps, nil, -1)
+}
+
+// LocalizeTraced is LocalizeStats also recording a pipeline trace: a
+// localize root span with analyze and diagnose children per pass (adaptive
+// look-back retries add a pass each), component:<name> spans per monitor,
+// and select:<metric> spans with detect/filter/rollback beneath. The span
+// structure and attributes are deterministic per (monitor state, tv, cfg);
+// Normalize the trace to compare it against a golden copy.
+func (l *Localizer) LocalizeTraced(tv int64, deps *depgraph.Graph) (Diagnosis, PoolStats, *obs.Trace) {
+	tr := obs.NewTrace("localize", tv)
+	root := tr.Start(-1, "localize")
+	tr.AttrInt(root, "components", int64(len(l.names)))
+	diag, stats := l.localize(tv, deps, tr, root)
+	tr.Attr(root, "verdict", diag.String())
+	tr.End(root)
+	return diag, stats, tr
+}
+
+// localize runs the localization passes, optionally recording spans under
+// parent.
+func (l *Localizer) localize(tv int64, deps *depgraph.Graph, tr *obs.Trace, parent int) (Diagnosis, PoolStats) {
+	reports, stats := l.analyzeAll(nil, tv, l.cfg, tr, parent)
+	diag := l.diagnoseTraced(reports, deps, l.cfg, &stats, tr, parent)
 	if !l.cfg.AdaptiveLookBack || len(diag.Chain) > 0 {
 		return diag, stats
 	}
@@ -331,14 +362,31 @@ func (l *Localizer) LocalizeStats(tv int64, deps *depgraph.Graph) (Diagnosis, Po
 		// Ring capacity stays as provisioned; monitors retain
 		// RingCapacity samples, so the widened analysis sees as much of
 		// the longer window as the slave kept.
-		reports, st := l.analyzeAll(nil, tv, wide)
+		reports, st := l.analyzeAll(nil, tv, wide, tr, parent)
 		stats.Merge(st)
-		t0 = time.Now()
-		diag = Diagnose(reports, len(l.names), deps, wide)
-		stats.Diagnose.Observe(time.Since(t0).Nanoseconds())
+		diag = l.diagnoseTraced(reports, deps, wide, &stats, tr, parent)
 		if len(diag.Chain) > 0 || window == l.cfg.MaxLookBack {
 			return diag, stats
 		}
 	}
 	return diag, stats
+}
+
+// diagnoseTraced runs one Diagnose pass, timing it into stats and recording
+// a diagnose span with the chain and verdict when tracing.
+func (l *Localizer) diagnoseTraced(reports []ComponentReport, deps *depgraph.Graph, cfg Config, stats *PoolStats, tr *obs.Trace, parent int) Diagnosis {
+	dg := -1
+	if tr != nil {
+		dg = tr.Start(parent, "diagnose")
+	}
+	t0 := time.Now()
+	diag := Diagnose(reports, len(l.names), deps, cfg)
+	stats.Diagnose.Observe(time.Since(t0).Nanoseconds())
+	if tr != nil {
+		tr.AttrInt(dg, "chain", int64(len(diag.Chain)))
+		tr.Attr(dg, "culprits", strings.Join(diag.CulpritNames(), ","))
+		tr.AttrBool(dg, "external", diag.ExternalFactor)
+		tr.End(dg)
+	}
+	return diag
 }

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"fchain/internal/depgraph"
+	"fchain/internal/metric"
+	"fchain/internal/timeseries"
+)
+
+// abnormalReport builds a minimal abnormal ComponentReport with one CPU
+// change at the given onset and trend.
+func abnormalReport(name string, onset int64, dir timeseries.Trend) ComponentReport {
+	return ComponentReport{
+		Component: name,
+		Onset:     onset,
+		Changes: []AbnormalChange{{
+			Component: name,
+			Metric:    metric.CPU,
+			ChangeAt:  onset + 3,
+			Onset:     onset,
+			Direction: dir,
+		}},
+	}
+}
+
+func TestDiagnoseEdgeCases(t *testing.T) {
+	up, down := timeseries.TrendUp, timeseries.TrendDown
+	cfg := Config{}.withDefaults() // ConcurrencyThreshold=2, ExternalSpread=6
+
+	deps := depgraph.NewGraph()
+	deps.AddEdge("web", "app", 1)
+	deps.AddEdge("app", "db", 1)
+
+	tests := []struct {
+		name         string
+		reports      []ComponentReport
+		total        int
+		deps         *depgraph.Graph
+		wantCulprits []string
+		wantReasons  []string
+		wantExternal bool
+	}{
+		{
+			name:    "empty chain pinpoints nothing",
+			reports: nil,
+			total:   3,
+		},
+		{
+			name: "no abnormal reports pinpoints nothing",
+			reports: []ComponentReport{
+				{Component: "web"}, {Component: "db"},
+			},
+			total: 2,
+		},
+		{
+			name: "single-component chain pinpoints the source",
+			reports: []ComponentReport{
+				abnormalReport("db", 100, up),
+				{Component: "web"},
+			},
+			total:        3,
+			wantCulprits: []string{"db"},
+			wantReasons:  []string{"source"},
+		},
+		{
+			name: "onset exactly at the concurrency threshold is concurrent",
+			reports: []ComponentReport{
+				abnormalReport("db", 100, up),
+				abnormalReport("app", 102, up), // 102-100 == threshold: concurrent
+			},
+			total:        3,
+			wantCulprits: []string{"db", "app"},
+			wantReasons:  []string{"source", "concurrent"},
+		},
+		{
+			name: "onset one past the threshold is propagation, not concurrent",
+			reports: []ComponentReport{
+				abnormalReport("db", 100, up),
+				abnormalReport("app", 103, up), // 3 > threshold: propagated
+			},
+			total:        3,
+			wantCulprits: []string{"db"},
+			wantReasons:  []string{"source"},
+		},
+		{
+			name: "threshold chains through each newly pinned onset",
+			reports: []ComponentReport{
+				abnormalReport("db", 100, up),
+				abnormalReport("app", 102, up), // within 2 of db
+				abnormalReport("web", 104, up), // within 2 of app, 4 from db
+			},
+			total:        4, // not all components abnormal: no external check
+			wantCulprits: []string{"db", "app", "web"},
+			wantReasons:  []string{"source", "concurrent", "concurrent"},
+		},
+		{
+			name: "all components abnormal with one trend is an external factor",
+			reports: []ComponentReport{
+				abnormalReport("web", 100, up),
+				abnormalReport("app", 101, up),
+				abnormalReport("db", 102, up),
+			},
+			total:        3,
+			wantExternal: true,
+		},
+		{
+			name: "all abnormal but trends differ stays a fault",
+			reports: []ComponentReport{
+				abnormalReport("web", 100, up),
+				abnormalReport("app", 101, down),
+				abnormalReport("db", 102, up),
+			},
+			total:        3,
+			wantCulprits: []string{"web", "app", "db"}, // each onset within threshold of the last pinned
+			wantReasons:  []string{"source", "concurrent", "concurrent"},
+		},
+		{
+			name: "all abnormal same trend but spread beyond ExternalSpread stays a fault",
+			reports: []ComponentReport{
+				abnormalReport("web", 100, up),
+				abnormalReport("db", 107, up), // spread 7 > 6
+			},
+			total:        2,
+			wantCulprits: []string{"web"},
+			wantReasons:  []string{"source"},
+		},
+		{
+			name: "single monitored component never triggers the external check",
+			reports: []ComponentReport{
+				abnormalReport("db", 100, up),
+			},
+			total:        1,
+			wantCulprits: []string{"db"},
+			wantReasons:  []string{"source"},
+		},
+		{
+			name: "unreachable abnormal component is an independent fault",
+			reports: []ComponentReport{
+				abnormalReport("app", 100, up),
+				abnormalReport("db", 105, up),    // past threshold, but an app-db interaction path exists: propagation
+				abnormalReport("cache", 110, up), // not in the graph: cannot be propagation
+			},
+			total:        4,
+			deps:         deps,
+			wantCulprits: []string{"app", "cache"},
+			wantReasons:  []string{"source", "independent"},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			diag := Diagnose(tc.reports, tc.total, tc.deps, cfg)
+			if diag.ExternalFactor != tc.wantExternal {
+				t.Fatalf("ExternalFactor = %v, want %v (diag: %s)", diag.ExternalFactor, tc.wantExternal, diag)
+			}
+			if tc.wantExternal {
+				if len(diag.Culprits) != 0 {
+					t.Fatalf("external verdict pinpointed culprits: %s", diag)
+				}
+				if diag.Trend == timeseries.TrendFlat {
+					t.Fatal("external verdict carries no trend")
+				}
+				return
+			}
+			if got := diag.CulpritNames(); !reflect.DeepEqual(got, namesOrEmpty(tc.wantCulprits)) {
+				t.Fatalf("culprits = %v, want %v", got, tc.wantCulprits)
+			}
+			for i, c := range diag.Culprits {
+				if c.Reason != tc.wantReasons[i] {
+					t.Errorf("culprit %s reason = %q, want %q", c.Component, c.Reason, tc.wantReasons[i])
+				}
+			}
+		})
+	}
+}
+
+// namesOrEmpty normalizes a nil expectation to CulpritNames's empty-slice
+// return.
+func namesOrEmpty(names []string) []string {
+	if names == nil {
+		return []string{}
+	}
+	return names
+}
+
+// TestDiagnoseChainSorted pins the chain ordering contract: abnormal
+// components sorted by onset, ties broken by name.
+func TestDiagnoseChainSorted(t *testing.T) {
+	up := timeseries.TrendUp
+	reports := []ComponentReport{
+		abnormalReport("zeta", 105, up),
+		abnormalReport("beta", 100, up),
+		abnormalReport("alpha", 100, up),
+	}
+	diag := Diagnose(reports, 5, nil, Config{})
+	want := []string{"alpha", "beta", "zeta"}
+	for i, r := range diag.Chain {
+		if r.Component != want[i] {
+			t.Fatalf("chain[%d] = %s, want %s (chain: %v)", i, r.Component, want[i], diag.Chain)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fchain/internal/metric"
+	"fchain/internal/obs"
 )
 
 // This file implements the parallel analysis engine: a bounded worker pool
@@ -17,7 +18,9 @@ import (
 // hashSeed(component, metric, tv) — and results are written to a
 // preallocated slot indexed by task, then assembled in canonical component
 // and metric order. Output is therefore bit-identical to the serial path at
-// any worker count.
+// any worker count. Tracing preserves the contract: each task records into
+// a private sub-trace, and assembly grafts the sub-traces in canonical
+// order, so the span tree matches the serial path span for span.
 //
 // Single-component analyses stay serial regardless of the knob: the
 // per-violation hot path (one component per call in the module benchmarks)
@@ -26,10 +29,10 @@ import (
 
 // analyzeSerial analyzes the monitors in order on one shared arena,
 // appending to dst.
-func analyzeSerial(dst []ComponentReport, monitors []*Monitor, cfgs []Config, tv int64, stats *PoolStats) []ComponentReport {
+func analyzeSerial(dst []ComponentReport, monitors []*Monitor, cfgs []Config, tv int64, stats *PoolStats, tr *obs.Trace, parent int) []ComponentReport {
 	a := getArena()
 	for i, mon := range monitors {
-		dst = append(dst, mon.analyzeArena(tv, cfgs[i], a, &stats.Select))
+		dst = append(dst, mon.analyzeArena(tv, cfgs[i], a, &stats.Select, tr, parent))
 	}
 	putArena(a)
 	return dst
@@ -38,8 +41,9 @@ func analyzeSerial(dst []ComponentReport, monitors []*Monitor, cfgs []Config, tv
 // analyzeMonitors is the engine entry point: it analyzes every monitor at
 // tv under its matching config (cfgs[i] for monitors[i]), appending one
 // report per monitor to dst in monitor order. workers <= 1, a single
-// monitor, or no monitors run serially.
-func analyzeMonitors(dst []ComponentReport, monitors []*Monitor, cfgs []Config, tv int64, workers int, stats *PoolStats) []ComponentReport {
+// monitor, or no monitors run serially. With a non-nil trace, component and
+// selection spans are recorded under parent.
+func analyzeMonitors(dst []ComponentReport, monitors []*Monitor, cfgs []Config, tv int64, workers int, stats *PoolStats, tr *obs.Trace, parent int) []ComponentReport {
 	numTasks := len(monitors) * metric.NumKinds
 	stats.Tasks += numTasks
 	if workers > numTasks {
@@ -49,7 +53,7 @@ func analyzeMonitors(dst []ComponentReport, monitors []*Monitor, cfgs []Config, 
 		stats.Workers = 1
 	}
 	if workers <= 1 || len(monitors) <= 1 {
-		return analyzeSerial(dst, monitors, cfgs, tv, stats)
+		return analyzeSerial(dst, monitors, cfgs, tv, stats, tr, parent)
 	}
 	if workers > stats.Workers {
 		stats.Workers = workers
@@ -64,8 +68,9 @@ func analyzeMonitors(dst []ComponentReport, monitors []*Monitor, cfgs []Config, 
 	}
 
 	type taskResult struct {
-		ch AbnormalChange
-		ok bool
+		ch  AbnormalChange
+		ok  bool
+		sub *obs.Trace // per-task sub-trace, grafted at assembly
 	}
 	results := make([]taskResult, numTasks)
 	tasks := make(chan int)
@@ -83,10 +88,14 @@ func analyzeMonitors(dst []ComponentReport, monitors []*Monitor, cfgs []Config, 
 			for idx := range tasks {
 				mon := monitors[idx/metric.NumKinds]
 				k := metric.Kinds[idx%metric.NumKinds]
+				var sub *obs.Trace
+				if tr != nil {
+					sub = obs.NewTrace("task", tv)
+				}
 				t0 := time.Now()
-				ch, ok := mon.analyzeMetric(tv, k, cfgs[idx/metric.NumKinds], a)
+				ch, ok := mon.analyzeMetric(tv, k, cfgs[idx/metric.NumKinds], a, sub, -1)
 				hist.Observe(time.Since(t0).Nanoseconds())
-				results[idx] = taskResult{ch: ch, ok: ok}
+				results[idx] = taskResult{ch: ch, ok: ok, sub: sub}
 			}
 			statsMu.Lock()
 			stats.Select.Merge(hist)
@@ -100,11 +109,20 @@ func analyzeMonitors(dst []ComponentReport, monitors []*Monitor, cfgs []Config, 
 	wg.Wait()
 
 	// Canonical-order assembly: reports in monitor order, changes in metric
-	// kind order, exactly like the serial loop.
+	// kind order, exactly like the serial loop — and sub-traces grafted in
+	// the same order the serial path would have created their spans.
 	for ci, mon := range monitors {
+		comp := -1
+		if tr != nil {
+			comp = tr.Start(parent, "component:"+mon.Component())
+		}
 		rep := ComponentReport{Component: mon.Component(), Quality: qualities[ci]}
 		for ki := 0; ki < metric.NumKinds; ki++ {
-			if r := results[ci*metric.NumKinds+ki]; r.ok {
+			r := results[ci*metric.NumKinds+ki]
+			if tr != nil {
+				tr.Graft(comp, r.sub)
+			}
+			if r.ok {
 				rep.Changes = append(rep.Changes, r.ch)
 			}
 		}
@@ -115,6 +133,10 @@ func analyzeMonitors(dst []ComponentReport, monitors []*Monitor, cfgs []Config, 
 					rep.Onset = ch.Onset
 				}
 			}
+		}
+		if tr != nil {
+			annotateComponentSpan(tr, comp, rep)
+			tr.End(comp)
 		}
 		dst = append(dst, rep)
 	}
@@ -129,6 +151,19 @@ func analyzeMonitors(dst []ComponentReport, monitors []*Monitor, cfgs []Config, 
 // GOMAXPROCS, 1 = serial). Reports are returned in monitor order and are
 // bit-identical to analyzing each monitor serially.
 func AnalyzeMonitors(monitors []*Monitor, tv int64, lookBack, workers int) ([]ComponentReport, PoolStats) {
+	reports, stats, _ := analyzeMonitorsOpts(monitors, tv, lookBack, workers, false)
+	return reports, stats
+}
+
+// AnalyzeMonitorsTraced is AnalyzeMonitors also recording a pipeline trace:
+// an analyze root span with one component:<name> span per monitor and
+// select:<metric> spans beneath. The trace's span structure is identical at
+// any worker count; only the timings differ.
+func AnalyzeMonitorsTraced(monitors []*Monitor, tv int64, lookBack, workers int) ([]ComponentReport, PoolStats, *obs.Trace) {
+	return analyzeMonitorsOpts(monitors, tv, lookBack, workers, true)
+}
+
+func analyzeMonitorsOpts(monitors []*Monitor, tv int64, lookBack, workers int, traced bool) ([]ComponentReport, PoolStats, *obs.Trace) {
 	var stats PoolStats
 	cfgs := make([]Config, len(monitors))
 	for i, mon := range monitors {
@@ -140,6 +175,16 @@ func AnalyzeMonitors(monitors []*Monitor, tv int64, lookBack, workers int) ([]Co
 	if workers == 0 {
 		workers = Config{}.workers()
 	}
-	reports := analyzeMonitors(make([]ComponentReport, 0, len(monitors)), monitors, cfgs, tv, workers, &stats)
-	return reports, stats
+	var (
+		tr   *obs.Trace
+		root = -1
+	)
+	if traced {
+		tr = obs.NewTrace("analyze", tv)
+		root = tr.Start(-1, "analyze")
+		tr.AttrInt(root, "tasks", int64(len(monitors)*metric.NumKinds))
+	}
+	reports := analyzeMonitors(make([]ComponentReport, 0, len(monitors)), monitors, cfgs, tv, workers, &stats, tr, root)
+	tr.End(root)
+	return reports, stats, tr
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"fchain/internal/obs"
 )
 
 // LocalizeResult is a diagnosis plus the coverage metadata a caller needs to
@@ -56,6 +58,12 @@ type LocalizeResult struct {
 	// the integrated diagnosis — the latency the cluster CLI surfaces
 	// alongside quality and coverage.
 	Stats PoolStats `json:"stats,omitzero"`
+
+	// Trace is the pipeline trace for this call — one span per phase, per
+	// component, per metric selection, with candidate change points and
+	// filter decisions as attributes. nil unless the caller enabled
+	// tracing.
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 // MinQuality returns the lowest per-component quality confidence in the

@@ -3,11 +3,14 @@ package core
 import (
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"fchain/internal/changepoint"
 	"fchain/internal/fftpkg"
 	"fchain/internal/metric"
+	"fchain/internal/obs"
 	"fchain/internal/timeseries"
 )
 
@@ -124,23 +127,30 @@ func (m *Monitor) AnalyzeWindow(tv int64, lookBack int) ComponentReport {
 // pooled arena for the pass.
 func (m *Monitor) analyzeWith(tv int64, cfg Config) ComponentReport {
 	a := getArena()
-	report := m.analyzeArena(tv, cfg, a, nil)
+	report := m.analyzeArena(tv, cfg, a, nil, nil, -1)
 	putArena(a)
 	return report
 }
 
 // analyzeArena runs the full per-component analysis on the caller's arena;
-// hist, when non-nil, receives one latency observation per metric task.
-func (m *Monitor) analyzeArena(tv int64, cfg Config, a *arena, hist *LatencyHist) ComponentReport {
+// hist, when non-nil, receives one latency observation per metric task. With
+// a non-nil trace it opens a component:<name> span under parent; the span
+// tree it builds is identical to what the parallel engine assembles from
+// per-task sub-traces.
+func (m *Monitor) analyzeArena(tv int64, cfg Config, a *arena, hist *LatencyHist, tr *obs.Trace, parent int) ComponentReport {
 	// Never analyze behind samples the reorder buffers are still holding.
 	m.FlushIngest(tv)
+	comp := -1
+	if tr != nil {
+		comp = tr.Start(parent, "component:"+m.component)
+	}
 	report := ComponentReport{Component: m.component, Quality: qualityOf(m.Quality())}
 	for _, k := range metric.Kinds {
 		var t0 time.Time
 		if hist != nil {
 			t0 = time.Now()
 		}
-		ch, ok := m.analyzeMetric(tv, k, cfg, a)
+		ch, ok := m.analyzeMetric(tv, k, cfg, a, tr, comp)
 		if hist != nil {
 			hist.Observe(time.Since(t0).Nanoseconds())
 		}
@@ -156,19 +166,57 @@ func (m *Monitor) analyzeArena(tv int64, cfg Config, a *arena, hist *LatencyHist
 			}
 		}
 	}
+	if tr != nil {
+		annotateComponentSpan(tr, comp, report)
+		tr.End(comp)
+	}
 	return report
 }
 
+// annotateComponentSpan records a component span's summary attributes; the
+// serial path and the parallel engine's canonical assembly both use it so
+// traces stay bit-identical across worker counts.
+func annotateComponentSpan(tr *obs.Trace, comp int, report ComponentReport) {
+	tr.AttrInt(comp, "changes", int64(len(report.Changes)))
+	if len(report.Changes) > 0 {
+		tr.AttrInt(comp, "onset", report.Onset)
+	}
+}
+
 // analyzeMetric selects the earliest abnormal change for one metric; ok is
-// false when the metric exhibits none. All working memory comes from the
-// caller's arena, so a warmed-up analysis allocates nothing; the monitor's
-// shard lock is held only inside materialize, never across the analysis.
-func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config, a *arena) (AbnormalChange, bool) {
+// false when the metric exhibits none. With a non-nil trace it opens a
+// select:<metric> span under parent, with detect/filter/rollback child spans
+// recording candidate change points and filter decisions; with tr == nil the
+// instrumented path costs only pointer tests.
+func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config, a *arena, tr *obs.Trace, parent int) (AbnormalChange, bool) {
+	if tr == nil {
+		return m.selectMetric(tv, k, cfg, a, nil, -1)
+	}
+	sel := tr.Start(parent, "select:"+k.String())
+	ch, ok := m.selectMetric(tv, k, cfg, a, tr, sel)
+	tr.AttrBool(sel, "abnormal", ok)
+	if ok {
+		tr.AttrInt(sel, "change_at", ch.ChangeAt)
+		tr.AttrInt(sel, "onset", ch.Onset)
+	}
+	tr.End(sel)
+	return ch, ok
+}
+
+// selectMetric is the abnormal change point selection kernel behind
+// analyzeMetric. All working memory comes from the caller's arena, so a
+// warmed-up analysis allocates nothing; the monitor's shard lock is held only
+// inside materialize, never across the analysis. sel is the enclosing
+// select:<metric> span (-1 when untraced).
+func (m *Monitor) selectMetric(tv int64, k metric.Kind, cfg Config, a *arena, tr *obs.Trace, sel int) (AbnormalChange, bool) {
 	sv, se := m.materialize(k, a)
 	span := cfg.LookBack + cfg.BurstWindow
 	vals := sv.ViewRange(tv-int64(span)+1, tv+1)
 	errsSeries := se.ViewRange(tv-int64(span)+1, tv+1)
 	if vals.Len() < cfg.SmoothWindow*3 || vals.Len() < 8 {
+		if tr != nil {
+			tr.Attr(sel, "skipped", "short-window")
+		}
 		return AbnormalChange{}, false
 	}
 	raw := vals.ValuesView()
@@ -183,6 +231,10 @@ func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config, a *arena) (
 	// The look-back region starts W before tv; the extra BurstWindow of
 	// older samples only provides context for FFT extraction and rollback.
 	lookbackStart := tv - int64(cfg.LookBack)
+	det := -1
+	if tr != nil {
+		det = tr.Start(sel, "detect")
+	}
 	points := a.cp.Detect(smoothed, changepoint.Config{
 		Bootstraps: cfg.Bootstraps,
 		Confidence: cfg.CPConfidence,
@@ -193,9 +245,28 @@ func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config, a *arena) (
 		Rand: a.seededRand(hashSeed(m.component, int64(k), tv)),
 	})
 	if len(points) == 0 {
+		if tr != nil {
+			tr.AttrInt(det, "points", 0)
+			tr.End(det)
+		}
 		return AbnormalChange{}, false
 	}
 	outliers := a.cp.SelectOutliers(points, cfg.OutlierSigma)
+	if tr != nil {
+		tr.AttrInt(det, "points", int64(len(points)))
+		tr.AttrInt(det, "outliers", int64(len(outliers)))
+		var cands strings.Builder
+		for _, p := range outliers {
+			if t := vals.TimeAt(p.Index); t >= lookbackStart {
+				if cands.Len() > 0 {
+					cands.WriteByte(',')
+				}
+				cands.WriteString(strconv.FormatInt(t, 10))
+			}
+		}
+		tr.Attr(det, "candidates", cands.String())
+		tr.End(det)
+	}
 
 	// Self-calibration: all retained history before the look-back window
 	// characterizes how predictable this metric was before the anomaly
@@ -238,6 +309,10 @@ func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config, a *arena) (
 		}
 	}
 
+	flt := -1
+	if tr != nil {
+		flt = tr.Start(sel, "filter")
+	}
 	var (
 		selected    changepoint.Point
 		selectedIdx = -1
@@ -258,6 +333,9 @@ func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config, a *arena) (
 		} else {
 			e, err := expectedErrorAt(raw, p.Index, cfg, a)
 			if err != nil {
+				if tr != nil {
+					tr.Attr(flt, "cand:"+strconv.FormatInt(t, 10), "fft-error")
+				}
 				continue
 			}
 			exp, fftExp = e, e
@@ -286,7 +364,21 @@ func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config, a *arena) (
 			bypass, escaped = false, false
 		}
 		if pe <= cfg.SelectionMargin*exp && !bypass && !escaped {
+			if tr != nil {
+				tr.Attr(flt, "cand:"+strconv.FormatInt(t, 10), "predictable")
+			}
 			continue // predictable: a normal workload fluctuation
+		}
+		if tr != nil {
+			reason := "pred-err"
+			if pe <= cfg.SelectionMargin*exp {
+				if bypass {
+					reason = "bypass"
+				} else {
+					reason = "escaped"
+				}
+			}
+			tr.Attr(flt, "cand:"+strconv.FormatInt(t, 10), reason)
 		}
 		if selectedIdx == -1 || p.Index < selectedIdx {
 			selected = p
@@ -295,6 +387,14 @@ func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config, a *arena) (
 			expected = exp
 		}
 	}
+	if tr != nil {
+		if selectedIdx >= 0 {
+			tr.AttrInt(flt, "selected_at", vals.TimeAt(selectedIdx))
+			tr.AttrFloat(flt, "pred_err", predErr)
+			tr.AttrFloat(flt, "expected", expected)
+		}
+		tr.End(flt)
+	}
 	if selectedIdx == -1 {
 		return AbnormalChange{}, false
 	}
@@ -302,6 +402,10 @@ func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config, a *arena) (
 	// Tangent-based rollback to the manifestation onset, among all detected
 	// change points (normal ones included: mid-manifestation points share
 	// the fault's tangent).
+	rb := -1
+	if tr != nil {
+		rb = tr.Start(sel, "rollback")
+	}
 	abnormalPos := 0
 	for i, p := range points {
 		if p.Index == selected.Index {
@@ -317,6 +421,12 @@ func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config, a *arena) (
 	onset := vals.TimeAt(onsetIdx)
 	if onset < lookbackStart {
 		onset = lookbackStart
+	}
+	if tr != nil {
+		tr.AttrInt(rb, "from", vals.TimeAt(selected.Index))
+		tr.AttrInt(rb, "onset", onset)
+		tr.AttrBool(rb, "disabled", cfg.DisableRollback)
+		tr.End(rb)
 	}
 
 	dir := timeseries.TrendUp

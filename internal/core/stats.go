@@ -79,7 +79,15 @@ func (h LatencyHist) QuantileNS(q float64) int64 {
 	for i, c := range h.Buckets {
 		seen += c
 		if seen > rank {
-			return int64(1)<<(i+1) - 1
+			edge := int64(1)<<(i+1) - 1
+			// The recorded maximum is always a valid upper bound and is
+			// tighter whenever the bucket edge overshoots it — and for the
+			// overflow bucket, whose nominal edge can sit *below* the
+			// largest observation, it is the only correct answer.
+			if i == latencyBuckets-1 || edge > h.MaxNS {
+				edge = h.MaxNS
+			}
+			return edge
 		}
 	}
 	return h.MaxNS

@@ -1,0 +1,28 @@
+package golden_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fchain/internal/golden"
+)
+
+func TestAssertMatchesCommittedFile(t *testing.T) {
+	if golden.Update() {
+		t.Skip("self-test is meaningless under -update")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sample.golden")
+	if err := os.WriteFile(path, []byte("expected\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	golden.Assert(t, path, []byte("expected\n"))
+}
+
+func TestPathConvention(t *testing.T) {
+	want := filepath.Join("testdata", "golden", "x.json")
+	if got := golden.Path("x.json"); got != want {
+		t.Errorf("Path = %q, want %q", got, want)
+	}
+}

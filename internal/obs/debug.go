@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Sink bundles the observability outputs a daemon writes to. Every field is
+// optional: nil components discard their input for free, so one Sink value
+// threads through the cluster code regardless of which -debug/-journal
+// flags the operator set. A nil *Sink behaves like a Sink of nils.
+type Sink struct {
+	Log     *Logger
+	Metrics *Registry
+	Traces  *TraceRing
+	Journal *Journal
+}
+
+// NewSink builds the standard daemon sink: a leveled key=value logger on
+// w, a fresh metrics registry, a small ring of recent traces, and — when
+// journalPath is non-empty — a JSONL event journal at that path.
+func NewSink(w io.Writer, level string, journalPath string) (*Sink, error) {
+	s := &Sink{
+		Log:     NewLogger(w, ParseLevel(level)),
+		Metrics: NewRegistry(),
+		Traces:  NewTraceRing(16),
+	}
+	if journalPath != "" {
+		j, err := OpenJournal(journalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.Journal = j
+	}
+	return s, nil
+}
+
+// Logger returns the sink's logger (nil-safe).
+func (s *Sink) Logger() *Logger {
+	if s == nil {
+		return nil
+	}
+	return s.Log
+}
+
+// Registry returns the sink's metrics registry (nil-safe).
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics
+}
+
+// TraceRing returns the sink's trace ring (nil-safe).
+func (s *Sink) TraceRing() *TraceRing {
+	if s == nil {
+		return nil
+	}
+	return s.Traces
+}
+
+// EventJournal returns the sink's journal (nil-safe).
+func (s *Sink) EventJournal() *Journal {
+	if s == nil {
+		return nil
+	}
+	return s.Journal
+}
+
+// DebugConfig wires a debug server's endpoints.
+type DebugConfig struct {
+	// Registry backs /metrics (Prometheus text format); nil serves an
+	// empty exposition.
+	Registry *Registry
+	// Traces backs /trace/last and /trace/all; nil serves 404.
+	Traces *TraceRing
+	// Health, when non-nil, contributes extra fields to /healthz's JSON
+	// body (e.g. the master's per-slave liveness map).
+	Health func() any
+}
+
+// DebugServer is the opt-in HTTP introspection endpoint a daemon exposes
+// with -debug-addr: Prometheus metrics, a health probe, pprof, and the most
+// recent pipeline traces.
+type DebugServer struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// StartDebug listens on addr (e.g. "127.0.0.1:9090", or ":0" for an
+// ephemeral port) and serves:
+//
+//	/metrics        Prometheus text exposition of cfg.Registry
+//	/healthz        {"status":"ok","uptime_s":...} plus cfg.Health() fields
+//	/trace/last     most recent pipeline trace, as JSON
+//	/trace/all      every retained trace, oldest first
+//	/debug/pprof/*  the standard pprof handlers
+//
+// It returns once the listener is ready; requests are served in the
+// background until Close.
+func StartDebug(addr string, cfg DebugConfig) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	s := &DebugServer{ln: ln, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", cfg.Registry.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		body := map[string]any{
+			"status":   "ok",
+			"uptime_s": int64(time.Since(s.start).Seconds()),
+		}
+		if cfg.Health != nil {
+			body["detail"] = cfg.Health()
+		}
+		writeJSON(w, http.StatusOK, body)
+	})
+	mux.HandleFunc("/trace/last", func(w http.ResponseWriter, req *http.Request) {
+		t := cfg.Traces.Last()
+		if t == nil {
+			http.Error(w, "no trace recorded yet", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, t)
+	})
+	mux.HandleFunc("/trace/all", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, cfg.Traces.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the server's listening address.
+func (s *DebugServer) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down.
+func (s *DebugServer) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

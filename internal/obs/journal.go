@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Event is one journal entry: a monotonically increasing sequence number, a
+// wall-clock timestamp, an event type, and an arbitrary JSON payload.
+// Events are appended as single JSONL lines, so the journal can be tailed,
+// grepped, and replayed with standard tools.
+type Event struct {
+	Seq  int64           `json:"seq"`
+	TS   int64           `json:"ts_unix_ns"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Journal is an append-only JSONL event log: the machine-readable record of
+// what the pipeline did and why (which components were analyzed, what was
+// selected, what the verdict was). Records are flushed per event, so a
+// crash loses at most the entry being written — and a partial final line is
+// exactly what ReadJournal tolerates. A nil *Journal discards everything.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	seq   int64
+	clock func() int64
+	path  string
+}
+
+// OpenJournal opens (creating if needed) an append-mode JSONL journal at
+// path.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open journal: %w", err)
+	}
+	return &Journal{
+		f:     f,
+		w:     bufio.NewWriter(f),
+		clock: func() int64 { return time.Now().UnixNano() },
+		path:  path,
+	}, nil
+}
+
+// SetClock overrides the journal's timestamp source (tests pin it for
+// deterministic journals).
+func (j *Journal) SetClock(clock func() int64) {
+	if j == nil || clock == nil {
+		return
+	}
+	j.mu.Lock()
+	j.clock = clock
+	j.mu.Unlock()
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Record appends one event, marshaling data as its payload, and flushes it
+// to the OS. On a nil journal it is a no-op.
+func (j *Journal) Record(eventType string, data any) error {
+	if j == nil {
+		return nil
+	}
+	var payload json.RawMessage
+	if data != nil {
+		raw, err := json.Marshal(data)
+		if err != nil {
+			return fmt.Errorf("obs: marshal journal event %q: %w", eventType, err)
+		}
+		payload = raw
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	line, err := json.Marshal(Event{Seq: j.seq, TS: j.clock(), Type: eventType, Data: payload})
+	if err != nil {
+		return fmt.Errorf("obs: marshal journal event %q: %w", eventType, err)
+	}
+	if _, err := j.w.Write(line); err != nil {
+		return fmt.Errorf("obs: append journal: %w", err)
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("obs: append journal: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("obs: flush journal: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes buffered events and fsyncs the journal file.
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close flushes and closes the journal.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	flushErr := j.w.Flush()
+	closeErr := j.f.Close()
+	j.f = nil
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// ReadJournal parses every complete event line of a journal file, returning
+// the events in order. A malformed complete line is an error; a trailing
+// partial line (a write cut off by a crash) is tolerated and discarded,
+// mirroring how the checkpoint loader treats torn files.
+func ReadJournal(path string) ([]Event, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var events []Event
+	start := 0
+	for i := 0; i < len(raw); i++ {
+		if raw[i] != '\n' {
+			continue
+		}
+		line := raw[start:i]
+		start = i + 1
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return events, fmt.Errorf("obs: journal %s: malformed event at byte %d: %w", path, start, err)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// WriteFileAtomic writes data to path via a same-directory temp file, fsync,
+// and rename — the checkpoint pattern — so readers never observe a torn
+// file. The debug server's persisted traces and the golden-file updater use
+// it for the same reason checkpoints do: a crash mid-write must leave
+// either the old content or the new, never a mix.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("obs: atomic write temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, path)
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("obs: atomic write %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Coverage ratchet: fail if total test coverage drops more than 0.5
+# percentage points below the committed baseline in
+# .github/coverage-ratchet.txt. After intentionally adding or removing
+# tested code, refresh the baseline with: scripts/coverage_ratchet.sh update
+set -eu
+cd "$(dirname "$0")/.."
+
+mode="${1:-check}"
+ratchet_file=".github/coverage-ratchet.txt"
+profile="$(mktemp)"
+trap 'rm -f "$profile"' EXIT
+
+go test -count=1 -coverprofile="$profile" ./... >/dev/null
+total="$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
+
+if [ "$mode" = update ]; then
+  echo "$total" >"$ratchet_file"
+  echo "coverage ratchet updated to ${total}%"
+  exit 0
+fi
+
+baseline="$(cat "$ratchet_file")"
+echo "total coverage ${total}% (baseline ${baseline}%, tolerance 0.5)"
+if [ "$(awk -v t="$total" -v b="$baseline" 'BEGIN { print (t + 0.5 >= b) ? "ok" : "drop" }')" != ok ]; then
+  echo "coverage dropped more than 0.5 points below the baseline" >&2
+  echo "if the drop is intentional, refresh with: scripts/coverage_ratchet.sh update" >&2
+  exit 1
+fi
