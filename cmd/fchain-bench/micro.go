@@ -9,11 +9,14 @@ package main
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"time"
 
 	"fchain"
 	"fchain/internal/benchjson"
+	"fchain/internal/core"
+	"fchain/internal/metric"
 	"fchain/internal/timeseries"
 	"fchain/scenario"
 )
@@ -250,5 +253,56 @@ func runCheck(baselinePath string, threshold float64) error {
 			len(regressions), len(missing), baselinePath, threshold*100)
 	}
 	fmt.Printf("benchmarks within %.0f%% of %s\n", threshold*100, baselinePath)
+	return idleOverheadCheck(idleOverheadLimit)
+}
+
+// idleOverheadLimit caps how much the deadline/admission plumbing may slow
+// the selection hot path when no deadline pressure exists.
+const idleOverheadLimit = 0.02
+
+// idleOverheadCheck verifies the overload machinery is free when idle:
+// selection with a far-future deadline must track plain selection within
+// idleOverheadLimit on the same warm models. Both sides are measured
+// in-process as interleaved best-of-three pairs, so machine speed cancels
+// out — unlike the baseline-file comparison, this guard cannot be fooled by
+// CI hardware drift.
+func idleOverheadCheck(maxOverhead float64) error {
+	mon := core.NewMonitor("c", core.DefaultConfig())
+	for t := int64(0); t < 2000; t++ {
+		for _, k := range metric.Kinds {
+			if err := mon.Observe(t, k, float64(40+t%23)+float64(t%7)); err != nil {
+				return err
+			}
+		}
+	}
+	monitors := []*core.Monitor{mon}
+	plainRun := func(n int) {
+		for i := 0; i < n; i++ {
+			core.AnalyzeMonitors(monitors, 1999, 0, 1)
+		}
+	}
+	budgetRun := func(n int) {
+		for i := 0; i < n; i++ {
+			core.AnalyzeMonitorsDeadline(monitors, 1999, 0, 1, time.Now().Add(time.Hour))
+		}
+	}
+	// One discarded warm-up pair: the first timed pass pays for cold caches
+	// and pool fills, which a 2% gate cannot absorb.
+	measure("warmup", plainRun)
+	measure("warmup", budgetRun)
+	// Best-of-five interleaved pairs: the minimum of five 200ms+ passes is
+	// stable to well under the 2% gate even on a single-CPU CI worker.
+	plain, budgeted := math.Inf(1), math.Inf(1)
+	for round := 0; round < 5; round++ {
+		plain = math.Min(plain, measure("IdleSelectionPlain", plainRun).NsPerOp)
+		budgeted = math.Min(budgeted, measure("IdleSelectionBudgeted", budgetRun).NsPerOp)
+	}
+	overhead := budgeted/plain - 1
+	fmt.Printf("idle admission overhead: plain %.0f ns/op, budgeted %.0f ns/op (%+.2f%%, limit %.0f%%)\n",
+		plain, budgeted, overhead*100, maxOverhead*100)
+	if overhead > maxOverhead {
+		return fmt.Errorf("deadline-budgeted selection is %.2f%% slower than plain when idle (limit %.0f%%)",
+			overhead*100, maxOverhead*100)
+	}
 	return nil
 }

@@ -42,19 +42,22 @@ func main() {
 		retries   = flag.Int("retries", 1, "extra analyze attempts per unanswered slave within the deadline")
 		heartbeat = flag.Duration("heartbeat", 10*time.Second, "slave liveness probe interval (0 disables)")
 		hbMisses  = flag.Int("heartbeat-misses", 3, "consecutive missed heartbeats before a slave is evicted")
+		quorum    = flag.Float64("quorum", 0, "slave answer quorum as a fraction in (0,1]: diagnose once met, refuse below it (0 waits for all, best-effort)")
+		inflight  = flag.Int("max-inflight", 0, "max concurrent localizations (0 = unlimited)")
+		admitQ    = flag.Int("admit-queue", 0, "localize admission queue depth beyond -max-inflight (LIFO; overflow sheds the oldest waiter)")
 		deps      = flag.String("deps", "", "dependency graph file from offline discovery (optional)")
 		debugAddr = flag.String("debug-addr", "", "HTTP debug server address serving /metrics, /healthz, /trace/last and pprof (empty disables)")
 		journal   = flag.String("journal", "", "append machine-readable JSONL pipeline events to this file (empty disables)")
 		logLevel  = flag.String("log-level", "info", "stderr log level: debug, info, warn, error")
 	)
 	flag.Parse()
-	if err := run(*listen, *timeout, *retries, *heartbeat, *hbMisses, *deps, *debugAddr, *journal, *logLevel); err != nil {
+	if err := run(*listen, *timeout, *retries, *heartbeat, *hbMisses, *quorum, *inflight, *admitQ, *deps, *debugAddr, *journal, *logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-master:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, timeout time.Duration, retries int, heartbeat time.Duration, hbMisses int, depsPath, debugAddr, journalPath, logLevel string) error {
+func run(listen string, timeout time.Duration, retries int, heartbeat time.Duration, hbMisses int, quorum float64, inflight, admitQ int, depsPath, debugAddr, journalPath, logLevel string) error {
 	sink, err := obs.NewSink(os.Stderr, logLevel, journalPath)
 	if err != nil {
 		return err
@@ -75,6 +78,8 @@ func run(listen string, timeout time.Duration, retries int, heartbeat time.Durat
 		fchain.WithHeartbeat(heartbeat, hbMisses),
 		fchain.WithLocalizeRetries(retries),
 		fchain.WithLocalizeTimeout(timeout),
+		fchain.WithQuorum(quorum),
+		fchain.WithAdmission(inflight, admitQ),
 		fchain.WithMasterObs(sink))
 	if err := master.Start(listen); err != nil {
 		return err
@@ -169,6 +174,15 @@ func printResult(res fchain.LocalizeResult) {
 	}
 	for _, slave := range sortedKeys(res.ClockOffsets) {
 		fmt.Printf("  clock offset %s: %+ds\n", slave, res.ClockOffsets[slave])
+	}
+	if len(res.MissingComponents) > 0 {
+		fmt.Printf("  missing components: %s\n", strings.Join(res.MissingComponents, ", "))
+	}
+	if res.Truncated {
+		fmt.Println("  truncated: deadline budget cut some component analyses short")
+	}
+	for _, comp := range sortedKeys(res.Quarantined) {
+		fmt.Printf("  quarantined streams %s: %s\n", comp, strings.Join(res.Quarantined[comp], ", "))
 	}
 	if res.Stats.Tasks > 0 {
 		fmt.Printf("  analysis: %s\n", res.Stats)

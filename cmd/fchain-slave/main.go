@@ -56,18 +56,21 @@ func main() {
 		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint interval")
 		reorder    = flag.Int("reorder-window", 5, "seconds a sample may arrive out of order before it is dropped (-1 disables reordering)")
 		parallel   = flag.Int("parallel", 0, "analysis workers per analyze request (0 = all cores, 1 = serial)")
+		inflight   = flag.Int("max-inflight", 0, "max concurrent analyze requests (0 = unlimited)")
+		admitQ     = flag.Int("admit-queue", 0, "analyze admission queue depth beyond -max-inflight (LIFO; overflow sheds the oldest waiter)")
+		quarCool   = flag.Duration("quarantine-cooldown", 30*time.Second, "how long a panicked metric stream stays quarantined before one probe re-admission")
 		debugAddr  = flag.String("debug-addr", "", "HTTP debug server address serving /metrics, /healthz, /trace/last and pprof (empty disables)")
 		journal    = flag.String("journal", "", "append machine-readable JSONL events to this file (empty disables)")
 		logLevel   = flag.String("log-level", "info", "stderr log level: debug, info, warn, error")
 	)
 	flag.Parse()
-	if err := run(*name, *components, *master, *skew, *backoff, *backoffMax, *ckptDir, *ckptEvery, *reorder, *parallel, *debugAddr, *journal, *logLevel); err != nil {
+	if err := run(*name, *components, *master, *skew, *backoff, *backoffMax, *ckptDir, *ckptEvery, *reorder, *parallel, *inflight, *admitQ, *quarCool, *debugAddr, *journal, *logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-slave:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, components, master string, skew int64, backoff, backoffMax time.Duration, ckptDir string, ckptEvery time.Duration, reorder, parallel int, debugAddr, journalPath, logLevel string) error {
+func run(name, components, master string, skew int64, backoff, backoffMax time.Duration, ckptDir string, ckptEvery time.Duration, reorder, parallel, inflight, admitQ int, quarCool time.Duration, debugAddr, journalPath, logLevel string) error {
 	if name == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -99,9 +102,13 @@ func run(name, components, master string, skew int64, backoff, backoffMax time.D
 			fchain.WithCheckpointDir(ckptDir),
 			fchain.WithCheckpointInterval(ckptEvery))
 	}
+	if inflight > 0 {
+		opts = append(opts, fchain.WithSlaveAdmission(inflight, admitQ))
+	}
 	cfg := fchain.DefaultConfig()
 	cfg.ReorderWindow = reorder
 	cfg.Parallelism = parallel
+	cfg.QuarantineCooldown = quarCool
 	slave := fchain.NewSlave(name, comps, cfg, opts...)
 	if restored := slave.RestoredComponents(); len(restored) > 0 {
 		fmt.Printf("restored checkpointed models for %v\n", restored)

@@ -303,6 +303,34 @@ func WithBreaker(threshold int, cooldown time.Duration) MasterOption {
 	return cluster.WithBreaker(threshold, cooldown)
 }
 
+// WithQuorum sets the slave answer quorum as a fraction in (0, 1]: Localize
+// diagnoses as soon as that fraction of slaves answered (stragglers are
+// charged to coverage, not latency) and refuses with ErrQuorumNotMet when
+// fewer answer before the deadline. 0 (the default) disables both: the
+// master waits for every slave within the deadline and diagnoses
+// best-effort.
+func WithQuorum(frac float64) MasterOption { return cluster.WithQuorum(frac) }
+
+// WithAdmission bounds concurrent Localize calls on the master: at most
+// limit run at once, at most queue more wait (LIFO, newest first; overflow
+// sheds the oldest waiter). Shed calls fail fast with ErrOverloaded.
+func WithAdmission(limit, queue int) MasterOption { return cluster.WithAdmission(limit, queue) }
+
+// WithSlaveInflight caps concurrent analyze requests outstanding to any one
+// slave across overlapping Localize calls (default 8; <= 0 removes the cap).
+func WithSlaveInflight(n int) MasterOption { return cluster.WithSlaveInflight(n) }
+
+// Sentinel errors surfaced by the overload-resilient control plane. Use
+// errors.Is to test for them.
+var (
+	// ErrOverloaded: the request was shed by admission control before any
+	// analysis ran.
+	ErrOverloaded = cluster.ErrOverloaded
+	// ErrQuorumNotMet: fewer slaves answered before the deadline than the
+	// configured quorum requires, so no diagnosis was produced.
+	ErrQuorumNotMet = cluster.ErrQuorumNotMet
+)
+
 // WithMasterObs attaches an observability sink to the master: every
 // Localize records a trace into the ring, updates the metrics registry,
 // and journals its verdict; slave lifecycle events are logged.
@@ -380,6 +408,14 @@ const (
 // WithStateCallback registers a connection-state observer on the slave.
 func WithStateCallback(fn func(state ConnState, err error)) SlaveOption {
 	return cluster.WithStateCallback(fn)
+}
+
+// WithSlaveAdmission bounds concurrent analyze work on the slave: at most
+// limit requests analyze at once, at most queue more wait (LIFO); shed or
+// deadline-expired requests are answered with a structured "overloaded"
+// error frame so the master fails fast.
+func WithSlaveAdmission(limit, queue int) SlaveOption {
+	return cluster.WithSlaveAdmission(limit, queue)
 }
 
 // WithSlaveObs attaches an observability sink to the slave: ingest and

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sort"
 	"strings"
@@ -39,6 +40,10 @@ type Master struct {
 	localizeTO  time.Duration
 	brThreshold int
 	brCooldown  time.Duration
+
+	quorum        float64
+	admit         *gate
+	slaveInflight int
 
 	reqCounter atomic.Uint64
 
@@ -101,6 +106,43 @@ func WithBreaker(threshold int, cooldown time.Duration) MasterOption {
 	}
 }
 
+// quorumGraceCap bounds how long Localize keeps collecting stragglers after
+// the quorum is met: a quarter of the remaining deadline, at most this.
+const quorumGraceCap = 500 * time.Millisecond
+
+// WithQuorum sets the slave answer quorum as a fraction in (0, 1]: Localize
+// diagnoses once ceil(frac * slaves) slaves have answered plus a short
+// straggler grace (min(remaining/4, quorumGraceCap); see the collect loop),
+// attributing whatever is still missing in Coverage/Degraded, and refuses
+// with ErrQuorumNotMet when fewer answer before the deadline. frac <= 0
+// (the default) disables both behaviors: Localize waits for every slave
+// within its deadline and diagnoses best-effort over whatever arrived.
+func WithQuorum(frac float64) MasterOption {
+	return func(m *Master) {
+		if frac > 1 {
+			frac = 1
+		}
+		m.quorum = frac
+	}
+}
+
+// WithAdmission bounds concurrent Localize calls: at most limit run at
+// once, at most queue more wait (LIFO, newest first — the freshest deadline
+// wins; an overflowing queue sheds its oldest waiter). Shed calls return
+// ErrOverloaded immediately with Overloaded set on the result. limit <= 0
+// (the default) admits everything.
+func WithAdmission(limit, queue int) MasterOption {
+	return func(m *Master) { m.admit = newGate(limit, queue) }
+}
+
+// WithSlaveInflight caps concurrent analyze requests outstanding to any one
+// slave across overlapping Localize calls (default 8). A slave at its cap
+// fails fast for the extra caller instead of queueing blind. n <= 0 removes
+// the cap.
+func WithSlaveInflight(n int) MasterOption {
+	return func(m *Master) { m.slaveInflight = n }
+}
+
 // WithMasterObs attaches an observability sink: every Localize records a
 // pipeline trace (attached to the result and retained in the sink's trace
 // ring), counters and latency histograms land in the sink's registry, events
@@ -123,6 +165,33 @@ type slaveConn struct {
 	failures int  // consecutive analyze failures (breaker input)
 	openedAt time.Time
 	open     bool // breaker open
+	inflight int  // analyze requests currently outstanding to this slave
+}
+
+// acquireSlot claims one of the slave's in-flight analyze slots; max <= 0
+// means unlimited.
+func (sc *slaveConn) acquireSlot(max int) bool {
+	if max <= 0 {
+		return true
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.inflight >= max {
+		return false
+	}
+	sc.inflight++
+	return true
+}
+
+func (sc *slaveConn) releaseSlot(max int) {
+	if max <= 0 {
+		return
+	}
+	sc.mu.Lock()
+	if sc.inflight > 0 {
+		sc.inflight--
+	}
+	sc.mu.Unlock()
 }
 
 // addPending registers a response channel for request id; it returns false
@@ -210,17 +279,18 @@ func (sc *slaveConn) recordResult(ok bool, threshold int) {
 // (possibly empty) dependency graph from offline discovery.
 func NewMaster(cfg core.Config, deps *depgraph.Graph, opts ...MasterOption) *Master {
 	m := &Master{
-		cfg:         cfg,
-		deps:        deps,
-		hbMaxMisses: 3,
-		retries:     1,
-		localizeTO:  30 * time.Second,
-		brThreshold: 3,
-		brCooldown:  10 * time.Second,
-		slaves:      make(map[string]*slaveConn),
-		evicted:     make(map[string]bool),
-		known:       make(map[string]bool),
-		stop:        make(chan struct{}),
+		cfg:           cfg,
+		deps:          deps,
+		hbMaxMisses:   3,
+		retries:       1,
+		localizeTO:    30 * time.Second,
+		brThreshold:   3,
+		brCooldown:    10 * time.Second,
+		slaveInflight: 8,
+		slaves:        make(map[string]*slaveConn),
+		evicted:       make(map[string]bool),
+		known:         make(map[string]bool),
+		stop:          make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(m)
@@ -269,6 +339,13 @@ func (m *Master) acceptLoop() {
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					m.obs.Logger().Error("slave connection handler panicked", "panic", fmt.Sprint(r))
+					m.obs.Registry().Counter("fchain_conn_panics_total", "Recovered connection handler panics.").Inc()
+					_ = conn.Close()
+				}
+			}()
 			m.serveConn(conn)
 		}()
 	}
@@ -516,6 +593,27 @@ var ErrNoSlaves = errors.New("cluster: no slaves registered")
 // partial-view one.
 func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, error) {
 	var res core.LocalizeResult
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.localizeTO)
+		defer cancel()
+	}
+
+	// Admission first: under overload the request waits in the LIFO queue
+	// (bounded by its own deadline) or is shed before any fan-out happens.
+	if err := m.admit.acquire(ctx); err != nil {
+		res.Overloaded = true
+		m.obs.Registry().CounterWith("fchain_localize_total", "Localize calls by outcome.",
+			map[string]string{"outcome": "shed"}).Inc()
+		m.obs.Logger().Warn("localize shed by admission control", "tv", tv, "err", err)
+		_ = m.obs.EventJournal().Record("localize_shed", map[string]any{"tv": tv})
+		if errors.Is(err, ErrOverloaded) {
+			return res, ErrOverloaded
+		}
+		return res, err
+	}
+	defer m.admit.release()
+
 	tr := obs.NewTrace("localize", tv)
 	root := tr.Start(-1, "localize")
 	m.mu.Lock()
@@ -535,15 +633,15 @@ func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, e
 	// components abnormal".
 	res.SlavesTotal = len(conns)
 	res.ComponentsKnown = len(m.known)
+	knownComps := make([]string, 0, len(m.known))
+	for comp := range m.known {
+		knownComps = append(knownComps, comp)
+	}
 	m.mu.Unlock()
+	sort.Strings(knownComps)
 	tr.AttrInt(root, "slaves", int64(res.SlavesTotal))
 	tr.AttrInt(root, "components", int64(res.ComponentsKnown))
 
-	if _, ok := ctx.Deadline(); !ok {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, m.localizeTO)
-		defer cancel()
-	}
 	deadline, _ := ctx.Deadline()
 	attempts := m.retries + 1
 	perAttempt := time.Until(deadline) / time.Duration(attempts)
@@ -567,6 +665,14 @@ func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, e
 	for _, sc := range conns {
 		sc := sc
 		go func() {
+			// The per-slave in-flight cap fails fast rather than queueing:
+			// a slave already saturated by overlapping Localize calls would
+			// only answer after this call's budget is gone anyway.
+			if !sc.acquireSlot(m.slaveInflight) {
+				answers <- answer{slave: sc.name, err: fmt.Errorf("cluster: slave %s at in-flight cap", sc.name)}
+				return
+			}
+			defer sc.releaseSlot(m.slaveInflight)
 			if m.brThreshold > 0 && sc.breakerOpen(m.brCooldown) {
 				answers <- answer{slave: sc.name, err: fmt.Errorf("cluster: circuit open for slave %s", sc.name)}
 				return
@@ -583,10 +689,84 @@ func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, e
 	res.Stats.Workers = len(conns)
 	res.Stats.Tasks = len(conns)
 
+	// Collect answers until every slave responded, the quorum is met, or the
+	// deadline expires. Meeting the quorum does not exit on a hair trigger:
+	// the slowest healthy answer is routinely the faulty component's (an
+	// abnormal series yields more change-point candidates, so its selection
+	// costs the most), and dropping it on every healthy run would defeat the
+	// diagnosis. Stragglers get a bounded grace after quorum; only what is
+	// still missing when it lapses is charged to coverage.
+	need := 0
+	if m.quorum > 0 {
+		need = int(math.Ceil(m.quorum * float64(len(conns))))
+		if need < 1 {
+			need = 1
+		}
+		if need > len(conns) {
+			need = len(conns)
+		}
+	}
+	collected := make([]answer, 0, len(conns))
+	answered := 0
+collect:
+	for len(collected) < len(conns) {
+		var a answer
+		select {
+		case a = <-answers:
+		case <-ctx.Done():
+			break collect
+		}
+		collected = append(collected, a)
+		if a.err == nil {
+			answered++
+		}
+		if need > 0 && answered >= need {
+			grace := quorumGraceCap
+			if dl, ok := ctx.Deadline(); ok {
+				if rem := time.Until(dl) / 4; rem < grace {
+					grace = rem
+				}
+			}
+			if grace <= 0 {
+				break collect
+			}
+			timer := time.NewTimer(grace)
+			for len(collected) < len(conns) {
+				select {
+				case a := <-answers:
+					collected = append(collected, a)
+					if a.err == nil {
+						answered++
+					}
+				case <-timer.C:
+					break collect
+				case <-ctx.Done():
+					timer.Stop()
+					break collect
+				}
+			}
+			timer.Stop()
+			break collect
+		}
+	}
+	// Slaves whose answers never arrived get a deterministic error entry so
+	// the result (and its trace) does not depend on goroutine timing.
+	got := make(map[string]bool, len(collected))
+	for _, a := range collected {
+		got[a.slave] = true
+	}
+	for _, sc := range conns {
+		if !got[sc.name] {
+			collected = append(collected, answer{slave: sc.name, err: fmt.Errorf("cluster: slave %s: deadline exceeded", sc.name)})
+		}
+	}
+	// Sort by slave name: fan-out answers arrive in racy order, and the ask
+	// spans below must be deterministic for trace-normalized goldens.
+	sort.Slice(collected, func(i, j int) bool { return collected[i].slave < collected[j].slave })
+
 	var reports []core.ComponentReport
 	seen := make(map[string]bool)
-	for range conns {
-		a := <-answers
+	for _, a := range collected {
 		res.Retries += a.retries
 		ask := tr.Start(root, "ask:"+a.slave)
 		tr.AttrInt(ask, "retries", int64(a.retries))
@@ -632,11 +812,35 @@ func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, e
 				}
 				res.Quality[rep.Component] = rep.Quality
 			}
+			if rep.Truncated {
+				res.Truncated = true
+			}
+			if len(rep.Quarantined) > 0 {
+				if res.Quarantined == nil {
+					res.Quarantined = make(map[string][]string)
+				}
+				res.Quarantined[rep.Component] = rep.Quarantined
+			}
 			reports = append(reports, rep)
 		}
 	}
 	res.ComponentsReported = len(seen)
 	res.Degraded = res.SlavesAnswered < res.SlavesTotal || res.ComponentsReported < res.ComponentsKnown
+	for _, comp := range knownComps {
+		if !seen[comp] {
+			res.MissingComponents = append(res.MissingComponents, comp)
+		}
+	}
+	if need > 0 && res.SlavesAnswered < need {
+		m.obs.Registry().CounterWith("fchain_localize_total", "Localize calls by outcome.",
+			map[string]string{"outcome": "quorum"}).Inc()
+		m.obs.Logger().Error("localize refused: quorum not met", "tv", tv,
+			"answered", res.SlavesAnswered, "need", need, "total", res.SlavesTotal)
+		_ = m.obs.EventJournal().Record("localize_quorum_not_met", map[string]any{
+			"tv": tv, "answered": res.SlavesAnswered, "need": need, "total": res.SlavesTotal})
+		return res, fmt.Errorf("%w: %d/%d slaves answered, need %d",
+			ErrQuorumNotMet, res.SlavesAnswered, res.SlavesTotal, need)
+	}
 	if len(reports) == 0 && len(res.Errors) > 0 {
 		m.obs.Registry().CounterWith("fchain_localize_total", "Localize calls by outcome.",
 			map[string]string{"outcome": "error"}).Inc()
@@ -654,6 +858,9 @@ func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, e
 	tr.End(dg)
 	tr.Attr(root, "verdict", res.Diagnosis.String())
 	tr.AttrBool(root, "degraded", res.Degraded)
+	if res.Truncated {
+		tr.AttrBool(root, "truncated", true)
+	}
 	tr.End(root)
 	res.Trace = tr
 	m.obs.TraceRing().Add(tr)
@@ -720,14 +927,31 @@ func (m *Master) askSlave(ctx context.Context, sc *slaveConn, tv int64, lookBack
 			break
 		}
 		used = attempt
+		// Each attempt's wait is its share of the deadline, clamped to the
+		// budget actually left on the context; the slave receives that wait
+		// as its analysis budget (BudgetMS) so remote selection degrades
+		// instead of overshooting the master's patience.
+		wait := perAttempt
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); rem < wait {
+				wait = rem
+			}
+		}
+		if wait <= 0 {
+			return askResult{retries: attempt, err: fmt.Errorf("cluster: slave %s: %w", sc.name, context.DeadlineExceeded)}
+		}
+		budgetMS := wait.Milliseconds()
+		if budgetMS < 1 {
+			budgetMS = 1 // omitempty would drop 0, reading as "no deadline"
+		}
 		id := m.reqCounter.Add(1)
 		ch := make(chan *envelope, 1)
 		if !sc.addPending(id, ch) {
 			lastErr = fmt.Errorf("cluster: slave %s disconnected", sc.name)
 			break
 		}
-		req := &envelope{Type: typeAnalyze, ID: id, TV: tv, LookBack: lookBack}
-		if err := sc.w.write(req, perAttempt); err != nil {
+		req := &envelope{Type: typeAnalyze, ID: id, TV: tv, LookBack: lookBack, BudgetMS: budgetMS}
+		if err := sc.w.write(req, wait); err != nil {
 			sc.removePending(id)
 			lastErr = err
 			continue
@@ -736,10 +960,14 @@ func (m *Master) askSlave(ctx context.Context, sc *slaveConn, tv int64, lookBack
 		case env := <-ch:
 			if env.Type == typeError {
 				lastErr = errors.New(env.Err)
+				if env.Code == codeOverloaded {
+					m.obs.Registry().Counter("fchain_slave_overloaded_total",
+						"Analyze requests shed by slave admission control.").Inc()
+				}
 				continue
 			}
 			return askResult{reports: env.Reports, usedTV: env.UsedTV, retries: attempt}
-		case <-time.After(perAttempt):
+		case <-time.After(wait):
 			sc.removePending(id)
 			lastErr = fmt.Errorf("cluster: slave %s timed out", sc.name)
 		case <-ctx.Done():

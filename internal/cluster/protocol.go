@@ -42,9 +42,14 @@ type envelope struct {
 	Slave      string   `json:"slave,omitempty"`
 	Components []string `json:"components,omitempty"`
 
-	// Analyze fields.
+	// Analyze fields. BudgetMS carries the master's remaining deadline
+	// budget as a duration relative to frame arrival: the slave restates it
+	// against its own clock, so the propagated deadline is clock-offset
+	// corrected by construction (wire latency eats budget, erring safe).
+	// Zero means no deadline.
 	TV       int64 `json:"tv,omitempty"`
 	LookBack int   `json:"lookback,omitempty"`
+	BudgetMS int64 `json:"budget_ms,omitempty"`
 
 	// Reports fields. UsedTV echoes the violation time in the slave's own
 	// clock (the requested tv plus the slave's skew): the master subtracts
@@ -54,9 +59,18 @@ type envelope struct {
 	Reports []core.ComponentReport `json:"reports,omitempty"`
 	UsedTV  int64                  `json:"used_tv,omitempty"`
 
-	// Error field.
-	Err string `json:"err,omitempty"`
+	// Error fields. Code classifies structured failures so the master can
+	// react without parsing Err ("overloaded" = shed by slave admission
+	// control, "panic" = the analyze handler recovered a panic).
+	Err  string `json:"err,omitempty"`
+	Code string `json:"code,omitempty"`
 }
+
+// Error frame classification codes.
+const (
+	codeOverloaded = "overloaded"
+	codePanic      = "panic"
+)
 
 // frameLimit bounds a single frame to keep a misbehaving peer from forcing
 // unbounded allocation.

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fchain/internal/core"
@@ -105,6 +106,9 @@ type Slave struct {
 	// checkpoint snapshots running on different goroutines synchronize on
 	// the shard mutexes and contend only per metric touched.
 
+	// analyzeGate bounds concurrent analyze work; nil admits everything.
+	analyzeGate *gate
+
 	mu       sync.Mutex
 	monitors map[string]*core.Monitor
 	w        *connWriter // current link, nil while disconnected
@@ -184,6 +188,17 @@ func WithCheckpointInterval(d time.Duration) SlaveOption {
 			s.checkpointInterval = d
 		}
 	})
+}
+
+// WithSlaveAdmission bounds concurrent analyze work on the slave: at most
+// limit requests analyze at once, at most queue more wait (LIFO — the
+// request with the freshest deadline budget is served first; an overflowing
+// queue sheds its oldest waiter). Shed or deadline-expired requests are
+// answered with a structured "overloaded" error frame so the master can
+// fail fast instead of burning its budget. limit <= 0 (the default) admits
+// everything.
+func WithSlaveAdmission(limit, queue int) SlaveOption {
+	return slaveOptionFunc(func(s *Slave) { s.analyzeGate = newGate(limit, queue) })
 }
 
 // WithSlaveObs attaches an observability sink: ingest and analyze counters
@@ -540,13 +555,13 @@ func (s *Slave) serveLoop(w *connWriter) error {
 		}
 		switch env.Type {
 		case typeAnalyze:
-			reports := s.analyzeWithWindow(env.TV, env.LookBack)
-			// UsedTV tells the master which clock the reported onsets are
-			// in, so it can normalize them back to its own.
-			resp := &envelope{Type: typeReports, ID: env.ID, Reports: reports, UsedTV: env.TV + s.skew}
-			if err := w.write(resp, 30*time.Second); err != nil {
-				return err
-			}
+			// Analysis runs on its own goroutine so a long selection pass
+			// cannot block pings (and get the slave evicted for missed
+			// heartbeats) or serialize overlapping masters' requests.
+			// serveLoop itself runs inside a wg-counted goroutine, so the
+			// counter cannot hit zero while this Add races Close's Wait.
+			s.wg.Add(1)
+			go s.handleAnalyze(w, env)
 		case typePing:
 			// Master-initiated liveness probe.
 			if err := w.write(&envelope{Type: typePong, ID: env.ID}, 5*time.Second); err != nil {
@@ -568,6 +583,63 @@ func (s *Slave) serveLoop(w *connWriter) error {
 	}
 }
 
+// slaveAnalyzeHook, when set, runs inside handleAnalyze after admission and
+// before analysis. Tests inject panics here to exercise the handler-level
+// recovery (kernel-level panics are injected via core.SetAnalyzeHook).
+var slaveAnalyzeHook atomic.Pointer[func(slave string, tv int64)]
+
+// handleAnalyze serves one analyze request: admission, budgeted analysis,
+// reports frame. A panic anywhere in the handler is recovered into a
+// structured error frame — one poisoned request must not take the daemon's
+// connection (or the daemon) down.
+func (s *Slave) handleAnalyze(w *connWriter, env *envelope) {
+	defer s.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			s.obs.Logger().Error("analyze handler panicked", "slave", s.name, "tv", env.TV, "panic", fmt.Sprint(r))
+			s.obs.Registry().Counter("fchain_analyze_panics_total",
+				"Analyze handlers that recovered a panic.").Inc()
+			_ = s.obs.EventJournal().Record("analyze_panic", map[string]any{
+				"slave": s.name, "tv": env.TV, "panic": fmt.Sprint(r)})
+			_ = w.write(&envelope{Type: typeError, ID: env.ID, Code: codePanic,
+				Err: fmt.Sprintf("slave %s: analyze panicked: %v", s.name, r)}, 10*time.Second)
+		}
+	}()
+
+	// The master's BudgetMS restates its remaining deadline relative to this
+	// frame's arrival, which lands the deadline in the slave's clock without
+	// any offset arithmetic.
+	var deadline time.Time
+	if env.BudgetMS > 0 {
+		deadline = time.Now().Add(time.Duration(env.BudgetMS) * time.Millisecond)
+	}
+	if s.analyzeGate != nil {
+		ctx := context.Background()
+		if !deadline.IsZero() {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, deadline)
+			defer cancel()
+		}
+		if err := s.analyzeGate.acquire(ctx); err != nil {
+			s.obs.Registry().Counter("fchain_analyze_shed_total",
+				"Analyze requests shed by slave admission control.").Inc()
+			_ = s.obs.EventJournal().Record("analyze_shed", map[string]any{"slave": s.name, "tv": env.TV})
+			_ = w.write(&envelope{Type: typeError, ID: env.ID, Code: codeOverloaded,
+				Err: fmt.Sprintf("slave %s overloaded", s.name)}, 10*time.Second)
+			return
+		}
+		defer s.analyzeGate.release()
+	}
+	if hook := slaveAnalyzeHook.Load(); hook != nil {
+		(*hook)(s.name, env.TV)
+	}
+	reports := s.analyzeBudget(env.TV, env.LookBack, deadline)
+	// UsedTV tells the master which clock the reported onsets are in, so it
+	// can normalize them back to its own.
+	resp := &envelope{Type: typeReports, ID: env.ID, Reports: reports, UsedTV: env.TV + s.skew}
+	_ = w.write(resp, 30*time.Second)
+}
+
 // analyzeWithWindow honors the master's per-request look-back override: the
 // monitors retain RingCapacity samples, so any window up to that bound can
 // be analyzed regardless of the slave's configured default. The per-metric
@@ -575,6 +647,14 @@ func (s *Slave) serveLoop(w *connWriter) error {
 // (cfg.Parallelism; collection keeps flowing meanwhile — analysis only
 // briefly locks each metric shard while copying its history).
 func (s *Slave) analyzeWithWindow(tv int64, lookBack int) []core.ComponentReport {
+	return s.analyzeBudget(tv, lookBack, time.Time{})
+}
+
+// analyzeBudget is analyzeWithWindow under a wall-clock deadline: selection
+// degrades full → reduced-window → trend-only → skipped as the budget runs
+// out (zero deadline disables budgeting), and the degradation is accounted
+// in the obs sink.
+func (s *Slave) analyzeBudget(tv int64, lookBack int, deadline time.Time) []core.ComponentReport {
 	s.mu.Lock()
 	names := make([]string, 0, len(s.monitors))
 	for name := range s.monitors {
@@ -592,10 +672,16 @@ func (s *Slave) analyzeWithWindow(tv int64, lookBack int) []core.ComponentReport
 	)
 	if s.obs.TraceRing() != nil {
 		var tr *obs.Trace
-		reports, stats, tr = core.AnalyzeMonitorsTraced(monitors, tv+s.skew, lookBack, s.cfg.Parallelism)
+		reports, stats, tr = core.AnalyzeMonitorsDeadlineTraced(monitors, tv+s.skew, lookBack, s.cfg.Parallelism, deadline)
 		s.obs.TraceRing().Add(tr)
 	} else {
-		reports, stats = core.AnalyzeMonitors(monitors, tv+s.skew, lookBack, s.cfg.Parallelism)
+		reports, stats = core.AnalyzeMonitorsDeadline(monitors, tv+s.skew, lookBack, s.cfg.Parallelism, deadline)
+	}
+	truncated := 0
+	for _, rep := range reports {
+		if rep.Truncated {
+			truncated++
+		}
 	}
 	if reg := s.obs.Registry(); reg != nil {
 		reg.Counter("fchain_analyze_requests_total", "Analyze requests served.").Inc()
@@ -604,10 +690,33 @@ func (s *Slave) analyzeWithWindow(tv int64, lookBack int) []core.ComponentReport
 		sel := stats.Select
 		reg.Histogram("fchain_selection_latency_ns", "Abnormal change point selection latency.").
 			MergeLog2(sel.Buckets[:], sel.Count, sel.SumNS, sel.MaxNS)
+		if truncated > 0 {
+			reg.Counter("fchain_analyze_truncated_total",
+				"Component analyses truncated by the deadline budget.").Add(int64(truncated))
+		}
+		if stats.Panics > 0 {
+			reg.Counter("fchain_quarantine_trips_total",
+				"Metric streams quarantined after selection kernel panics.").Add(int64(stats.Panics))
+		}
 	}
-	_ = s.obs.EventJournal().Record("analyze", map[string]any{
+	if stats.Panics > 0 {
+		streams := make(map[string]any)
+		for _, rep := range reports {
+			if len(rep.Quarantined) > 0 {
+				streams[rep.Component] = rep.Quarantined
+			}
+		}
+		_ = s.obs.EventJournal().Record("quarantine", map[string]any{
+			"slave": s.name, "tv": tv, "panics": stats.Panics, "streams": streams,
+		})
+	}
+	ev := map[string]any{
 		"slave": s.name, "tv": tv, "lookback": lookBack, "reports": len(reports),
-	})
+	}
+	if truncated > 0 {
+		ev["truncated"] = truncated
+	}
+	_ = s.obs.EventJournal().Record("analyze", ev)
 	return reports
 }
 

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"io"
 	"path/filepath"
 	"runtime"
@@ -198,5 +199,103 @@ func TestChaosSoak(t *testing.T) {
 	okCount := sink.Registry().CounterWith("fchain_localize_total", "", map[string]string{"outcome": "ok"})
 	if okCount.Value() != ok.Load() {
 		t.Errorf("localize ok counter = %d, want %d", okCount.Value(), ok.Load())
+	}
+}
+
+// TestAdmissionShedSoak hammers a tightly-admitted master from four times as
+// many callers as it will run, for several seconds, and checks the shedding
+// story end to end: work still completes, some calls are shed, every shed
+// call carries the Overloaded flag, the shed outcome counter and journal
+// reconcile exactly with the callers' own tally, and no admission slot
+// leaks. Run with -race: the LIFO waiter stack is the contended structure.
+func TestAdmissionShedSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second soak")
+	}
+	journalPath := filepath.Join(t.TempDir(), "shed-soak.jsonl")
+	journal, err := obs.OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &obs.Sink{
+		Log:     obs.NewLogger(io.Discard, obs.LevelWarn),
+		Metrics: obs.NewRegistry(),
+		Traces:  obs.NewTraceRing(8),
+		Journal: journal,
+	}
+	master := NewMaster(core.Config{}, nil,
+		WithMasterObs(sink),
+		WithAdmission(2, 2),
+		WithLocalizeRetries(0))
+	tv := overloadCluster(t, master, nil)
+	waitFor(t, 5*time.Second, func() bool { return len(master.Slaves()) == 4 }, "registrations")
+
+	var ok, shed, failed atomic.Int64
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(6 * time.Second)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				res, err := master.Localize(ctx, tv)
+				cancel()
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case res.Overloaded:
+					// Shed either synchronously (queue overflow) or by the
+					// caller's deadline expiring while queued.
+					shed.Add(1)
+					if !errors.Is(err, ErrOverloaded) && !errors.Is(err, context.DeadlineExceeded) {
+						t.Errorf("overloaded result with unexpected error: %v", err)
+					}
+				default:
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	t.Logf("shed soak: %d ok, %d shed, %d failed", ok.Load(), shed.Load(), failed.Load())
+	if ok.Load() == 0 {
+		t.Error("no Localize completed under admission pressure")
+	}
+	if shed.Load() == 0 {
+		t.Error("8 callers against a limit-2/queue-2 gate shed nothing")
+	}
+	if n := sink.Registry().CounterWith("fchain_localize_total", "",
+		map[string]string{"outcome": "shed"}).Value(); n != shed.Load() {
+		t.Errorf("shed counter = %d, callers observed %d", n, shed.Load())
+	}
+	if n := sink.Registry().CounterWith("fchain_localize_total", "",
+		map[string]string{"outcome": "ok"}).Value(); n != ok.Load() {
+		t.Errorf("ok counter = %d, callers observed %d", n, ok.Load())
+	}
+
+	// Every admission slot must be free again after the storm.
+	for i := 0; i < 2; i++ {
+		if !master.admit.tryAcquire() {
+			t.Fatal("admission slot leaked after soak")
+		}
+	}
+
+	// The journal recorded exactly one localize_shed event per shed call.
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadJournal(journalPath)
+	if err != nil {
+		t.Fatalf("journal malformed: %v", err)
+	}
+	var shedEvents int64
+	for _, ev := range events {
+		if ev.Type == "localize_shed" {
+			shedEvents++
+		}
+	}
+	if shedEvents != shed.Load() {
+		t.Errorf("journal localize_shed events = %d, want %d", shedEvents, shed.Load())
 	}
 }

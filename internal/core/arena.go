@@ -45,6 +45,14 @@ var arenaPool = sync.Pool{New: func() any {
 func getArena() *arena  { return arenaPool.Get().(*arena) }
 func putArena(a *arena) { arenaPool.Put(a) }
 
+// reset discards the arena's scratch in place. A panicking kernel can leave
+// buffers and the change-point scratch mid-update; resetting costs the
+// grown buffers but guarantees the next task starts from a clean state.
+func (a *arena) reset() {
+	src := rand.NewSource(1)
+	*a = arena{src: src, rng: rand.New(src)}
+}
+
 // seededRand reseeds the arena's RNG and returns it. The returned *rand.Rand
 // is only valid until the next seededRand call on the same arena.
 func (a *arena) seededRand(seed int64) *rand.Rand {

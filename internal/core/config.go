@@ -18,6 +18,7 @@ package core
 
 import (
 	"runtime"
+	"time"
 
 	"fchain/internal/ingest"
 )
@@ -180,6 +181,12 @@ type Config struct {
 	// (default 64).
 	ClampMinSamples int
 
+	// QuarantineCooldown is how long a metric stream whose selection
+	// kernel panicked stays quarantined (skipped with a quality flag)
+	// before the engine probes it for re-admission (default 30s). A clean
+	// probe re-admits the stream; another panic re-trips the quarantine.
+	QuarantineCooldown time.Duration
+
 	// Parallelism bounds the analysis worker pool that fans abnormal change
 	// point selection out per component and, within a component, per metric:
 	// 0 (the default) resolves to runtime.GOMAXPROCS(0) at analysis time, 1
@@ -289,6 +296,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ClampMinSamples == 0 {
 		c.ClampMinSamples = ingest.DefaultClampMinSamples
+	}
+	if c.QuarantineCooldown <= 0 {
+		c.QuarantineCooldown = defaultQuarantineCooldown
 	}
 	return c
 }

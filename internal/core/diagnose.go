@@ -288,7 +288,7 @@ func (l *Localizer) analyzeAll(dst []ComponentReport, tv int64, cfg Config, tr *
 		serialStats.Tasks = len(l.names) * metric.NumKinds
 		a := getArena()
 		for _, name := range l.names {
-			dst = append(dst, l.monitors[name].analyzeArena(tv, cfg, a, &serialStats.Select, tr, an))
+			dst = append(dst, l.monitors[name].analyzeArena(tv, cfg, a, &serialStats, tr, an))
 		}
 		putArena(a)
 		tr.End(an)
@@ -301,7 +301,7 @@ func (l *Localizer) analyzeAll(dst []ComponentReport, tv int64, cfg Config, tr *
 		monitors[i] = l.monitors[name]
 		cfgs[i] = cfg
 	}
-	dst = analyzeMonitors(dst, monitors, cfgs, tv, workers, &stats, tr, an)
+	dst = analyzeMonitors(dst, monitors, cfgs, tv, workers, &stats, tr, an, nil)
 	tr.End(an)
 	return dst, stats
 }

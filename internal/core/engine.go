@@ -29,10 +29,10 @@ import (
 
 // analyzeSerial analyzes the monitors in order on one shared arena,
 // appending to dst.
-func analyzeSerial(dst []ComponentReport, monitors []*Monitor, cfgs []Config, tv int64, stats *PoolStats, tr *obs.Trace, parent int) []ComponentReport {
+func analyzeSerial(dst []ComponentReport, monitors []*Monitor, cfgs []Config, tv int64, stats *PoolStats, tr *obs.Trace, parent int, bd *budgeter) []ComponentReport {
 	a := getArena()
 	for i, mon := range monitors {
-		dst = append(dst, mon.analyzeArena(tv, cfgs[i], a, &stats.Select, tr, parent))
+		dst = append(dst, mon.analyzeBudgeted(tv, cfgs[i], a, stats, tr, parent, bd))
 	}
 	putArena(a)
 	return dst
@@ -42,8 +42,10 @@ func analyzeSerial(dst []ComponentReport, monitors []*Monitor, cfgs []Config, tv
 // tv under its matching config (cfgs[i] for monitors[i]), appending one
 // report per monitor to dst in monitor order. workers <= 1, a single
 // monitor, or no monitors run serially. With a non-nil trace, component and
-// selection spans are recorded under parent.
-func analyzeMonitors(dst []ComponentReport, monitors []*Monitor, cfgs []Config, tv int64, workers int, stats *PoolStats, tr *obs.Trace, parent int) []ComponentReport {
+// selection spans are recorded under parent. bd, when non-nil, budgets each
+// task against a deadline (see overload.go); with bd == nil the output is
+// deterministic and bit-identical at any worker count.
+func analyzeMonitors(dst []ComponentReport, monitors []*Monitor, cfgs []Config, tv int64, workers int, stats *PoolStats, tr *obs.Trace, parent int, bd *budgeter) []ComponentReport {
 	numTasks := len(monitors) * metric.NumKinds
 	stats.Tasks += numTasks
 	if workers > numTasks {
@@ -53,7 +55,7 @@ func analyzeMonitors(dst []ComponentReport, monitors []*Monitor, cfgs []Config, 
 		stats.Workers = 1
 	}
 	if workers <= 1 || len(monitors) <= 1 {
-		return analyzeSerial(dst, monitors, cfgs, tv, stats, tr, parent)
+		return analyzeSerial(dst, monitors, cfgs, tv, stats, tr, parent, bd)
 	}
 	if workers > stats.Workers {
 		stats.Workers = workers
@@ -68,9 +70,11 @@ func analyzeMonitors(dst []ComponentReport, monitors []*Monitor, cfgs []Config, 
 	}
 
 	type taskResult struct {
-		ch  AbnormalChange
-		ok  bool
-		sub *obs.Trace // per-task sub-trace, grafted at assembly
+		ch   AbnormalChange
+		ok   bool
+		st   metricStatus
+		tier AnalysisTier
+		sub  *obs.Trace // per-task sub-trace, grafted at assembly
 	}
 	results := make([]taskResult, numTasks)
 	tasks := make(chan int)
@@ -92,10 +96,13 @@ func analyzeMonitors(dst []ComponentReport, monitors []*Monitor, cfgs []Config, 
 				if tr != nil {
 					sub = obs.NewTrace("task", tv)
 				}
+				tier := bd.tier()
 				t0 := time.Now()
-				ch, ok := mon.analyzeMetric(tv, k, cfgs[idx/metric.NumKinds], a, sub, -1)
-				hist.Observe(time.Since(t0).Nanoseconds())
-				results[idx] = taskResult{ch: ch, ok: ok, sub: sub}
+				ch, ok, st := mon.analyzeMetric(tv, k, cfgs[idx/metric.NumKinds], a, sub, -1, tier)
+				ns := time.Since(t0).Nanoseconds()
+				bd.observe(ns, tier)
+				hist.Observe(ns)
+				results[idx] = taskResult{ch: ch, ok: ok, st: st, tier: tier, sub: sub}
 			}
 			statsMu.Lock()
 			stats.Select.Merge(hist)
@@ -122,18 +129,9 @@ func analyzeMonitors(dst []ComponentReport, monitors []*Monitor, cfgs []Config, 
 			if tr != nil {
 				tr.Graft(comp, r.sub)
 			}
-			if r.ok {
-				rep.Changes = append(rep.Changes, r.ch)
-			}
+			accumulateMetric(&rep, r.ch, r.ok, r.st, r.tier, metric.Kinds[ki], stats)
 		}
-		if len(rep.Changes) > 0 {
-			rep.Onset = rep.Changes[0].Onset
-			for _, ch := range rep.Changes[1:] {
-				if ch.Onset < rep.Onset {
-					rep.Onset = ch.Onset
-				}
-			}
-		}
+		finishReport(&rep)
 		if tr != nil {
 			annotateComponentSpan(tr, comp, rep)
 			tr.End(comp)
@@ -151,7 +149,7 @@ func analyzeMonitors(dst []ComponentReport, monitors []*Monitor, cfgs []Config, 
 // GOMAXPROCS, 1 = serial). Reports are returned in monitor order and are
 // bit-identical to analyzing each monitor serially.
 func AnalyzeMonitors(monitors []*Monitor, tv int64, lookBack, workers int) ([]ComponentReport, PoolStats) {
-	reports, stats, _ := analyzeMonitorsOpts(monitors, tv, lookBack, workers, false)
+	reports, stats, _ := analyzeMonitorsOpts(monitors, tv, lookBack, workers, false, time.Time{})
 	return reports, stats
 }
 
@@ -160,10 +158,26 @@ func AnalyzeMonitors(monitors []*Monitor, tv int64, lookBack, workers int) ([]Co
 // select:<metric> spans beneath. The trace's span structure is identical at
 // any worker count; only the timings differ.
 func AnalyzeMonitorsTraced(monitors []*Monitor, tv int64, lookBack, workers int) ([]ComponentReport, PoolStats, *obs.Trace) {
-	return analyzeMonitorsOpts(monitors, tv, lookBack, workers, true)
+	return analyzeMonitorsOpts(monitors, tv, lookBack, workers, true, time.Time{})
 }
 
-func analyzeMonitorsOpts(monitors []*Monitor, tv int64, lookBack, workers int, traced bool) ([]ComponentReport, PoolStats, *obs.Trace) {
+// AnalyzeMonitorsDeadline is AnalyzeMonitors budgeting the selection work
+// against a wall-clock deadline: tasks degrade full → reduced-window →
+// model-trend-only → skipped as the budget tightens (see overload.go), and
+// degraded reports carry Tier/Truncated markers. A zero deadline disables
+// budgeting entirely.
+func AnalyzeMonitorsDeadline(monitors []*Monitor, tv int64, lookBack, workers int, deadline time.Time) ([]ComponentReport, PoolStats) {
+	reports, stats, _ := analyzeMonitorsOpts(monitors, tv, lookBack, workers, false, deadline)
+	return reports, stats
+}
+
+// AnalyzeMonitorsDeadlineTraced is AnalyzeMonitorsDeadline also recording a
+// pipeline trace.
+func AnalyzeMonitorsDeadlineTraced(monitors []*Monitor, tv int64, lookBack, workers int, deadline time.Time) ([]ComponentReport, PoolStats, *obs.Trace) {
+	return analyzeMonitorsOpts(monitors, tv, lookBack, workers, true, deadline)
+}
+
+func analyzeMonitorsOpts(monitors []*Monitor, tv int64, lookBack, workers int, traced bool, deadline time.Time) ([]ComponentReport, PoolStats, *obs.Trace) {
 	var stats PoolStats
 	cfgs := make([]Config, len(monitors))
 	for i, mon := range monitors {
@@ -184,7 +198,8 @@ func analyzeMonitorsOpts(monitors []*Monitor, tv int64, lookBack, workers int, t
 		root = tr.Start(-1, "analyze")
 		tr.AttrInt(root, "tasks", int64(len(monitors)*metric.NumKinds))
 	}
-	reports := analyzeMonitors(make([]ComponentReport, 0, len(monitors)), monitors, cfgs, tv, workers, &stats, tr, root)
+	bd := newBudgeter(deadline, len(monitors)*metric.NumKinds)
+	reports := analyzeMonitors(make([]ComponentReport, 0, len(monitors)), monitors, cfgs, tv, workers, &stats, tr, root, bd)
 	tr.End(root)
 	return reports, stats, tr
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"fchain/internal/ingest"
 	"fchain/internal/markov"
@@ -41,6 +42,12 @@ type metricShard struct {
 	sanitizer *ingest.Sanitizer
 	lastT     int64
 	hasLast   bool
+
+	// Panic quarantine (overload.go): a stream whose selection kernel
+	// panicked is skipped until the cooldown elapses, then probed once.
+	quarantined   bool
+	quarantinedAt time.Time
+	panicMsg      string
 }
 
 // push commits one validated sample to the shard's model and histories. The

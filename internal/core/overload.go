@@ -1,0 +1,231 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"fchain/internal/metric"
+)
+
+// This file implements the engine's overload model: deadline-budgeted
+// degradation tiers for the selection tasks and panic quarantine for
+// poisoned metric streams.
+//
+// Deadline budgeting: a master under a tight Localize deadline forwards the
+// remaining budget to each slave, and the slave analyzes against it instead
+// of blowing through it. Each (component, metric) task picks a tier from the
+// time left and the observed cost of the tasks before it: the full pipeline
+// while the budget is comfortable, a reduced look-back window when it gets
+// tight, a model-trend-only heuristic when it is nearly gone, and a skip
+// once it is spent. A degraded report marked Truncated still feeds the
+// diagnosis — the paper's online goal is a verdict seconds after the
+// violation, and a partial answer on time beats a complete one too late.
+//
+// Panic quarantine: every selection kernel runs under recover(). A stream
+// whose kernel panics (corrupted history, pathological input) is
+// quarantined: skipped with a quality flag for QuarantineCooldown, then
+// auto-probed once — a clean probe re-admits it, another panic re-trips the
+// quarantine. One poisoned series therefore costs its own stream, never the
+// daemon.
+
+// AnalysisTier labels how much of the selection pipeline a task ran under
+// deadline budgeting. The zero value (TierFull) is the full pipeline and is
+// omitted from serialized reports.
+type AnalysisTier string
+
+const (
+	// TierFull: the complete selection pipeline over the configured window.
+	TierFull AnalysisTier = ""
+	// TierReduced: a halved look-back window and a lighter bootstrap.
+	TierReduced AnalysisTier = "reduced"
+	// TierTrend: the model-trend-only heuristic — a sustained level shift
+	// check against the pre-window context, no change point detection.
+	TierTrend AnalysisTier = "trend"
+	// TierSkipped: the budget was spent before the task ran; no analysis.
+	TierSkipped AnalysisTier = "skipped"
+)
+
+// rank orders tiers from full (0) to skipped (3) so reports can carry the
+// weakest tier their metrics were analyzed at.
+func (t AnalysisTier) rank() int {
+	switch t {
+	case TierReduced:
+		return 1
+	case TierTrend:
+		return 2
+	case TierSkipped:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// budgeter assigns each remaining selection task a degradation tier from
+// the time left until the deadline and the observed cost of the full-tier
+// tasks already finished. It is shared by the serial path and the parallel
+// workers; all state is atomic. A nil budgeter (no deadline) always yields
+// TierFull at zero cost.
+type budgeter struct {
+	deadline  time.Time
+	tasksLeft atomic.Int64
+	fullNS    atomic.Int64 // total cost of completed full-tier tasks
+	fullN     atomic.Int64
+}
+
+// newBudgeter returns a budgeter for n tasks, or nil when there is no
+// deadline to budget against.
+func newBudgeter(deadline time.Time, n int) *budgeter {
+	if deadline.IsZero() {
+		return nil
+	}
+	b := &budgeter{deadline: deadline}
+	b.tasksLeft.Store(int64(n))
+	return b
+}
+
+// tier claims the next task and picks its tier: the per-task share of the
+// remaining budget against the mean cost of the full-tier tasks so far.
+// The first task has no estimate and runs full — optimistically, since a
+// deadline generous enough for zero tasks is indistinguishable from one
+// generous enough for all of them until something has been measured.
+func (b *budgeter) tier() AnalysisTier {
+	if b == nil {
+		return TierFull
+	}
+	left := b.tasksLeft.Add(-1) + 1 // include the task being claimed
+	if left < 1 {
+		left = 1
+	}
+	rem := time.Until(b.deadline)
+	if rem <= 0 {
+		return TierSkipped
+	}
+	n := b.fullN.Load()
+	if n == 0 {
+		return TierFull
+	}
+	mean := b.fullNS.Load() / n
+	if mean <= 0 {
+		return TierFull
+	}
+	perTask := rem.Nanoseconds() / left
+	switch {
+	case perTask >= 2*mean: // 2x headroom: no reason to degrade
+		return TierFull
+	case perTask >= mean/2: // a halved window roughly halves the cost
+		return TierReduced
+	default:
+		return TierTrend
+	}
+}
+
+// observe feeds a completed task's cost into the estimate; only full-tier
+// samples calibrate the full-tier cost.
+func (b *budgeter) observe(ns int64, tier AnalysisTier) {
+	if b == nil || tier != TierFull {
+		return
+	}
+	b.fullNS.Add(ns)
+	b.fullN.Add(1)
+}
+
+// reducedCfg derives the TierReduced configuration: half the look-back
+// window (floored so smoothing still has material to work with) and a
+// lighter bootstrap, which dominates the kernel's cost.
+func reducedCfg(cfg Config) Config {
+	w := cfg.LookBack / 2
+	if floor := 3*cfg.SmoothWindow + 8; w < floor {
+		w = floor
+	}
+	if w < cfg.LookBack {
+		cfg.LookBack = w
+	}
+	if cfg.Bootstraps > 50 {
+		cfg.Bootstraps = 50
+	}
+	return cfg
+}
+
+// defaultQuarantineCooldown is how long a panicked stream stays quarantined
+// before the engine probes it for re-admission (Config.QuarantineCooldown
+// overrides it).
+const defaultQuarantineCooldown = 30 * time.Second
+
+// tripQuarantine marks metric k's stream quarantined after a selection
+// panic. The stream is skipped until the cooldown elapses, then probed.
+func (m *Monitor) tripQuarantine(k metric.Kind, msg string) {
+	sh := m.shard(k)
+	if sh == nil {
+		return
+	}
+	sh.mu.Lock()
+	sh.quarantined = true
+	sh.quarantinedAt = time.Now()
+	sh.panicMsg = msg
+	sh.mu.Unlock()
+}
+
+// quarantineBlocked reports whether metric k's stream should be skipped.
+// Once the cooldown has elapsed the quarantine half-opens: the flag clears
+// and the caller runs the stream as a probe — a clean pass re-admits it for
+// good, another panic re-trips the quarantine.
+func (m *Monitor) quarantineBlocked(k metric.Kind, cooldown time.Duration) bool {
+	sh := m.shard(k)
+	if sh == nil {
+		return false
+	}
+	if cooldown <= 0 {
+		cooldown = defaultQuarantineCooldown
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.quarantined {
+		return false
+	}
+	if time.Since(sh.quarantinedAt) >= cooldown {
+		sh.quarantined = false // half-open: this analysis probes the stream
+		return false
+	}
+	return true
+}
+
+// QuarantinedMetrics returns the metrics currently under panic quarantine,
+// sorted, with the panic message that tripped each.
+func (m *Monitor) QuarantinedMetrics() map[string]string {
+	out := make(map[string]string)
+	for _, k := range metric.Kinds {
+		sh := &m.shards[k]
+		sh.mu.Lock()
+		if sh.quarantined {
+			out[k.String()] = sh.panicMsg
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// sortedKeys is a tiny helper for deterministic iteration in reports.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// analyzeHook, when set, runs at the start of every selection task. It
+// exists for fault-injection tests: a hook that panics for a chosen
+// (component, metric) exercises the quarantine machinery end to end.
+var analyzeHook atomic.Pointer[func(component string, k metric.Kind)]
+
+// SetAnalyzeHook installs (or, with nil, removes) the selection task hook.
+// Test-only fault injection; the idle cost is one atomic load per task.
+func SetAnalyzeHook(fn func(component string, k metric.Kind)) {
+	if fn == nil {
+		analyzeHook.Store(nil)
+		return
+	}
+	analyzeHook.Store(&fn)
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"fchain/internal/metric"
+)
+
+// TestBudgeterTiers exercises the tier ladder directly: no budgeter means
+// full, an expired deadline means skipped, and a tightening budget walks
+// full → reduced → trend as the per-task share shrinks below the measured
+// full-tier cost.
+func TestBudgeterTiers(t *testing.T) {
+	var nilBD *budgeter
+	if got := nilBD.tier(); got != TierFull {
+		t.Errorf("nil budgeter tier = %q, want full", got)
+	}
+	if bd := newBudgeter(time.Time{}, 10); bd != nil {
+		t.Error("zero deadline should disable budgeting")
+	}
+
+	expired := newBudgeter(time.Now().Add(-time.Second), 10)
+	if got := expired.tier(); got != TierSkipped {
+		t.Errorf("expired deadline tier = %q, want skipped", got)
+	}
+
+	bd := newBudgeter(time.Now().Add(time.Hour), 4)
+	if got := bd.tier(); got != TierFull {
+		t.Errorf("first task tier = %q, want full (no estimate yet)", got)
+	}
+	// Report an absurd full-tier cost: an hour of budget across 3 remaining
+	// tasks is far below half the mean, so the ladder drops to trend.
+	bd.observe((10 * time.Hour).Nanoseconds(), TierFull)
+	if got := bd.tier(); got != TierTrend {
+		t.Errorf("starved budget tier = %q, want trend", got)
+	}
+
+	// A mean comfortably below the per-task share keeps the full tier.
+	rich := newBudgeter(time.Now().Add(time.Hour), 4)
+	rich.tier()
+	rich.observe(int64(time.Millisecond), TierFull)
+	if got := rich.tier(); got != TierFull {
+		t.Errorf("rich budget tier = %q, want full", got)
+	}
+}
+
+func TestReducedCfg(t *testing.T) {
+	cfg := DefaultConfig()
+	r := reducedCfg(cfg)
+	if r.LookBack >= cfg.LookBack {
+		t.Errorf("reduced LookBack = %d, want < %d", r.LookBack, cfg.LookBack)
+	}
+	if floor := 3*cfg.SmoothWindow + 8; r.LookBack < floor {
+		t.Errorf("reduced LookBack = %d, below floor %d", r.LookBack, floor)
+	}
+	if r.Bootstraps > 50 {
+		t.Errorf("reduced Bootstraps = %d, want <= 50", r.Bootstraps)
+	}
+	// A window already at the floor must not grow.
+	tiny := cfg
+	tiny.LookBack = 10
+	if r := reducedCfg(tiny); r.LookBack != 10 {
+		t.Errorf("reduced tiny LookBack = %d, want unchanged 10", r.LookBack)
+	}
+}
+
+// TestExpiredDeadlineDeterministic: a deadline already in the past yields a
+// fully-skipped, Truncated analysis — and that degenerate output is still
+// bit-identical between the serial and parallel paths, which is what the
+// deadline-truncated golden relies on.
+func TestExpiredDeadlineDeterministic(t *testing.T) {
+	const horizon = 600
+	monitors, _ := feedMonitors(t, 6, horizon)
+	deadline := time.Now().Add(-time.Second)
+	serial, _ := AnalyzeMonitorsDeadline(monitors, horizon-1, 0, 1, deadline)
+	for _, rep := range serial {
+		if !rep.Truncated || rep.Tier != TierSkipped {
+			t.Fatalf("component %s: Tier=%q Truncated=%v, want skipped+truncated", rep.Component, rep.Tier, rep.Truncated)
+		}
+		if len(rep.Changes) != 0 {
+			t.Fatalf("component %s: %d changes from a skipped analysis", rep.Component, len(rep.Changes))
+		}
+	}
+	for _, workers := range []int{2, 4} {
+		par, _ := AnalyzeMonitorsDeadline(monitors, horizon-1, 0, workers, deadline)
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("workers=%d: skipped-analysis reports differ from serial", workers)
+		}
+	}
+}
+
+// TestGenerousDeadlineMatchesUnbudgeted: with ample budget the budgeted path
+// must not perturb the analysis — same reports as the no-deadline engine.
+func TestGenerousDeadlineMatchesUnbudgeted(t *testing.T) {
+	const horizon = 600
+	monitors, _ := feedMonitors(t, 4, horizon)
+	plain, _ := AnalyzeMonitors(monitors, horizon-1, 0, 1)
+	budgeted, _ := AnalyzeMonitorsDeadline(monitors, horizon-1, 0, 1, time.Now().Add(time.Hour))
+	if !reflect.DeepEqual(plain, budgeted) {
+		t.Error("generous deadline changed the analysis output")
+	}
+	for _, rep := range budgeted {
+		if rep.Truncated {
+			t.Errorf("component %s truncated under a one-hour budget", rep.Component)
+		}
+	}
+}
+
+// TestPanicQuarantine injects a panic into one (component, metric) selection
+// kernel and checks the blast radius: that stream is quarantined and flagged,
+// every other stream still analyzes, nothing unwinds, and after the cooldown
+// the stream is probed and re-admitted.
+func TestPanicQuarantine(t *testing.T) {
+	const horizon = 600
+	// The cooldown must outlive the first two analysis passes even under the
+	// race detector's slowdown, or the mid-quarantine check below races the
+	// probe re-admission.
+	cfg := Config{LookBack: 100, QuarantineCooldown: 2 * time.Second}
+	mon := NewMonitor("c0", cfg)
+	other := NewMonitor("c1", cfg)
+	for ts := int64(0); ts < horizon; ts++ {
+		for _, k := range metric.Kinds {
+			v := float64(40 + ts%23 + int64(k))
+			if ts >= horizon-40 {
+				v += 35
+			}
+			if err := mon.Observe(ts, k, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := other.Observe(ts, k, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	SetAnalyzeHook(func(component string, k metric.Kind) {
+		if component == "c0" && k == metric.CPU {
+			panic("injected kernel fault")
+		}
+	})
+	defer SetAnalyzeHook(nil)
+
+	reports, stats := AnalyzeMonitors([]*Monitor{mon, other}, horizon-1, 0, 1)
+	if stats.Panics != 1 {
+		t.Errorf("Panics = %d, want 1", stats.Panics)
+	}
+	if got := reports[0].Quarantined; len(got) != 1 || got[0] != metric.CPU.String() {
+		t.Errorf("c0 Quarantined = %v, want [cpu]", got)
+	}
+	if len(reports[1].Quarantined) != 0 {
+		t.Errorf("c1 Quarantined = %v, want none", reports[1].Quarantined)
+	}
+	if len(reports[1].Changes) == 0 {
+		t.Error("c1 produced no changes; the panic leaked past its stream")
+	}
+	qm := mon.QuarantinedMetrics()
+	if qm[metric.CPU.String()] != "injected kernel fault" {
+		t.Errorf("QuarantinedMetrics = %v, want cpu: injected kernel fault", qm)
+	}
+
+	// While quarantined, the stream is skipped without re-running the hook
+	// (no new panic) and keeps its quality flag.
+	SetAnalyzeHook(nil)
+	reports, stats = AnalyzeMonitors([]*Monitor{mon}, horizon-1, 0, 1)
+	if stats.Panics != 0 {
+		t.Errorf("quarantined re-analysis Panics = %d, want 0", stats.Panics)
+	}
+	if got := reports[0].Quarantined; len(got) != 1 || got[0] != metric.CPU.String() {
+		t.Errorf("quarantined re-analysis Quarantined = %v, want [cpu]", got)
+	}
+
+	// After the cooldown the stream is probed; with the fault gone it
+	// re-admits cleanly.
+	time.Sleep(2100 * time.Millisecond)
+	reports, stats = AnalyzeMonitors([]*Monitor{mon}, horizon-1, 0, 1)
+	if len(reports[0].Quarantined) != 0 || stats.Panics != 0 {
+		t.Errorf("post-cooldown Quarantined = %v Panics = %d, want clean re-admission", reports[0].Quarantined, stats.Panics)
+	}
+	if len(mon.QuarantinedMetrics()) != 0 {
+		t.Errorf("QuarantinedMetrics after re-admission = %v, want empty", mon.QuarantinedMetrics())
+	}
+}
+
+// TestQuarantineReTrip: a probe that panics again re-trips the quarantine.
+func TestQuarantineReTrip(t *testing.T) {
+	cfg := Config{LookBack: 100, QuarantineCooldown: 30 * time.Millisecond}
+	mon := NewMonitor("c0", cfg)
+	for ts := int64(0); ts < 400; ts++ {
+		for _, k := range metric.Kinds {
+			if err := mon.Observe(ts, k, float64(40+ts%23)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	SetAnalyzeHook(func(component string, k metric.Kind) {
+		if k == metric.Memory {
+			panic("still broken")
+		}
+	})
+	defer SetAnalyzeHook(nil)
+
+	_, stats := AnalyzeMonitors([]*Monitor{mon}, 399, 0, 1)
+	if stats.Panics != 1 {
+		t.Fatalf("first pass Panics = %d, want 1", stats.Panics)
+	}
+	time.Sleep(40 * time.Millisecond)
+	_, stats = AnalyzeMonitors([]*Monitor{mon}, 399, 0, 1)
+	if stats.Panics != 1 {
+		t.Errorf("probe pass Panics = %d, want 1 (re-trip)", stats.Panics)
+	}
+	if len(mon.QuarantinedMetrics()) != 1 {
+		t.Errorf("stream not re-quarantined after failing probe: %v", mon.QuarantinedMetrics())
+	}
+}
+
+// TestTrendMetricDetectsShift checks the TierTrend kernel end to end through
+// analyzeMetric: a clear level shift is reported with a plausible onset, and
+// the report is marked as trend-tier output by the caller.
+func TestTrendMetricDetectsShift(t *testing.T) {
+	cfg := Config{LookBack: 100}
+	mon := NewMonitor("c0", cfg)
+	const horizon = 600
+	for ts := int64(0); ts < horizon; ts++ {
+		v := 40 + float64(ts%7) // low-variance baseline
+		if ts >= horizon-30 {
+			v += 200 // unmistakable shift inside the look-back window
+		}
+		if err := mon.Observe(ts, metric.CPU, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := getArena()
+	defer putArena(a)
+	ch, ok, st := mon.analyzeMetric(horizon-1, metric.CPU, mon.cfg, a, nil, -1, TierTrend)
+	if st != metricOK {
+		t.Fatalf("status = %d, want ok", st)
+	}
+	if !ok {
+		t.Fatal("trend kernel missed a 200-point level shift")
+	}
+	if ch.Onset < horizon-40 || ch.Onset > horizon {
+		t.Errorf("trend onset = %d, want near %d", ch.Onset, horizon-30)
+	}
+	if ch.Magnitude <= 0 || ch.Expected <= 0 {
+		t.Errorf("trend change missing magnitude/band: %+v", ch)
+	}
+}

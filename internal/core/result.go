@@ -40,6 +40,22 @@ type LocalizeResult struct {
 	// circuit breakers), one entry per unanswered slave.
 	Errors []string `json:"errors,omitempty"`
 
+	// MissingComponents lists, sorted, the registered components no received
+	// report covered — the concrete gap behind a Degraded verdict.
+	MissingComponents []string `json:"missing_components,omitempty"`
+
+	// Truncated is set when any component's analysis was cut short by the
+	// deadline budget (its report carries a non-full Tier).
+	Truncated bool `json:"truncated,omitempty"`
+
+	// Overloaded is set when the request was shed by admission control
+	// before any analysis ran.
+	Overloaded bool `json:"overloaded,omitempty"`
+
+	// Quarantined maps components to the metric streams skipped because a
+	// previous selection kernel panic quarantined them.
+	Quarantined map[string][]string `json:"quarantined_streams,omitempty"`
+
 	// Quality maps each reporting component to the data quality of the
 	// streams its report was derived from. Components fed clean, in-order
 	// data score 1; the map lets a caller tell "db is the culprit" derived
@@ -97,6 +113,9 @@ func (r LocalizeResult) String() string {
 		r.SlavesAnswered, r.SlavesTotal, r.ComponentsReported, r.ComponentsKnown)
 	if r.Degraded {
 		b.WriteString(", DEGRADED")
+	}
+	if r.Truncated {
+		b.WriteString(", TRUNCATED")
 	}
 	b.WriteString("]")
 	return b.String()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"strconv"
@@ -39,6 +40,18 @@ type ComponentReport struct {
 	// Quality summarizes how clean the metric streams behind this report
 	// were; the master folds it into per-culprit confidence.
 	Quality DataQuality `json:"quality,omitzero"`
+	// Tier is the weakest degradation tier deadline budgeting applied to
+	// any of this component's metrics (empty = the full pipeline ran for
+	// all of them); see AnalysisTier.
+	Tier AnalysisTier `json:"tier,omitempty"`
+	// Truncated marks a report produced under deadline pressure: at least
+	// one metric was analyzed below the full tier (or skipped outright),
+	// so an absent change is weaker evidence of normality than usual.
+	Truncated bool `json:"truncated,omitempty"`
+	// Quarantined lists metrics skipped under panic quarantine, in metric
+	// order: their selection kernel panicked (now or within the cooldown)
+	// and the stream was isolated instead of taking the daemon down.
+	Quarantined []string `json:"quarantined,omitempty"`
 }
 
 // Abnormal reports whether any abnormal change point was selected.
@@ -133,11 +146,19 @@ func (m *Monitor) analyzeWith(tv int64, cfg Config) ComponentReport {
 }
 
 // analyzeArena runs the full per-component analysis on the caller's arena;
-// hist, when non-nil, receives one latency observation per metric task. With
-// a non-nil trace it opens a component:<name> span under parent; the span
-// tree it builds is identical to what the parallel engine assembles from
-// per-task sub-traces.
-func (m *Monitor) analyzeArena(tv int64, cfg Config, a *arena, hist *LatencyHist, tr *obs.Trace, parent int) ComponentReport {
+// stats, when non-nil, receives one latency observation per metric task plus
+// the panic count. With a non-nil trace it opens a component:<name> span
+// under parent; the span tree it builds is identical to what the parallel
+// engine assembles from per-task sub-traces.
+func (m *Monitor) analyzeArena(tv int64, cfg Config, a *arena, stats *PoolStats, tr *obs.Trace, parent int) ComponentReport {
+	return m.analyzeBudgeted(tv, cfg, a, stats, tr, parent, nil)
+}
+
+// analyzeBudgeted is analyzeArena under an optional deadline budgeter: each
+// metric task claims a degradation tier before it runs (see overload.go).
+// With bd == nil every task runs the full tier and the output is exactly
+// the historical analyzeArena behavior.
+func (m *Monitor) analyzeBudgeted(tv int64, cfg Config, a *arena, stats *PoolStats, tr *obs.Trace, parent int, bd *budgeter) ComponentReport {
 	// Never analyze behind samples the reorder buffers are still holding.
 	m.FlushIngest(tv)
 	comp := -1
@@ -145,32 +166,61 @@ func (m *Monitor) analyzeArena(tv int64, cfg Config, a *arena, hist *LatencyHist
 		comp = tr.Start(parent, "component:"+m.component)
 	}
 	report := ComponentReport{Component: m.component, Quality: qualityOf(m.Quality())}
+	timed := stats != nil || bd != nil
 	for _, k := range metric.Kinds {
+		tier := bd.tier()
 		var t0 time.Time
-		if hist != nil {
+		if timed {
 			t0 = time.Now()
 		}
-		ch, ok := m.analyzeMetric(tv, k, cfg, a, tr, comp)
-		if hist != nil {
-			hist.Observe(time.Since(t0).Nanoseconds())
-		}
-		if ok {
-			report.Changes = append(report.Changes, ch)
-		}
-	}
-	if len(report.Changes) > 0 {
-		report.Onset = report.Changes[0].Onset
-		for _, ch := range report.Changes[1:] {
-			if ch.Onset < report.Onset {
-				report.Onset = ch.Onset
+		ch, ok, st := m.analyzeMetric(tv, k, cfg, a, tr, comp, tier)
+		if timed {
+			ns := time.Since(t0).Nanoseconds()
+			bd.observe(ns, tier)
+			if stats != nil {
+				stats.Select.Observe(ns)
 			}
 		}
+		accumulateMetric(&report, ch, ok, st, tier, k, stats)
 	}
+	finishReport(&report)
 	if tr != nil {
 		annotateComponentSpan(tr, comp, report)
 		tr.End(comp)
 	}
 	return report
+}
+
+// accumulateMetric folds one metric task's outcome into the component
+// report; the serial path and the parallel engine's canonical assembly both
+// use it so reports stay bit-identical across worker counts.
+func accumulateMetric(report *ComponentReport, ch AbnormalChange, ok bool, st metricStatus, tier AnalysisTier, k metric.Kind, stats *PoolStats) {
+	if ok {
+		report.Changes = append(report.Changes, ch)
+	}
+	if st != metricOK {
+		report.Quarantined = append(report.Quarantined, k.String())
+		if st == metricPanicked && stats != nil {
+			stats.Panics++
+		}
+	}
+	if tier.rank() > report.Tier.rank() {
+		report.Tier = tier
+		report.Truncated = true
+	}
+}
+
+// finishReport computes the component onset from the accumulated changes.
+func finishReport(report *ComponentReport) {
+	if len(report.Changes) == 0 {
+		return
+	}
+	report.Onset = report.Changes[0].Onset
+	for _, ch := range report.Changes[1:] {
+		if ch.Onset < report.Onset {
+			report.Onset = ch.Onset
+		}
+	}
 }
 
 // annotateComponentSpan records a component span's summary attributes; the
@@ -181,26 +231,158 @@ func annotateComponentSpan(tr *obs.Trace, comp int, report ComponentReport) {
 	if len(report.Changes) > 0 {
 		tr.AttrInt(comp, "onset", report.Onset)
 	}
+	if report.Truncated {
+		tr.Attr(comp, "tier", string(report.Tier))
+	}
+	if len(report.Quarantined) > 0 {
+		tr.Attr(comp, "quarantined", strings.Join(report.Quarantined, ","))
+	}
 }
+
+// metricStatus reports how one metric task ended beyond its selection
+// outcome: ran normally, was skipped under an active quarantine, or
+// panicked (and is now quarantined).
+type metricStatus uint8
+
+const (
+	metricOK metricStatus = iota
+	metricQuarantined
+	metricPanicked
+)
 
 // analyzeMetric selects the earliest abnormal change for one metric; ok is
 // false when the metric exhibits none. With a non-nil trace it opens a
 // select:<metric> span under parent, with detect/filter/rollback child spans
 // recording candidate change points and filter decisions; with tr == nil the
-// instrumented path costs only pointer tests.
-func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config, a *arena, tr *obs.Trace, parent int) (AbnormalChange, bool) {
+// instrumented path costs only pointer tests. tier degrades the kernel under
+// deadline pressure (TierFull runs the normal pipeline); a quarantined
+// stream is skipped regardless of tier, and a panicking kernel quarantines
+// its stream instead of unwinding past this frame.
+func (m *Monitor) analyzeMetric(tv int64, k metric.Kind, cfg Config, a *arena, tr *obs.Trace, parent int, tier AnalysisTier) (AbnormalChange, bool, metricStatus) {
+	if tier == TierSkipped {
+		if tr != nil {
+			sel := tr.Start(parent, "select:"+k.String())
+			tr.Attr(sel, "skipped", "deadline")
+			tr.End(sel)
+		}
+		return AbnormalChange{}, false, metricOK
+	}
+	if m.quarantineBlocked(k, cfg.QuarantineCooldown) {
+		if tr != nil {
+			sel := tr.Start(parent, "select:"+k.String())
+			tr.Attr(sel, "skipped", "quarantined")
+			tr.End(sel)
+		}
+		return AbnormalChange{}, false, metricQuarantined
+	}
+	if tier == TierReduced {
+		cfg = reducedCfg(cfg)
+	}
 	if tr == nil {
-		return m.selectMetric(tv, k, cfg, a, nil, -1)
+		return m.runKernel(tv, k, cfg, a, nil, -1, tier)
 	}
 	sel := tr.Start(parent, "select:"+k.String())
-	ch, ok := m.selectMetric(tv, k, cfg, a, tr, sel)
+	if tier != TierFull {
+		tr.Attr(sel, "tier", string(tier))
+	}
+	ch, ok, st := m.runKernel(tv, k, cfg, a, tr, sel, tier)
+	if st == metricPanicked {
+		tr.Attr(sel, "skipped", "panic")
+	}
 	tr.AttrBool(sel, "abnormal", ok)
 	if ok {
 		tr.AttrInt(sel, "change_at", ch.ChangeAt)
 		tr.AttrInt(sel, "onset", ch.Onset)
 	}
 	tr.End(sel)
-	return ch, ok
+	return ch, ok, st
+}
+
+// runKernel dispatches to the tier's selection kernel under panic
+// protection: a panic trips the stream's quarantine, discards the possibly
+// inconsistent arena scratch, and surfaces as metricPanicked instead of
+// unwinding the worker.
+func (m *Monitor) runKernel(tv int64, k metric.Kind, cfg Config, a *arena, tr *obs.Trace, sel int, tier AnalysisTier) (ch AbnormalChange, ok bool, st metricStatus) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.tripQuarantine(k, fmt.Sprint(r))
+			a.reset()
+			ch, ok, st = AbnormalChange{}, false, metricPanicked
+		}
+	}()
+	if hook := analyzeHook.Load(); hook != nil {
+		(*hook)(m.component, k)
+	}
+	if tier == TierTrend {
+		ch, ok = m.trendMetric(tv, k, cfg, a)
+	} else {
+		ch, ok = m.selectMetric(tv, k, cfg, a, tr, sel)
+	}
+	return ch, ok, metricOK
+}
+
+// trendMetric is the TierTrend kernel: a cheap O(W) sustained level shift
+// check — has the recent mean escaped a 3σ band around the pre-window
+// context — with the first escaping sample as the onset. It fabricates no
+// change-point precision it does not have (PredErr/Expected carry the shift
+// against the band), but still lets a budget-starved component contribute
+// "something moved here, around then" to the propagation chain.
+func (m *Monitor) trendMetric(tv int64, k metric.Kind, cfg Config, a *arena) (AbnormalChange, bool) {
+	sv, _ := m.materialize(k, a)
+	window := sv.ViewRange(tv-int64(cfg.LookBack)+1, tv+1)
+	ctx := sv.ViewRange(sv.Start(), tv-int64(cfg.LookBack))
+	wv, cv := window.ValuesView(), ctx.ValuesView()
+	if len(wv) < 8 || len(cv) < 8 {
+		return AbnormalChange{}, false
+	}
+	var ctxMean float64
+	for _, v := range cv {
+		ctxMean += v
+	}
+	ctxMean /= float64(len(cv))
+	ctxStd := timeseries.Std(cv)
+	if ctxStd <= 0 {
+		return AbnormalChange{}, false
+	}
+	tail := len(wv) / 4
+	if tail < 4 {
+		tail = 4
+	}
+	if tail > 10 {
+		tail = 10
+	}
+	var recent float64
+	for _, v := range wv[len(wv)-tail:] {
+		recent += v
+	}
+	recent /= float64(tail)
+	shift := recent - ctxMean
+	band := 3 * ctxStd
+	if math.Abs(shift) <= band {
+		return AbnormalChange{}, false
+	}
+	onsetIdx := len(wv) - tail
+	for i, v := range wv {
+		if math.Abs(v-ctxMean) > band {
+			onsetIdx = i
+			break
+		}
+	}
+	t := window.TimeAt(onsetIdx)
+	dir := timeseries.TrendUp
+	if shift < 0 {
+		dir = timeseries.TrendDown
+	}
+	return AbnormalChange{
+		Component: m.component,
+		Metric:    k,
+		ChangeAt:  t,
+		Onset:     t,
+		PredErr:   math.Abs(shift),
+		Expected:  band,
+		Magnitude: math.Abs(shift),
+		Direction: dir,
+	}, true
 }
 
 // selectMetric is the abnormal change point selection kernel behind

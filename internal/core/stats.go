@@ -130,6 +130,9 @@ type PoolStats struct {
 	Select LatencyHist `json:"select,omitzero"`
 	// Diagnose is the latency histogram of the integrated diagnosis passes.
 	Diagnose LatencyHist `json:"diagnose,omitzero"`
+	// Panics counts selection tasks whose kernel panicked and whose
+	// stream was quarantined instead of taking the process down.
+	Panics int `json:"panics,omitempty"`
 }
 
 // Merge folds another PoolStats into s, keeping the larger pool shape.
@@ -140,6 +143,7 @@ func (s *PoolStats) Merge(o PoolStats) {
 	s.Tasks += o.Tasks
 	s.Select.Merge(o.Select)
 	s.Diagnose.Merge(o.Diagnose)
+	s.Panics += o.Panics
 }
 
 // String renders a compact summary for CLI status lines.
@@ -151,6 +155,9 @@ func (s PoolStats) String() string {
 	}
 	if s.Diagnose.Count > 0 {
 		fmt.Fprintf(&b, " diagnose[%s]", s.Diagnose)
+	}
+	if s.Panics > 0 {
+		fmt.Fprintf(&b, " panics=%d", s.Panics)
 	}
 	return b.String()
 }
