@@ -1,6 +1,7 @@
 // Command fchain-master runs the FChain master daemon: it accepts slave
 // registrations over TCP, probes them with heartbeats, and triggers fault
-// localization on demand.
+// localization on demand — either interactively from the console, or as a
+// long-lived multi-tenant service consuming SLO-violation events.
 //
 // Usage:
 //
@@ -8,16 +9,32 @@
 //
 // Commands are read from stdin, one per line:
 //
-//	slaves            print registered slaves
-//	health            print per-slave liveness (healthy/degraded/dead)
-//	localize <tv>     run fault localization for violation time tv
-//	history           print past localizations
-//	quit              shut down
+//	slaves                      print registered slaves
+//	health                      print per-slave liveness (healthy/degraded/dead)
+//	localize <tv>               run fault localization for violation time tv
+//	violate <tenant> <app> <tv> submit one SLO violation through the service
+//	replay                      re-run journal replay (e.g. after slaves re-registered)
+//	history                     print past localizations (tenant/app-tagged)
+//	quit                        shut down
+//
+// Service mode: the master always runs the multi-tenant violation intake
+// (violate frames over the listener, `violate` on the console). -tenants
+// closes the namespace, -tenant-quota/-tenant-burst set per-tenant token
+// buckets, -coalesce-window merges concurrent same-app violations into one
+// localization, and -verdict-cache/-verdict-ttl bound the result cache.
+// With -journal set, accepted violations and served verdicts are write-ahead
+// journaled; -replay restores them on the next start (verdicts re-served
+// byte-identically, accepted-but-unserved violations re-run). -journal-max-bytes
+// and -journal-keep rotate the journal so it cannot grow without bound.
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the service stops
+// admitting violations, in-flight localizations drain under -drain, the
+// journal is flushed and closed, and the process exits 0.
 //
 // Observability: -debug-addr starts an HTTP introspection server
-// (Prometheus /metrics, /healthz with per-slave liveness, /trace/last,
-// pprof), -journal appends machine-readable JSONL pipeline events, and
-// -log-level tunes the structured key=value log on stderr.
+// (Prometheus /metrics, /healthz with per-slave liveness, /history,
+// /trace/last, pprof), -journal appends machine-readable JSONL pipeline
+// events, and -log-level tunes the structured key=value log on stderr.
 package main
 
 import (
@@ -26,39 +43,79 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"fchain"
 	"fchain/internal/obs"
 )
 
+// config bundles every flag so run stays callable without a parameter
+// avalanche.
+type config struct {
+	listen    string
+	timeout   time.Duration
+	retries   int
+	heartbeat time.Duration
+	hbMisses  int
+	quorum    float64
+	inflight  int
+	admitQ    int
+	depsPath  string
+	debugAddr string
+	logLevel  string
+
+	journalPath     string
+	journalMaxBytes int64
+	journalKeep     int
+
+	tenants        string
+	tenantQuota    float64
+	tenantBurst    float64
+	coalesceWindow int64
+	verdictCache   int
+	verdictTTL     time.Duration
+	replay         bool
+	drain          time.Duration
+}
+
 func main() {
-	var (
-		listen    = flag.String("listen", "127.0.0.1:7070", "listen address")
-		timeout   = flag.Duration("timeout", 30*time.Second, "overall per-localization deadline")
-		retries   = flag.Int("retries", 1, "extra analyze attempts per unanswered slave within the deadline")
-		heartbeat = flag.Duration("heartbeat", 10*time.Second, "slave liveness probe interval (0 disables)")
-		hbMisses  = flag.Int("heartbeat-misses", 3, "consecutive missed heartbeats before a slave is evicted")
-		quorum    = flag.Float64("quorum", 0, "slave answer quorum as a fraction in (0,1]: diagnose once met, refuse below it (0 waits for all, best-effort)")
-		inflight  = flag.Int("max-inflight", 0, "max concurrent localizations (0 = unlimited)")
-		admitQ    = flag.Int("admit-queue", 0, "localize admission queue depth beyond -max-inflight (LIFO; overflow sheds the oldest waiter)")
-		deps      = flag.String("deps", "", "dependency graph file from offline discovery (optional)")
-		debugAddr = flag.String("debug-addr", "", "HTTP debug server address serving /metrics, /healthz, /trace/last and pprof (empty disables)")
-		journal   = flag.String("journal", "", "append machine-readable JSONL pipeline events to this file (empty disables)")
-		logLevel  = flag.String("log-level", "info", "stderr log level: debug, info, warn, error")
-	)
+	var cfg config
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:7070", "listen address")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "overall per-localization deadline")
+	flag.IntVar(&cfg.retries, "retries", 1, "extra analyze attempts per unanswered slave within the deadline")
+	flag.DurationVar(&cfg.heartbeat, "heartbeat", 10*time.Second, "slave liveness probe interval (0 disables)")
+	flag.IntVar(&cfg.hbMisses, "heartbeat-misses", 3, "consecutive missed heartbeats before a slave is evicted")
+	flag.Float64Var(&cfg.quorum, "quorum", 0, "slave answer quorum as a fraction in (0,1]: diagnose once met, refuse below it (0 waits for all, best-effort)")
+	flag.IntVar(&cfg.inflight, "max-inflight", 0, "max concurrent localizations (0 = unlimited)")
+	flag.IntVar(&cfg.admitQ, "admit-queue", 0, "localize admission queue depth beyond -max-inflight (LIFO; overflow sheds the oldest waiter)")
+	flag.StringVar(&cfg.depsPath, "deps", "", "dependency graph file from offline discovery (optional)")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "HTTP debug server address serving /metrics, /healthz, /history, /trace/last and pprof (empty disables)")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "stderr log level: debug, info, warn, error")
+	flag.StringVar(&cfg.journalPath, "journal", "", "append machine-readable JSONL pipeline events to this file (empty disables; required for -replay durability)")
+	flag.Int64Var(&cfg.journalMaxBytes, "journal-max-bytes", 0, "rotate the journal once it exceeds this many bytes (0 = never)")
+	flag.IntVar(&cfg.journalKeep, "journal-keep", 3, "rotated journal generations retained")
+	flag.StringVar(&cfg.tenants, "tenants", "", "comma-separated tenant namespace for service mode (empty admits any tenant name)")
+	flag.Float64Var(&cfg.tenantQuota, "tenant-quota", 0, "per-tenant violation quota, violations/minute token bucket (0 = unlimited)")
+	flag.Float64Var(&cfg.tenantBurst, "tenant-burst", 0, "per-tenant violation burst capacity (0 = same as -tenant-quota)")
+	flag.Int64Var(&cfg.coalesceWindow, "coalesce-window", 30, "tv window (seconds) within which concurrent same-app violations share one localization")
+	flag.IntVar(&cfg.verdictCache, "verdict-cache", 256, "verdict LRU cache entries (negative disables caching)")
+	flag.DurationVar(&cfg.verdictTTL, "verdict-ttl", 5*time.Minute, "how long a cached verdict stays servable")
+	flag.BoolVar(&cfg.replay, "replay", false, "replay the journal at startup: restore the verdict cache and history, re-run accepted-but-unserved violations")
+	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight localizations")
 	flag.Parse()
-	if err := run(*listen, *timeout, *retries, *heartbeat, *hbMisses, *quorum, *inflight, *admitQ, *deps, *debugAddr, *journal, *logLevel); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-master:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, timeout time.Duration, retries int, heartbeat time.Duration, hbMisses int, quorum float64, inflight, admitQ int, depsPath, debugAddr, journalPath, logLevel string) error {
-	sink, err := obs.NewSink(os.Stderr, logLevel, journalPath)
+func run(cfg config) error {
+	sink, err := obs.NewSinkRotating(os.Stderr, cfg.logLevel, cfg.journalPath, cfg.journalMaxBytes, cfg.journalKeep)
 	if err != nil {
 		return err
 	}
@@ -66,8 +123,8 @@ func run(listen string, timeout time.Duration, retries int, heartbeat time.Durat
 	log := sink.Logger()
 
 	var deps *fchain.DependencyGraph
-	if depsPath != "" {
-		g, err := fchain.LoadDependencies(depsPath)
+	if cfg.depsPath != "" {
+		g, err := fchain.LoadDependencies(cfg.depsPath)
 		if err != nil {
 			return err
 		}
@@ -75,21 +132,49 @@ func run(listen string, timeout time.Duration, retries int, heartbeat time.Durat
 		fmt.Printf("loaded dependency graph: %s\n", deps)
 	}
 	master := fchain.NewMaster(fchain.DefaultConfig(), deps,
-		fchain.WithHeartbeat(heartbeat, hbMisses),
-		fchain.WithLocalizeRetries(retries),
-		fchain.WithLocalizeTimeout(timeout),
-		fchain.WithQuorum(quorum),
-		fchain.WithAdmission(inflight, admitQ),
+		fchain.WithHeartbeat(cfg.heartbeat, cfg.hbMisses),
+		fchain.WithLocalizeRetries(cfg.retries),
+		fchain.WithLocalizeTimeout(cfg.timeout),
+		fchain.WithQuorum(cfg.quorum),
+		fchain.WithAdmission(cfg.inflight, cfg.admitQ),
 		fchain.WithMasterObs(sink))
-	if err := master.Start(listen); err != nil {
+	var tenants []string
+	if cfg.tenants != "" {
+		for _, t := range strings.Split(cfg.tenants, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				tenants = append(tenants, t)
+			}
+		}
+	}
+	svc := fchain.NewService(master, fchain.ServiceConfig{
+		Tenants:        tenants,
+		QuotaPerMinute: cfg.tenantQuota,
+		QuotaBurst:     cfg.tenantBurst,
+		CoalesceWindow: cfg.coalesceWindow,
+		CacheSize:      cfg.verdictCache,
+		CacheTTL:       cfg.verdictTTL,
+	})
+	if err := master.Start(cfg.listen); err != nil {
 		return err
 	}
 	defer master.Close()
-	if debugAddr != "" {
-		dbg, err := obs.StartDebug(debugAddr, obs.DebugConfig{
+	if cfg.replay {
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+		stats, err := svc.Replay(ctx)
+		cancel()
+		if err != nil {
+			log.Warn("journal replay failed", "err", err)
+		} else {
+			fmt.Printf("replayed journal: %d events, %d verdicts cached, %d history records, %d re-run (%d failed)\n",
+				stats.Events, stats.CacheRestored, stats.HistoryRestored, stats.Rerun, stats.RerunFailed)
+		}
+	}
+	if cfg.debugAddr != "" {
+		dbg, err := obs.StartDebug(cfg.debugAddr, obs.DebugConfig{
 			Registry: sink.Registry(),
 			Traces:   sink.TraceRing(),
 			Health:   func() any { return master.Health() },
+			History:  func() any { return master.History() },
 		})
 		if err != nil {
 			return err
@@ -98,11 +183,42 @@ func run(listen string, timeout time.Duration, retries int, heartbeat time.Durat
 		log.Info("debug server listening", "addr", dbg.Addr())
 	}
 	fmt.Printf("fchain-master listening on %s\n", master.Addr())
-	fmt.Println("commands: slaves | health | localize <tv> | history | quit")
+	fmt.Println("commands: slaves | health | localize <tv> | violate <tenant> <app> <tv> | replay | history | quit")
 
-	sc := bufio.NewScanner(os.Stdin)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
+	// Console lines and termination signals merge into one loop so
+	// SIGINT/SIGTERM can interrupt a blocked stdin read and drain cleanly.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	lines := make(chan string)
+	scanErr := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		scanErr <- sc.Err()
+	}()
+
+	shutdown := func(reason string) {
+		log.Info("shutting down", "reason", reason, "drain", cfg.drain.String())
+		if left := svc.Drain(cfg.drain); left > 0 {
+			log.Warn("drain deadline expired", "inflight", left)
+		}
+		fmt.Println("fchain-master: graceful shutdown complete")
+	}
+	for {
+		var text string
+		select {
+		case sig := <-sigCh:
+			shutdown(sig.String())
+			return nil
+		case err := <-scanErr:
+			shutdown("stdin closed")
+			return err
+		case text = <-lines:
+		}
+		fields := strings.Fields(text)
 		if len(fields) == 0 {
 			continue
 		}
@@ -135,7 +251,7 @@ func run(listen string, timeout time.Duration, retries int, heartbeat time.Durat
 				fmt.Println("bad tv:", err)
 				continue
 			}
-			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 			res, err := master.Localize(ctx, tv)
 			cancel()
 			if err != nil {
@@ -143,21 +259,53 @@ func run(listen string, timeout time.Duration, retries int, heartbeat time.Durat
 				continue
 			}
 			printResult(res)
+		case "violate":
+			if len(fields) != 4 {
+				fmt.Println("usage: violate <tenant> <app> <tv>")
+				continue
+			}
+			tv, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				fmt.Println("bad tv:", err)
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+			v, err := svc.Submit(ctx, fields[1], fields[2], tv)
+			cancel()
+			if err != nil {
+				fmt.Println("violate failed:", err)
+				continue
+			}
+			fmt.Println(" ", v)
+		case "replay":
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+			stats, err := svc.Replay(ctx)
+			cancel()
+			if err != nil {
+				fmt.Println("replay failed:", err)
+				continue
+			}
+			fmt.Printf("  replayed %d events: %d verdicts cached, %d history records, %d re-run (%d failed)\n",
+				stats.Events, stats.CacheRestored, stats.HistoryRestored, stats.Rerun, stats.RerunFailed)
 		case "history":
 			for _, rec := range master.History() {
+				tag := ""
+				if rec.Tenant != "" || rec.App != "" {
+					tag = fmt.Sprintf(" [%s/%s]", rec.Tenant, rec.App)
+				}
 				mark := ""
 				if rec.Degraded {
 					mark = " (degraded)"
 				}
-				fmt.Printf("  tv=%d %s%s\n", rec.TV, rec.Diagnosis, mark)
+				fmt.Printf("  tv=%d%s %s%s\n", rec.TV, tag, rec.Diagnosis, mark)
 			}
 		case "quit", "exit":
+			shutdown("quit command")
 			return nil
 		default:
 			fmt.Printf("unknown command %q\n", fields[0])
 		}
 	}
-	return sc.Err()
 }
 
 // printResult renders one localization; map-keyed sections are printed in

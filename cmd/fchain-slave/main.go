@@ -36,8 +36,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"fchain"
@@ -130,34 +132,54 @@ func run(name, components, master string, skew int64, backoff, backoffMax time.D
 	}
 	fmt.Printf("fchain-slave %s registered with %s, monitoring %v\n", name, master, comps)
 
-	sc := bufio.NewScanner(os.Stdin)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
+	// The sample feed runs on its own goroutine so SIGINT/SIGTERM can
+	// interrupt a blocked stdin read: on a signal the daemon exits 0 through
+	// the deferred slave.Close(), which writes a final model checkpoint —
+	// a kill-and-restart costs only the samples since that checkpoint.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	feedDone := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(os.Stdin)
+		line := 0
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" || strings.HasPrefix(text, "#") {
+				continue
+			}
+			comp, t, kind, value, err := parseSample(text)
+			if err != nil {
+				log.Warn("bad sample line", "line", line, "err", err)
+				continue
+			}
+			// Ingest, not Observe: real collectors hiccup, so the feed goes
+			// through the sanitizer (reordering, dedup, gap fill) and dirt is
+			// counted against the component's data quality instead of being a
+			// per-line error.
+			if err := slave.Ingest(comp, t, kind, value); err != nil {
+				log.Warn("ingest rejected sample", "line", line, "err", err)
+			}
 		}
-		comp, t, kind, value, err := parseSample(text)
-		if err != nil {
-			log.Warn("bad sample line", "line", line, "err", err)
-			continue
-		}
-		// Ingest, not Observe: real collectors hiccup, so the feed goes
-		// through the sanitizer (reordering, dedup, gap fill) and dirt is
-		// counted against the component's data quality instead of being a
-		// per-line error.
-		if err := slave.Ingest(comp, t, kind, value); err != nil {
-			log.Warn("ingest rejected sample", "line", line, "err", err)
+		feedDone <- sc.Err()
+	}()
+	for {
+		select {
+		case sig := <-sigCh:
+			log.Info("shutting down", "reason", sig.String())
+			fmt.Println("fchain-slave: graceful shutdown complete")
+			return nil
+		case err := <-feedDone:
+			if err != nil {
+				return err
+			}
+			// The sample feed ended, but the daemon keeps serving the
+			// master's analyze requests until it is terminated.
+			fmt.Println("sample feed drained; continuing to serve analyze requests")
+			feedDone = nil // only announce once; keep waiting for a signal
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	// The sample feed ended, but the daemon keeps serving the master's
-	// analyze requests until it is terminated.
-	fmt.Println("sample feed drained; continuing to serve analyze requests")
-	select {}
 }
 
 // parseSample parses "component,time,metric,value".

@@ -49,6 +49,7 @@ import (
 	"fchain/internal/ingest"
 	"fchain/internal/metric"
 	"fchain/internal/obs"
+	"fchain/internal/tenant"
 )
 
 // Kind identifies one of the six monitored system metrics.
@@ -430,3 +431,53 @@ func WithSlaveObs(sink *ObservabilitySink) SlaveOption {
 func NewSlave(name string, components []string, cfg Config, opts ...SlaveOption) *Slave {
 	return cluster.NewSlave(name, components, cfg, opts...)
 }
+
+// DiagnosisRecord is one remembered localization in Master.History,
+// tenant/app-tagged when it was produced by the service-mode intake.
+type DiagnosisRecord = cluster.DiagnosisRecord
+
+// Service is the durable multi-tenant violation intake over a Master: it
+// accepts a stream of SLO-violation events tagged (tenant, app, tv) — over
+// the wire via violate frames or in process via Submit — applies per-tenant
+// namespaces and token-bucket quotas, coalesces concurrent same-app
+// violations into one localization, re-serves recent verdicts from an LRU
+// cache, and write-ahead journals every accepted violation so Replay can
+// recover after a crash: served verdicts are re-served byte-identically and
+// accepted-but-unserved violations are re-run.
+type Service = cluster.Service
+
+// ServiceConfig tunes a Service (tenant namespace, quotas, coalesce window,
+// verdict cache); zero values take the documented defaults.
+type ServiceConfig = cluster.ServiceConfig
+
+// Verdict is one served localization verdict; its Diagnosis field is the
+// canonical JSON kept raw so cached and replayed verdicts are byte-identical
+// to the original.
+type Verdict = cluster.Verdict
+
+// ReplayStats summarizes one Service.Replay pass over the journal.
+type ReplayStats = cluster.ReplayStats
+
+// NewService builds the service layer over master and attaches it, routing
+// violate frames from the master's listener into it.
+func NewService(m *Master, cfg ServiceConfig) *Service { return cluster.NewService(m, cfg) }
+
+// ServiceClient is the wire client for the service-mode intake: dial the
+// master once, then stream violations with Violate (safe concurrently).
+type ServiceClient = cluster.ServiceClient
+
+// DialService connects a violation client to a master running a Service.
+func DialService(addr string) (*ServiceClient, error) { return cluster.DialService(addr) }
+
+// Sentinel errors surfaced by the service-mode intake. Use errors.Is.
+var (
+	// ErrUnknownTenant: the violation named a tenant outside the service's
+	// namespace (or no tenant at all).
+	ErrUnknownTenant = tenant.ErrUnknown
+	// ErrTenantQuota: the tenant's token-bucket violation quota is spent;
+	// the violation was shed without consuming any localization capacity.
+	ErrTenantQuota = tenant.ErrQuota
+	// ErrServiceDraining: the service is shutting down and no longer admits
+	// violations.
+	ErrServiceDraining = cluster.ErrDraining
+)

@@ -197,4 +197,17 @@ func TestCLIGoldenMasterConsole(t *testing.T) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)
 		}
 	}
+	// /history serves the localization that just ran.
+	resp, err = http.Get("http://" + dm[1] + "/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/history status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"tv": `+tv) {
+		t.Errorf("/history missing the localization record:\n%s", body)
+	}
 }

@@ -53,6 +53,7 @@ type Master struct {
 	evicted map[string]bool // slaves lost since their last registration
 	closed  bool
 	history []DiagnosisRecord
+	svc     *Service // service-mode intake; nil until a Service attaches
 	stop    chan struct{}
 
 	wg sync.WaitGroup
@@ -351,12 +352,21 @@ func (m *Master) acceptLoop() {
 	}
 }
 
-// serveConn handles one slave connection: registration, then responses.
+// serveConn handles one peer connection. A slave opens with a register
+// frame and is served analyze responses; a violation client opens with a
+// violate frame and is served verdicts (service mode).
 func (m *Master) serveConn(conn net.Conn) {
 	defer conn.Close()
 	r := newReader(conn)
 	env, err := readFrame(r)
-	if err != nil || env.Type != typeRegister || env.Slave == "" {
+	if err != nil {
+		return
+	}
+	if env.Type == typeViolate {
+		m.serveViolationConn(conn, r, env)
+		return
+	}
+	if env.Type != typeRegister || env.Slave == "" {
 		return // malformed or impatient peer; drop it
 	}
 	sc := &slaveConn{
@@ -560,8 +570,12 @@ func (m *Master) Components() []string {
 }
 
 // DiagnosisRecord is one past localization kept in the master's journal.
+// Tenant and App are set for localizations that entered through the
+// service-mode violation intake; ad-hoc Localize calls leave them empty.
 type DiagnosisRecord struct {
 	TV        int64          `json:"tv"`
+	Tenant    string         `json:"tenant,omitempty"`
+	App       string         `json:"app,omitempty"`
 	Diagnosis core.Diagnosis `json:"diagnosis"`
 	Degraded  bool           `json:"degraded,omitempty"`
 }
@@ -574,6 +588,40 @@ func (m *Master) History() []DiagnosisRecord {
 	out := make([]DiagnosisRecord, len(m.history))
 	copy(out, m.history)
 	return out
+}
+
+// restoreHistory seeds the master's history with records rebuilt from a
+// journal replay (oldest first). It prepends: localizations already run this
+// process stay newest, and the combined journal is re-bounded to
+// historyLimit.
+func (m *Master) restoreHistory(recs []DiagnosisRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	combined := make([]DiagnosisRecord, 0, len(recs)+len(m.history))
+	combined = append(combined, recs...)
+	combined = append(combined, m.history...)
+	if len(combined) > historyLimit {
+		combined = combined[len(combined)-historyLimit:]
+	}
+	m.history = combined
+}
+
+// attachService registers the service-mode intake so violation connections
+// are routed to it; the latest attached service wins.
+func (m *Master) attachService(s *Service) {
+	m.mu.Lock()
+	m.svc = s
+	m.mu.Unlock()
+}
+
+// service returns the attached service-mode intake, if any.
+func (m *Master) service() *Service {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.svc
 }
 
 // historyLimit bounds the master's diagnosis journal.
@@ -592,6 +640,13 @@ var ErrNoSlaves = errors.New("cluster: no slaves registered")
 // resulting coverage so callers can tell a confident localization from a
 // partial-view one.
 func (m *Master) Localize(ctx context.Context, tv int64) (core.LocalizeResult, error) {
+	return m.localize(ctx, tv, "", "")
+}
+
+// localize is Localize tagged with the service-mode tenant and app that
+// triggered it (both empty for ad-hoc calls); the tags flow into the
+// history record and the journal event.
+func (m *Master) localize(ctx context.Context, tv int64, tenantName, app string) (core.LocalizeResult, error) {
 	var res core.LocalizeResult
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
@@ -864,9 +919,9 @@ collect:
 	tr.End(root)
 	res.Trace = tr
 	m.obs.TraceRing().Add(tr)
-	m.instrumentLocalize(tv, &res)
+	m.instrumentLocalize(tv, tenantName, app, &res)
 	m.mu.Lock()
-	m.history = append(m.history, DiagnosisRecord{TV: tv, Diagnosis: res.Diagnosis, Degraded: res.Degraded})
+	m.history = append(m.history, DiagnosisRecord{TV: tv, Tenant: tenantName, App: app, Diagnosis: res.Diagnosis, Degraded: res.Degraded})
 	if len(m.history) > historyLimit {
 		m.history = m.history[len(m.history)-historyLimit:]
 	}
@@ -876,7 +931,7 @@ collect:
 
 // instrumentLocalize records one completed localization in the sink's
 // metrics, journal, and log (all no-ops without a sink).
-func (m *Master) instrumentLocalize(tv int64, res *core.LocalizeResult) {
+func (m *Master) instrumentLocalize(tv int64, tenantName, app string, res *core.LocalizeResult) {
 	if m.obs == nil {
 		return
 	}
@@ -898,14 +953,19 @@ func (m *Master) instrumentLocalize(tv int64, res *core.LocalizeResult) {
 		"verdict", res.Diagnosis.String(),
 		"slaves", fmt.Sprintf("%d/%d", res.SlavesAnswered, res.SlavesTotal),
 		"degraded", res.Degraded)
-	_ = m.obs.EventJournal().Record("localize", map[string]any{
+	ev := map[string]any{
 		"tv":        tv,
 		"culprits":  res.Diagnosis.CulpritNames(),
 		"external":  res.Diagnosis.ExternalFactor,
 		"chain_len": len(res.Diagnosis.Chain),
 		"slaves":    res.SlavesAnswered,
 		"degraded":  res.Degraded,
-	})
+	}
+	if tenantName != "" {
+		ev["tenant"] = tenantName
+		ev["app"] = app
+	}
+	_ = m.obs.EventJournal().Record("localize", ev)
 }
 
 // askResult is one slave's analyze outcome after retries.

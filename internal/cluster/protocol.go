@@ -30,6 +30,11 @@ const (
 	typePing     = "ping"
 	typePong     = "pong"
 	typeError    = "error"
+	// Service-mode frames: a violation client (an SLO detector) dials the
+	// master and streams violate frames; each is answered by a verdict frame
+	// correlated by ID.
+	typeViolate = "violate"
+	typeVerdict = "verdict"
 )
 
 // envelope is the single frame shape for every message.
@@ -59,17 +64,30 @@ type envelope struct {
 	Reports []core.ComponentReport `json:"reports,omitempty"`
 	UsedTV  int64                  `json:"used_tv,omitempty"`
 
+	// Violate fields. A violate frame reports one SLO violation for App,
+	// owned by Tenant, detected at TV; BudgetMS (above) optionally bounds
+	// how long the client will wait for the verdict. The master answers
+	// with a verdict frame whose Verdict payload is a cluster.Verdict.
+	Tenant  string          `json:"tenant,omitempty"`
+	App     string          `json:"app,omitempty"`
+	Verdict json.RawMessage `json:"verdict,omitempty"`
+
 	// Error fields. Code classifies structured failures so the master can
 	// react without parsing Err ("overloaded" = shed by slave admission
-	// control, "panic" = the analyze handler recovered a panic).
+	// control, "panic" = the analyze handler recovered a panic, and the
+	// service-mode intake codes below).
 	Err  string `json:"err,omitempty"`
 	Code string `json:"code,omitempty"`
 }
 
 // Error frame classification codes.
 const (
-	codeOverloaded = "overloaded"
-	codePanic      = "panic"
+	codeOverloaded    = "overloaded"
+	codePanic         = "panic"
+	codeUnknownTenant = "unknown_tenant"
+	codeQuota         = "quota"
+	codeDraining      = "draining"
+	codeNoService     = "no_service"
 )
 
 // frameLimit bounds a single frame to keep a misbehaving peer from forcing

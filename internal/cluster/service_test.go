@@ -1,0 +1,677 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fchain/internal/core"
+	"fchain/internal/obs"
+	"fchain/internal/tenant"
+)
+
+// serviceHarness is a Service over a journaling sink with the cluster
+// fan-out replaced by a controllable fake, so service-layer behavior
+// (coalescing, caching, quotas, replay) is tested without a slave fleet.
+type serviceHarness struct {
+	svc     *Service
+	master  *Master
+	sink    *obs.Sink
+	journal string
+	calls   atomic.Int64 // fake localizations started
+}
+
+func newServiceHarness(t *testing.T, journalPath string, cfg ServiceConfig) *serviceHarness {
+	t.Helper()
+	if journalPath == "" {
+		journalPath = filepath.Join(t.TempDir(), "journal.jsonl")
+	}
+	sink, err := obs.NewSink(io.Discard, "error", journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sink.EventJournal().Close() })
+	h := &serviceHarness{
+		master:  NewMaster(core.Config{}, nil, WithMasterObs(sink)),
+		sink:    sink,
+		journal: journalPath,
+	}
+	h.svc = NewService(h.master, cfg)
+	h.svc.localizeFn = h.fakeLocalize
+	return h
+}
+
+// fakeLocalize produces a deterministic diagnosis derived from tv, so tests
+// can assert byte-identical re-serving.
+func (h *serviceHarness) fakeLocalize(ctx context.Context, tv int64, tenantName, app string) (core.LocalizeResult, error) {
+	h.calls.Add(1)
+	return core.LocalizeResult{
+		Diagnosis: core.Diagnosis{Culprits: []core.Culprit{{
+			Component: "db", Onset: tv - 3, Reason: "source", Confidence: 1,
+		}}},
+	}, nil
+}
+
+// journalCount tallies service journal events for one tenant, optionally
+// filtered by verdict source.
+func (h *serviceHarness) journalCount(t *testing.T, eventType, tenantName, source string) int {
+	t.Helper()
+	events, err := obs.ReadJournal(h.journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, ev := range events {
+		if ev.Type != eventType {
+			continue
+		}
+		var data struct {
+			Tenant string `json:"tenant"`
+			Source string `json:"source"`
+		}
+		if json.Unmarshal(ev.Data, &data) != nil {
+			continue
+		}
+		if data.Tenant == tenantName && (source == "" || data.Source == source) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestServiceCoalescingBoundaries drives the coalescing decision through its
+// tv-window boundaries: a follower joins an in-flight localization only for
+// the same (tenant, app) and a tv within the coalesce window of the leader.
+func TestServiceCoalescingBoundaries(t *testing.T) {
+	const window = int64(30)
+	cases := []struct {
+		name     string
+		tenant2  string
+		app2     string
+		tvDelta  int64
+		coalesce bool
+	}{
+		{"same tv", "t1", "shop", 0, true},
+		{"inside window", "t1", "shop", window - 1, true},
+		{"exactly at window", "t1", "shop", window, true},
+		{"one past window", "t1", "shop", window + 1, false},
+		{"different app", "t1", "billing", 0, false},
+		{"different tenant", "t2", "shop", 0, false},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newServiceHarness(t, "", ServiceConfig{CoalesceWindow: window, CacheSize: -1})
+			block := make(chan struct{})
+			started := make(chan struct{}, 4)
+			h.svc.localizeFn = func(ctx context.Context, tv int64, tenantName, app string) (core.LocalizeResult, error) {
+				started <- struct{}{}
+				<-block
+				return h.fakeLocalize(ctx, tv, tenantName, app)
+			}
+			// Fresh tv range per case so nothing carries across subtests.
+			leaderTV := int64(10000 * (i + 1))
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+
+			type outcome struct {
+				v   *Verdict
+				err error
+			}
+			leadCh := make(chan outcome, 1)
+			go func() {
+				v, err := h.svc.Submit(ctx, "t1", "shop", leaderTV)
+				leadCh <- outcome{v, err}
+			}()
+			<-started // leader's localization is in flight
+
+			followCh := make(chan outcome, 1)
+			go func() {
+				v, err := h.svc.Submit(ctx, tc.tenant2, tc.app2, leaderTV+tc.tvDelta)
+				followCh <- outcome{v, err}
+			}()
+			if tc.coalesce {
+				select {
+				case <-started:
+					t.Error("follower started its own localization, want coalesced")
+				case <-time.After(100 * time.Millisecond):
+				}
+			} else {
+				select {
+				case <-started:
+				case <-time.After(2 * time.Second):
+					t.Error("follower never started its own localization")
+				}
+			}
+			close(block)
+			lead, follow := <-leadCh, <-followCh
+			if lead.err != nil || follow.err != nil {
+				t.Fatalf("submit errors: leader=%v follower=%v", lead.err, follow.err)
+			}
+			if lead.v.Source != "live" {
+				t.Errorf("leader source = %q, want live", lead.v.Source)
+			}
+			if tc.coalesce {
+				if follow.v.Source != "coalesced" {
+					t.Errorf("follower source = %q, want coalesced", follow.v.Source)
+				}
+				if follow.v.TV != leaderTV {
+					t.Errorf("coalesced verdict tv = %d, want leader's %d", follow.v.TV, leaderTV)
+				}
+				if !bytes.Equal(follow.v.Diagnosis, lead.v.Diagnosis) {
+					t.Error("coalesced diagnosis differs from leader's")
+				}
+				if got := h.calls.Load(); got != 1 {
+					t.Errorf("localizations = %d, want 1 (shared)", got)
+				}
+			} else {
+				if follow.v.Source != "live" {
+					t.Errorf("follower source = %q, want live", follow.v.Source)
+				}
+				if got := h.calls.Load(); got != 2 {
+					t.Errorf("localizations = %d, want 2 (independent)", got)
+				}
+			}
+		})
+	}
+}
+
+// TestServiceWaiterCancellation cancels a coalesced waiter mid-flight: the
+// waiter unblocks with its context error, the leader's localization keeps
+// running, and its verdict_served journal record still covers the canceled
+// waiter's accepted sequence number.
+func TestServiceWaiterCancellation(t *testing.T) {
+	h := newServiceHarness(t, "", ServiceConfig{CoalesceWindow: 30})
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	h.svc.localizeFn = func(ctx context.Context, tv int64, tenantName, app string) (core.LocalizeResult, error) {
+		started <- struct{}{}
+		<-block
+		return h.fakeLocalize(ctx, tv, tenantName, app)
+	}
+	leadCh := make(chan error, 1)
+	go func() {
+		_, err := h.svc.Submit(context.Background(), "t1", "shop", 1000)
+		leadCh <- err
+	}()
+	<-started
+
+	waitCtx, cancelWaiter := context.WithCancel(context.Background())
+	waitCh := make(chan error, 1)
+	go func() {
+		_, err := h.svc.Submit(waitCtx, "t1", "shop", 1005)
+		waitCh <- err
+	}()
+	// The waiter must be coalesced (no second localization) before we
+	// cancel it.
+	select {
+	case <-started:
+		t.Fatal("waiter was not coalesced")
+	case <-time.After(100 * time.Millisecond):
+	}
+	cancelWaiter()
+	select {
+	case err := <-waitCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("canceled waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled waiter did not unblock")
+	}
+
+	close(block)
+	if err := <-leadCh; err != nil {
+		t.Fatalf("leader failed: %v", err)
+	}
+	// The leader's verdict record still covers both accepted seqs, so a
+	// replay would not re-run the canceled waiter's violation.
+	events, err := obs.ReadJournal(h.journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev.Type != "verdict_served" {
+			continue
+		}
+		var rec servedRecord
+		if err := json.Unmarshal(ev.Data, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.AcceptSeqs) != 2 {
+			t.Errorf("verdict_served covers %v, want both accepted seqs", rec.AcceptSeqs)
+		}
+		return
+	}
+	t.Error("no verdict_served event journaled")
+}
+
+// TestServiceVerdictCacheTTL exercises the LRU verdict cache: a same-bucket
+// violation re-serves the cached verdict byte-identically, and advancing the
+// clock past the TTL expires it.
+func TestServiceVerdictCacheTTL(t *testing.T) {
+	h := newServiceHarness(t, "", ServiceConfig{CoalesceWindow: 30, CacheTTL: 5 * time.Minute})
+	now := time.Unix(50_000, 0)
+	h.svc.SetClock(func() time.Time { return now })
+	ctx := context.Background()
+
+	first, err := h.svc.Submit(ctx, "t1", "shop", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Source != "live" {
+		t.Fatalf("first verdict source = %q, want live", first.Source)
+	}
+	// tv 1015 lands in the same 30s bucket as 1000 (1000/30 == 1015/30 == 33).
+	cached, err := h.svc.Submit(ctx, "t1", "shop", 1015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Source != "cache" {
+		t.Errorf("second verdict source = %q, want cache", cached.Source)
+	}
+	if !bytes.Equal(cached.Diagnosis, first.Diagnosis) {
+		t.Errorf("cached diagnosis not byte-identical:\n%s\n%s", first.Diagnosis, cached.Diagnosis)
+	}
+	if cached.TV != first.TV {
+		t.Errorf("cached verdict tv = %d, want original %d", cached.TV, first.TV)
+	}
+	if got := h.calls.Load(); got != 1 {
+		t.Errorf("localizations = %d, want 1", got)
+	}
+
+	now = now.Add(5*time.Minute + time.Second) // past the TTL
+	fresh, err := h.svc.Submit(ctx, "t1", "shop", 1010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Source != "live" {
+		t.Errorf("post-TTL verdict source = %q, want live", fresh.Source)
+	}
+	if got := h.calls.Load(); got != 2 {
+		t.Errorf("localizations after TTL = %d, want 2", got)
+	}
+	if got := h.svc.counter("t1", "cached").Value(); got != 1 {
+		t.Errorf("cached counter = %d, want 1", got)
+	}
+}
+
+// TestServiceCacheLRUEviction fills the cache past its capacity and checks
+// the oldest bucket was evicted.
+func TestServiceCacheLRUEviction(t *testing.T) {
+	h := newServiceHarness(t, "", ServiceConfig{CoalesceWindow: 30, CacheSize: 2})
+	ctx := context.Background()
+	for i := int64(0); i < 3; i++ {
+		if _, err := h.svc.Submit(ctx, "t1", "shop", 1000+100*i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.svc.cache.len(); got != 2 {
+		t.Fatalf("cache holds %d entries, want capacity 2", got)
+	}
+	// The first bucket (tv 1000) was evicted: same-bucket resubmit localizes.
+	before := h.calls.Load()
+	v, err := h.svc.Submit(ctx, "t1", "shop", 1001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Source != "live" || h.calls.Load() != before+1 {
+		t.Errorf("evicted bucket served source=%q calls=%d, want a fresh localization", v.Source, h.calls.Load()-before)
+	}
+}
+
+// TestServiceQuotaFairness floods one tenant and drips another: the flooder
+// is shed down to its token bucket, the quiet tenant succeeds at p100.
+func TestServiceQuotaFairness(t *testing.T) {
+	h := newServiceHarness(t, "", ServiceConfig{
+		Tenants:        []string{"loud", "quiet"},
+		QuotaPerMinute: 60,
+		QuotaBurst:     5,
+		CacheSize:      -1,
+		CoalesceWindow: 1, // effectively no coalescing for spaced tvs
+	})
+	now := time.Unix(90_000, 0)
+	h.svc.SetClock(func() time.Time { return now }) // static: no refill
+	ctx := context.Background()
+
+	admitted, shed := 0, 0
+	for i := int64(0); i < 50; i++ {
+		_, err := h.svc.Submit(ctx, "loud", "shop", 1000+100*i)
+		switch {
+		case err == nil:
+			admitted++
+		case errors.Is(err, tenant.ErrQuota):
+			shed++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if admitted != 5 || shed != 45 {
+		t.Errorf("loud tenant: admitted=%d shed=%d, want 5/45", admitted, shed)
+	}
+	for i := int64(0); i < 5; i++ {
+		if _, err := h.svc.Submit(ctx, "quiet", "web", 2000+100*i); err != nil {
+			t.Errorf("quiet tenant violation %d shed while flooder saturated: %v", i, err)
+		}
+	}
+	if got := h.svc.counter("quiet", "shed").Value(); got != 0 {
+		t.Errorf("quiet shed counter = %d, want 0", got)
+	}
+	if got := h.svc.counter("loud", "shed").Value(); got != 45 {
+		t.Errorf("loud shed counter = %d, want 45", got)
+	}
+	if _, err := h.svc.Submit(ctx, "stranger", "web", 1); !errors.Is(err, tenant.ErrUnknown) {
+		t.Errorf("outsider tenant error = %v, want ErrUnknown", err)
+	}
+}
+
+// TestServiceReplay crashes a service after one served verdict and one
+// accepted-but-failed violation, then replays the journal in a fresh
+// process: the served verdict is re-served byte-identically from the rebuilt
+// cache, the failed violation is re-run, and history is restored.
+func TestServiceReplay(t *testing.T) {
+	journalPath := filepath.Join(t.TempDir(), "journal.jsonl")
+	clock := time.Unix(70_000, 0)
+
+	// First life: appA serves, appB's localization dies before a verdict.
+	h1 := newServiceHarness(t, journalPath, ServiceConfig{CoalesceWindow: 30})
+	h1.svc.SetClock(func() time.Time { return clock })
+	served, err := h1.svc.Submit(context.Background(), "t1", "appA", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1.svc.localizeFn = func(ctx context.Context, tv int64, tenantName, app string) (core.LocalizeResult, error) {
+		return core.LocalizeResult{}, errors.New("slave fleet lost")
+	}
+	if _, err := h1.svc.Submit(context.Background(), "t1", "appB", 2000); err == nil {
+		t.Fatal("appB submit should have failed")
+	}
+	if err := h1.sink.EventJournal().Close(); err != nil { // "crash"
+		t.Fatal(err)
+	}
+
+	// Second life over the same journal.
+	h2 := newServiceHarness(t, journalPath, ServiceConfig{CoalesceWindow: 30})
+	h2.svc.SetClock(func() time.Time { return clock.Add(time.Minute) }) // within TTL
+	stats, err := h2.svc.Replay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheRestored != 1 {
+		t.Errorf("CacheRestored = %d, want 1", stats.CacheRestored)
+	}
+	if stats.Rerun != 1 || stats.RerunFailed != 0 {
+		t.Errorf("Rerun = %d (failed %d), want 1 rerun of appB", stats.Rerun, stats.RerunFailed)
+	}
+	if stats.HistoryRestored != 1 {
+		t.Errorf("HistoryRestored = %d, want 1", stats.HistoryRestored)
+	}
+	hist := h2.master.History()
+	if len(hist) != 1 || hist[0].App != "appA" || hist[0].Tenant != "t1" {
+		t.Errorf("restored history = %+v, want appA record", hist)
+	}
+
+	// The pre-crash verdict re-serves byte-identically from the cache.
+	again, err := h2.svc.Submit(context.Background(), "t1", "appA", 1010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Source != "cache" {
+		t.Errorf("re-served source = %q, want cache", again.Source)
+	}
+	if !bytes.Equal(again.Diagnosis, served.Diagnosis) {
+		t.Errorf("re-served diagnosis not byte-identical:\n%s\n%s", served.Diagnosis, again.Diagnosis)
+	}
+	if h2.calls.Load() != 1 { // only appB's re-run localized
+		t.Errorf("second life localizations = %d, want 1", h2.calls.Load())
+	}
+	// appB's re-run was journaled as a replay-sourced verdict, so a third
+	// replay would find nothing pending.
+	if got := h2.journalCount(t, "verdict_served", "t1", "replay"); got != 1 {
+		t.Errorf("replay-sourced verdict_served events = %d, want 1", got)
+	}
+
+	// A second replay in the same process re-runs nothing and must not
+	// duplicate history.
+	stats2, err := h2.svc.Replay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Rerun != 0 || stats2.RerunFailed != 0 {
+		t.Errorf("second replay re-ran %d (+%d failed), want 0", stats2.Rerun, stats2.RerunFailed)
+	}
+	if got := len(h2.master.History()); got != 1 {
+		t.Errorf("history after double replay = %d records, want 1", got)
+	}
+}
+
+// TestServiceWireProtocol drives the violate/verdict frames over real TCP:
+// verdicts round-trip, and namespace/quota/drain rejections map back to the
+// service sentinels through errors.Is.
+func TestServiceWireProtocol(t *testing.T) {
+	h := newServiceHarness(t, "", ServiceConfig{
+		Tenants:        []string{"t1"},
+		QuotaPerMinute: 60,
+		QuotaBurst:     2,
+	})
+	now := time.Unix(80_000, 0)
+	h.svc.SetClock(func() time.Time { return now })
+	if err := h.master.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer h.master.Close()
+	client, err := DialService(h.master.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	v, err := client.Violate(ctx, "t1", "shop", 1000)
+	if err != nil {
+		t.Fatalf("violate: %v", err)
+	}
+	if v.Source != "live" || v.Tenant != "t1" || v.App != "shop" {
+		t.Errorf("verdict = %+v, want live t1/shop", v)
+	}
+	if d, err := v.Decode(); err != nil || len(d.Culprits) != 1 || d.Culprits[0].Component != "db" {
+		t.Errorf("decoded diagnosis = %+v (err %v), want db culprit", d, err)
+	}
+
+	if _, err := client.Violate(ctx, "nobody", "shop", 1000); !errors.Is(err, tenant.ErrUnknown) {
+		t.Errorf("unknown tenant error = %v, want ErrUnknown", err)
+	}
+	// Bucket of 2: one token left, then quota.
+	if _, err := client.Violate(ctx, "t1", "shop", 5000); err != nil {
+		t.Fatalf("second violation: %v", err)
+	}
+	if _, err := client.Violate(ctx, "t1", "shop", 9000); !errors.Is(err, tenant.ErrQuota) {
+		t.Errorf("over-quota error = %v, want ErrQuota", err)
+	}
+	if left := h.svc.Drain(time.Second); left != 0 {
+		t.Errorf("drain left %d in flight", left)
+	}
+	now = now.Add(time.Hour) // refill tokens: rejection must be the drain, not quota
+	if _, err := client.Violate(ctx, "t1", "shop", 13000); !errors.Is(err, ErrDraining) {
+		t.Errorf("draining error = %v, want ErrDraining", err)
+	}
+}
+
+// TestMasterWithoutServiceRejectsViolations checks the wire answer when no
+// Service is attached.
+func TestMasterWithoutServiceRejectsViolations(t *testing.T) {
+	m := NewMaster(core.Config{}, nil)
+	if err := m.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	client, err := DialService(m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := client.Violate(ctx, "t1", "shop", 1000); !errors.Is(err, ErrNoService) {
+		t.Errorf("no-service error = %v, want ErrNoService", err)
+	}
+}
+
+// TestServiceSoak hammers the service from 12 tenants concurrently (flooding
+// and quiet mixed), then reconciles the per-tenant counters against the
+// write-ahead journal exactly: every accepted violation is covered by
+// exactly one verdict, shed/coalesced/cached counts match their journal
+// events one for one, and no goroutines leak. Run with -race.
+func TestServiceSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	baseline := runtime.NumGoroutine()
+	h := newServiceHarness(t, "", ServiceConfig{
+		QuotaPerMinute: 60,
+		QuotaBurst:     10,
+		CoalesceWindow: 30,
+		CacheTTL:       time.Hour,
+	})
+	now := time.Unix(100_000, 0)
+	h.svc.SetClock(func() time.Time { return now }) // static: quota = burst exactly
+	h.svc.localizeFn = func(ctx context.Context, tv int64, tenantName, app string) (core.LocalizeResult, error) {
+		time.Sleep(time.Millisecond) // keep flights overlapping
+		return h.fakeLocalize(ctx, tv, tenantName, app)
+	}
+
+	const tenants = 12
+	apps := []string{"shop", "billing", "search"}
+	var wg sync.WaitGroup
+	var unexpected atomic.Int64
+	submissions := make([]int, tenants)
+	for ti := 0; ti < tenants; ti++ {
+		n := 30
+		if ti == tenants-1 {
+			n = 5 // the quiet tenant stays under its burst
+		}
+		submissions[ti] = n
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(ti, i int) {
+				defer wg.Done()
+				tenantName := fmt.Sprintf("tenant-%02d", ti)
+				app := apps[i%len(apps)]
+				tv := int64(1000 + 10*i)
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				_, err := h.svc.Submit(ctx, tenantName, app, tv)
+				if err != nil && !errors.Is(err, tenant.ErrQuota) {
+					t.Errorf("tenant %s violation %d: %v", tenantName, i, err)
+					unexpected.Add(1)
+				}
+			}(ti, i)
+		}
+	}
+	wg.Wait()
+
+	events, err := obs.ReadJournal(h.journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type tally struct{ accepted, shed, coalesced, cached, servedSeqs int }
+	byTenant := make(map[string]*tally)
+	get := func(name string) *tally {
+		if byTenant[name] == nil {
+			byTenant[name] = &tally{}
+		}
+		return byTenant[name]
+	}
+	seqOwner := make(map[int64]string) // accepted seq -> tenant
+	coveredSeqs := make(map[int64]int) // accepted seq -> times served
+	for _, ev := range events {
+		var data struct {
+			Tenant     string  `json:"tenant"`
+			Source     string  `json:"source"`
+			AcceptSeqs []int64 `json:"accept_seqs"`
+		}
+		if err := json.Unmarshal(ev.Data, &data); err != nil {
+			continue
+		}
+		switch ev.Type {
+		case "violation_accepted":
+			get(data.Tenant).accepted++
+			seqOwner[ev.Seq] = data.Tenant
+		case "violation_shed":
+			get(data.Tenant).shed++
+		case "violation_coalesced":
+			get(data.Tenant).coalesced++
+		case "verdict_served":
+			if data.Source == "cache" {
+				get(data.Tenant).cached++
+			}
+			for _, seq := range data.AcceptSeqs {
+				coveredSeqs[seq]++
+				get(seqOwner[seq]).servedSeqs++
+			}
+		case "verdict_failed":
+			t.Errorf("unexpected verdict_failed event: %s", ev.Data)
+		}
+	}
+
+	total := 0
+	for ti := 0; ti < tenants; ti++ {
+		name := fmt.Sprintf("tenant-%02d", ti)
+		tl := get(name)
+		total += submissions[ti]
+		// Counters must reconcile with the journal exactly.
+		for outcome, journaled := range map[string]int{
+			"accepted":  tl.accepted,
+			"shed":      tl.shed,
+			"coalesced": tl.coalesced,
+			"cached":    tl.cached,
+		} {
+			if got := h.svc.counter(name, outcome).Value(); got != int64(journaled) {
+				t.Errorf("%s: counter %s = %d, journal says %d", name, outcome, got, journaled)
+			}
+		}
+		if tl.accepted+tl.shed != submissions[ti] {
+			t.Errorf("%s: accepted %d + shed %d != %d submitted", name, tl.accepted, tl.shed, submissions[ti])
+		}
+		if tl.servedSeqs != tl.accepted {
+			t.Errorf("%s: %d accepted seqs but %d covered by verdicts", name, tl.accepted, tl.servedSeqs)
+		}
+		// Fair shedding: the static clock makes each bucket exactly its
+		// burst, so flooders shed all but 10 and the quiet tenant sheds 0.
+		wantShed := submissions[ti] - 10
+		if wantShed < 0 {
+			wantShed = 0
+		}
+		if tl.shed != wantShed {
+			t.Errorf("%s: shed %d of %d, want %d", name, tl.shed, submissions[ti], wantShed)
+		}
+	}
+	for seq, n := range coveredSeqs {
+		if n != 1 {
+			t.Errorf("accepted seq %d covered by %d verdicts, want exactly 1", seq, n)
+		}
+	}
+	if unexpected.Load() > 0 {
+		t.Fatalf("%d unexpected submit errors", unexpected.Load())
+	}
+
+	// Every Submit returned; the service holds no goroutines of its own.
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > baseline+2 {
+		t.Errorf("goroutines leaked: baseline=%d after=%d", baseline, after)
+	}
+	if left := h.svc.Drain(time.Second); left != 0 {
+		t.Errorf("drain left %d in flight after soak", left)
+	}
+}

@@ -25,13 +25,22 @@ type Sink struct {
 // w, a fresh metrics registry, a small ring of recent traces, and — when
 // journalPath is non-empty — a JSONL event journal at that path.
 func NewSink(w io.Writer, level string, journalPath string) (*Sink, error) {
+	return NewSinkRotating(w, level, journalPath, 0, 0)
+}
+
+// NewSinkRotating is NewSink with a journal size cap: the journal rotates to
+// journalPath.1, .2, ... (keeping at most keep generations) once an append
+// pushes it past maxBytes. maxBytes <= 0 never rotates. Long-lived
+// service-mode masters use it so the write-ahead journal cannot grow without
+// bound.
+func NewSinkRotating(w io.Writer, level string, journalPath string, maxBytes int64, keep int) (*Sink, error) {
 	s := &Sink{
 		Log:     NewLogger(w, ParseLevel(level)),
 		Metrics: NewRegistry(),
 		Traces:  NewTraceRing(16),
 	}
 	if journalPath != "" {
-		j, err := OpenJournal(journalPath)
+		j, err := OpenJournalRotating(journalPath, maxBytes, keep)
 		if err != nil {
 			return nil, err
 		}
@@ -82,6 +91,9 @@ type DebugConfig struct {
 	// Health, when non-nil, contributes extra fields to /healthz's JSON
 	// body (e.g. the master's per-slave liveness map).
 	Health func() any
+	// History, when non-nil, backs /history (e.g. the master's past
+	// localizations, tenant/app-tagged in service mode); nil serves 404.
+	History func() any
 }
 
 // DebugServer is the opt-in HTTP introspection endpoint a daemon exposes
@@ -98,6 +110,7 @@ type DebugServer struct {
 //
 //	/metrics        Prometheus text exposition of cfg.Registry
 //	/healthz        {"status":"ok","uptime_s":...} plus cfg.Health() fields
+//	/history        cfg.History() as JSON (e.g. past localizations)
 //	/trace/last     most recent pipeline trace, as JSON
 //	/trace/all      every retained trace, oldest first
 //	/debug/pprof/*  the standard pprof handlers
@@ -121,6 +134,13 @@ func StartDebug(addr string, cfg DebugConfig) (*DebugServer, error) {
 			body["detail"] = cfg.Health()
 		}
 		writeJSON(w, http.StatusOK, body)
+	})
+	mux.HandleFunc("/history", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.History == nil {
+			http.Error(w, "no history source configured", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, cfg.History())
 	})
 	mux.HandleFunc("/trace/last", func(w http.ResponseWriter, req *http.Request) {
 		t := cfg.Traces.Last()

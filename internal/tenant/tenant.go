@@ -1,0 +1,178 @@
+// Package tenant implements the multi-tenant namespace and quota layer of
+// FChain's service mode. A long-lived master serves SLO-violation streams
+// from many applications owned by many tenants at once; this package decides,
+// per violation, whether the submitting tenant exists and whether it still
+// has quota — before any cluster fan-out spends slave budget on it.
+//
+// Quotas are per-tenant token buckets: each tenant refills at a configured
+// violations-per-minute rate up to a burst cap, and every admitted violation
+// spends one token. Buckets are independent, so shedding is fair by
+// construction — a flooding tenant drains only its own bucket and a quiet
+// tenant's violations keep localizing at full rate.
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrUnknown reports a violation submitted under a tenant name outside the
+// configured namespace (or an empty name).
+var ErrUnknown = errors.New("tenant: unknown tenant")
+
+// ErrQuota reports a violation shed because the tenant's token bucket is
+// empty: the tenant exceeded its violations-per-minute quota.
+var ErrQuota = errors.New("tenant: quota exceeded")
+
+// Quota is one tenant's admission budget. PerMinute is the sustained
+// violation rate; Burst is the bucket capacity (how many violations may
+// arrive back to back after an idle stretch). Burst <= 0 defaults to
+// PerMinute, and PerMinute <= 0 means unlimited.
+type Quota struct {
+	PerMinute float64
+	Burst     float64
+}
+
+// unlimited reports whether the quota admits everything.
+func (q Quota) unlimited() bool { return q.PerMinute <= 0 }
+
+// cap returns the effective bucket capacity.
+func (q Quota) cap() float64 {
+	if q.Burst > 0 {
+		return q.Burst
+	}
+	return q.PerMinute
+}
+
+// bucket is one tenant's token bucket state.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Registry is the tenant namespace plus per-tenant admission state. The zero
+// value is unusable; construct with NewRegistry. All methods are safe for
+// concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	allowed map[string]bool // nil = open namespace (any non-empty name)
+	quota   Quota
+	clock   func() time.Time
+	buckets map[string]*bucket
+}
+
+// NewRegistry builds a registry. allowed lists the tenants the service
+// accepts; empty means the namespace is open and any non-empty tenant name is
+// admitted (its bucket is created on first use). quota applies to every
+// tenant independently.
+func NewRegistry(allowed []string, quota Quota) *Registry {
+	r := &Registry{
+		quota:   quota,
+		clock:   time.Now,
+		buckets: make(map[string]*bucket),
+	}
+	if len(allowed) > 0 {
+		r.allowed = make(map[string]bool, len(allowed))
+		for _, name := range allowed {
+			if name != "" {
+				r.allowed[name] = true
+			}
+		}
+	}
+	return r
+}
+
+// SetClock overrides the registry's time source (tests pin it to drive
+// refill deterministically).
+func (r *Registry) SetClock(clock func() time.Time) {
+	if clock == nil {
+		return
+	}
+	r.mu.Lock()
+	r.clock = clock
+	r.mu.Unlock()
+}
+
+// Admit charges one violation against tenant's bucket. It returns nil when
+// admitted, ErrUnknown for a name outside the namespace, or ErrQuota when
+// the bucket is empty.
+func (r *Registry) Admit(tenant string) error {
+	if tenant == "" {
+		return fmt.Errorf("%w: empty tenant name", ErrUnknown)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.allowed != nil && !r.allowed[tenant] {
+		return fmt.Errorf("%w: %q", ErrUnknown, tenant)
+	}
+	now := r.clock()
+	b, ok := r.buckets[tenant]
+	if !ok {
+		// Created even under an unlimited quota, so Tenants() reports every
+		// open-namespace tenant ever admitted.
+		b = &bucket{tokens: r.quota.cap(), last: now}
+		r.buckets[tenant] = b
+	}
+	if r.quota.unlimited() {
+		return nil
+	}
+	if ok {
+		if dt := now.Sub(b.last); dt > 0 {
+			b.tokens += dt.Seconds() * r.quota.PerMinute / 60
+			if max := r.quota.cap(); b.tokens > max {
+				b.tokens = max
+			}
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return fmt.Errorf("%w: tenant %q over %.3g/min", ErrQuota, tenant, r.quota.PerMinute)
+	}
+	b.tokens--
+	return nil
+}
+
+// Tokens returns tenant's current bucket level without charging it (refill
+// applied up to now). Unlimited quotas report +Inf-like behavior as the cap 0.
+func (r *Registry) Tokens(tenant string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.quota.unlimited() {
+		return 0
+	}
+	b, ok := r.buckets[tenant]
+	if !ok {
+		return r.quota.cap()
+	}
+	tokens := b.tokens
+	if dt := r.clock().Sub(b.last); dt > 0 {
+		tokens += dt.Seconds() * r.quota.PerMinute / 60
+		if max := r.quota.cap(); tokens > max {
+			tokens = max
+		}
+	}
+	return tokens
+}
+
+// Tenants returns every tenant the registry has state for — the configured
+// namespace plus any open-namespace tenants seen so far — sorted.
+func (r *Registry) Tenants() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[string]bool, len(r.allowed)+len(r.buckets))
+	for name := range r.allowed {
+		seen[name] = true
+	}
+	for name := range r.buckets {
+		seen[name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,88 @@
+package tenant
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestOpenNamespaceAdmitsAnyName(t *testing.T) {
+	r := NewRegistry(nil, Quota{})
+	for _, name := range []string{"a", "team-x", "z"} {
+		if err := r.Admit(name); err != nil {
+			t.Errorf("Admit(%q) in open namespace: %v", name, err)
+		}
+	}
+	if err := r.Admit(""); !errors.Is(err, ErrUnknown) {
+		t.Errorf("Admit(\"\") = %v, want ErrUnknown", err)
+	}
+}
+
+func TestClosedNamespaceRejectsOutsiders(t *testing.T) {
+	r := NewRegistry([]string{"alpha", "beta"}, Quota{})
+	if err := r.Admit("alpha"); err != nil {
+		t.Errorf("Admit(alpha): %v", err)
+	}
+	if err := r.Admit("mallory"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("Admit(mallory) = %v, want ErrUnknown", err)
+	}
+}
+
+func TestQuotaBucketRefillsOverTime(t *testing.T) {
+	now := time.Unix(1000, 0)
+	r := NewRegistry(nil, Quota{PerMinute: 60, Burst: 2}) // 1 token/s, bucket of 2
+	r.SetClock(func() time.Time { return now })
+
+	for i := 0; i < 2; i++ {
+		if err := r.Admit("t"); err != nil {
+			t.Fatalf("burst admit %d: %v", i, err)
+		}
+	}
+	if err := r.Admit("t"); !errors.Is(err, ErrQuota) {
+		t.Fatalf("bucket empty, Admit = %v, want ErrQuota", err)
+	}
+
+	now = now.Add(1 * time.Second) // refills exactly one token
+	if err := r.Admit("t"); err != nil {
+		t.Fatalf("after 1s refill: %v", err)
+	}
+	if err := r.Admit("t"); !errors.Is(err, ErrQuota) {
+		t.Fatalf("token spent again, Admit = %v, want ErrQuota", err)
+	}
+
+	now = now.Add(time.Hour) // refill far past the cap
+	if got := r.Tokens("t"); got > 2 {
+		t.Fatalf("bucket overfilled past burst cap: %v tokens", got)
+	}
+}
+
+func TestQuotaIsPerTenant(t *testing.T) {
+	now := time.Unix(0, 0)
+	r := NewRegistry(nil, Quota{PerMinute: 60, Burst: 1})
+	r.SetClock(func() time.Time { return now })
+	if err := r.Admit("loud"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Admit("loud"); !errors.Is(err, ErrQuota) {
+		t.Fatalf("loud should be out of tokens, got %v", err)
+	}
+	// A different tenant's bucket is untouched by loud's spending.
+	if err := r.Admit("quiet"); err != nil {
+		t.Fatalf("quiet tenant sheds with loud's bucket empty: %v", err)
+	}
+}
+
+func TestTenantsListsNamespaceAndSeen(t *testing.T) {
+	r := NewRegistry([]string{"beta", "alpha"}, Quota{})
+	_ = r.Admit("beta")
+	if got, want := r.Tenants(), []string{"alpha", "beta"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Tenants() = %v, want %v", got, want)
+	}
+	open := NewRegistry(nil, Quota{})
+	_ = open.Admit("zeta")
+	_ = open.Admit("eta")
+	if got, want := open.Tenants(), []string{"eta", "zeta"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("open Tenants() = %v, want %v", got, want)
+	}
+}
