@@ -17,6 +17,14 @@
 //	history                     print past localizations (tenant/app-tagged)
 //	quit                        shut down
 //
+// Sharded placement: with -vnodes N the master owns component placement —
+// slaves connect empty (fchain-slave -sharded), components are announced
+// with the `register` console command, and a consistent-hash ring with N
+// virtual nodes per slave assigns each component an owner. Membership
+// changes trigger checkpoint-handoff rebalancing (bounded by
+// -handoff-timeout/-handoff-retries, automatic unless -auto-rebalance=false);
+// `rebalance` and `assignments` drive and inspect placement manually.
+//
 // Service mode: the master always runs the multi-tenant violation intake
 // (violate frames over the listener, `violate` on the console). -tenants
 // closes the namespace, -tenant-quota/-tenant-burst set per-tenant token
@@ -81,6 +89,11 @@ type config struct {
 	verdictTTL     time.Duration
 	replay         bool
 	drain          time.Duration
+
+	vnodes         int
+	handoffTimeout time.Duration
+	handoffRetries int
+	autoRebalance  bool
 }
 
 func main() {
@@ -107,6 +120,10 @@ func main() {
 	flag.DurationVar(&cfg.verdictTTL, "verdict-ttl", 5*time.Minute, "how long a cached verdict stays servable")
 	flag.BoolVar(&cfg.replay, "replay", false, "replay the journal at startup: restore the verdict cache and history, re-run accepted-but-unserved violations")
 	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight localizations")
+	flag.IntVar(&cfg.vnodes, "vnodes", 0, "enable master-driven component placement over a consistent-hash ring with this many virtual nodes per slave (0 disables sharding; slaves then bring their own component lists)")
+	flag.DurationVar(&cfg.handoffTimeout, "handoff-timeout", 5*time.Second, "per-component checkpoint handoff deadline during a rebalance; an expired handoff cold-starts on the new owner")
+	flag.IntVar(&cfg.handoffRetries, "handoff-retries", 1, "extra attempts a failed checkpoint handoff gets before the new owner cold-starts")
+	flag.BoolVar(&cfg.autoRebalance, "auto-rebalance", true, "with -vnodes: rebalance automatically on slave join/leave/eviction (off, placement changes only on the rebalance command)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-master:", err)
@@ -131,13 +148,22 @@ func run(cfg config) error {
 		deps = g
 		fmt.Printf("loaded dependency graph: %s\n", deps)
 	}
-	master := fchain.NewMaster(fchain.DefaultConfig(), deps,
+	masterOpts := []fchain.MasterOption{
 		fchain.WithHeartbeat(cfg.heartbeat, cfg.hbMisses),
 		fchain.WithLocalizeRetries(cfg.retries),
 		fchain.WithLocalizeTimeout(cfg.timeout),
 		fchain.WithQuorum(cfg.quorum),
 		fchain.WithAdmission(cfg.inflight, cfg.admitQ),
-		fchain.WithMasterObs(sink))
+		fchain.WithMasterObs(sink),
+	}
+	if cfg.vnodes > 0 {
+		masterOpts = append(masterOpts,
+			fchain.WithSharding(cfg.vnodes),
+			fchain.WithHandoffTimeout(cfg.handoffTimeout),
+			fchain.WithHandoffRetries(cfg.handoffRetries),
+			fchain.WithAutoRebalance(cfg.autoRebalance))
+	}
+	master := fchain.NewMaster(fchain.DefaultConfig(), deps, masterOpts...)
 	var tenants []string
 	if cfg.tenants != "" {
 		for _, t := range strings.Split(cfg.tenants, ",") {
@@ -183,7 +209,7 @@ func run(cfg config) error {
 		log.Info("debug server listening", "addr", dbg.Addr())
 	}
 	fmt.Printf("fchain-master listening on %s\n", master.Addr())
-	fmt.Println("commands: slaves | health | localize <tv> | violate <tenant> <app> <tv> | replay | history | quit")
+	fmt.Println("commands: slaves | health | localize <tv> | violate <tenant> <app> <tv> | replay | history | register <comp,...> | rebalance | assignments | quit")
 
 	// Console lines and termination signals merge into one loop so
 	// SIGINT/SIGTERM can interrupt a blocked stdin read and drain cleanly.
@@ -298,6 +324,44 @@ func run(cfg config) error {
 					mark = " (degraded)"
 				}
 				fmt.Printf("  tv=%d%s %s%s\n", rec.TV, tag, rec.Diagnosis, mark)
+			}
+		case "register":
+			if cfg.vnodes <= 0 {
+				fmt.Println("register requires sharded placement (-vnodes > 0)")
+				continue
+			}
+			if len(fields) != 2 {
+				fmt.Println("usage: register <comp[,comp...]>")
+				continue
+			}
+			var comps []string
+			for _, c := range strings.Split(fields[1], ",") {
+				if c = strings.TrimSpace(c); c != "" {
+					comps = append(comps, c)
+				}
+			}
+			master.RegisterComponents(comps...)
+			fmt.Printf("  registered %d components (%d total); run `rebalance` to place them\n",
+				len(comps), master.RegisteredComponents())
+		case "rebalance":
+			if cfg.vnodes <= 0 {
+				fmt.Println("rebalance requires sharded placement (-vnodes > 0)")
+				continue
+			}
+			moved, err := master.Rebalance()
+			if err != nil {
+				fmt.Println("rebalance failed:", err)
+				continue
+			}
+			fmt.Printf("  rebalanced: %d components moved\n", moved)
+		case "assignments":
+			if cfg.vnodes <= 0 {
+				fmt.Println("assignments requires sharded placement (-vnodes > 0)")
+				continue
+			}
+			asn := master.Assignments()
+			for _, owner := range sortedKeys(asn) {
+				fmt.Printf("  %s: %d components %v\n", owner, len(asn[owner]), asn[owner])
 			}
 		case "quit", "exit":
 			shutdown("quit command")

@@ -24,6 +24,13 @@
 //
 //	some-collector | fchain-slave -name host1 -components web,app1 -master 10.0.0.1:7070
 //
+// Topology: with -sharded the slave starts empty and the master (running
+// with -vnodes) assigns it components over the consistent-hash ring, moving
+// model state along on rebalances. With -via NAME -aggregator ADDR the slave
+// reports through an aggregator tier: it registers the aggregator's name
+// with the master and additionally connects to the aggregator, which fans
+// the master's analyze requests out over that second connection.
+//
 // Observability: -debug-addr starts an HTTP introspection server
 // (Prometheus /metrics with ingest/analyze counters, /healthz, the most
 // recent analysis traces, pprof), -journal appends JSONL events (analyze
@@ -64,15 +71,18 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "HTTP debug server address serving /metrics, /healthz, /trace/last and pprof (empty disables)")
 		journal    = flag.String("journal", "", "append machine-readable JSONL events to this file (empty disables)")
 		logLevel   = flag.String("log-level", "info", "stderr log level: debug, info, warn, error")
+		sharded    = flag.Bool("sharded", false, "start with no components of your own: the master assigns them over its consistent-hash ring (requires a master started with -vnodes)")
+		via        = flag.String("via", "", "aggregator name this slave reports through (tree topology)")
+		aggAddr    = flag.String("aggregator", "", "aggregator address to also connect to (required with -via)")
 	)
 	flag.Parse()
-	if err := run(*name, *components, *master, *skew, *backoff, *backoffMax, *ckptDir, *ckptEvery, *reorder, *parallel, *inflight, *admitQ, *quarCool, *debugAddr, *journal, *logLevel); err != nil {
+	if err := run(*name, *components, *master, *skew, *backoff, *backoffMax, *ckptDir, *ckptEvery, *reorder, *parallel, *inflight, *admitQ, *quarCool, *debugAddr, *journal, *logLevel, *sharded, *via, *aggAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-slave:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, components, master string, skew int64, backoff, backoffMax time.Duration, ckptDir string, ckptEvery time.Duration, reorder, parallel, inflight, admitQ int, quarCool time.Duration, debugAddr, journalPath, logLevel string) error {
+func run(name, components, master string, skew int64, backoff, backoffMax time.Duration, ckptDir string, ckptEvery time.Duration, reorder, parallel, inflight, admitQ int, quarCool time.Duration, debugAddr, journalPath, logLevel string, sharded bool, via, aggAddr string) error {
 	if name == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -80,9 +90,18 @@ func run(name, components, master string, skew int64, backoff, backoffMax time.D
 		}
 		name = host
 	}
-	comps := strings.Split(components, ",")
-	if components == "" || len(comps) == 0 {
-		return fmt.Errorf("-components is required")
+	var comps []string
+	if components != "" {
+		comps = strings.Split(components, ",")
+	}
+	if len(comps) == 0 && !sharded {
+		return fmt.Errorf("-components is required (or pass -sharded to let the master assign them)")
+	}
+	if len(comps) > 0 && sharded {
+		return fmt.Errorf("-sharded and -components are mutually exclusive: the master owns placement")
+	}
+	if (via == "") != (aggAddr == "") {
+		return fmt.Errorf("-via and -aggregator must be set together")
 	}
 	sink, err := obs.NewSink(os.Stderr, logLevel, journalPath)
 	if err != nil {
@@ -107,6 +126,9 @@ func run(name, components, master string, skew int64, backoff, backoffMax time.D
 	if inflight > 0 {
 		opts = append(opts, fchain.WithSlaveAdmission(inflight, admitQ))
 	}
+	if via != "" {
+		opts = append(opts, fchain.WithVia(via))
+	}
 	cfg := fchain.DefaultConfig()
 	cfg.ReorderWindow = reorder
 	cfg.Parallelism = parallel
@@ -119,6 +141,13 @@ func run(name, components, master string, skew int64, backoff, backoffMax time.D
 		return err
 	}
 	defer slave.Close()
+	if aggAddr != "" {
+		// Second registration: the subtree connection the aggregator fans
+		// analyze requests out over (the master routes via the -via name).
+		if err := slave.Connect(aggAddr); err != nil {
+			return err
+		}
+	}
 	if debugAddr != "" {
 		dbg, err := obs.StartDebug(debugAddr, obs.DebugConfig{
 			Registry: sink.Registry(),

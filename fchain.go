@@ -332,6 +332,65 @@ var (
 	ErrQuorumNotMet = cluster.ErrQuorumNotMet
 )
 
+// OverloadedError is the concrete error behind ErrOverloaded sheds: it
+// carries the RetryAfter backoff hint derived from the admission queue depth
+// at shed time, reconstructed on the client side of the wire. Match with
+// errors.Is(err, ErrOverloaded) and extract with errors.As.
+type OverloadedError = cluster.OverloadedError
+
+// WithSharding puts the master in charge of component placement: components
+// registered with RegisterComponents are assigned to slaves by a
+// consistent-hash ring with the given number of virtual nodes per member
+// (<= 0 takes the default 128), ownership is enforced at Observe and
+// Analyze, and membership changes trigger checkpoint-handoff rebalancing.
+func WithSharding(vnodes int) MasterOption { return cluster.WithSharding(vnodes) }
+
+// WithHandoffTimeout bounds each per-component checkpoint handoff
+// (export -> restore -> ack) during a rebalance (default 5s); a handoff that
+// cannot finish in time falls back to a cold start on the new owner.
+func WithHandoffTimeout(d time.Duration) MasterOption { return cluster.WithHandoffTimeout(d) }
+
+// WithHandoffRetries sets how many extra attempts a failed checkpoint
+// handoff gets before the new owner cold-starts (default 1).
+func WithHandoffRetries(n int) MasterOption { return cluster.WithHandoffRetries(n) }
+
+// WithAutoRebalance toggles automatic rebalancing on membership change
+// (default on when sharding is enabled); off, placement changes only when
+// Rebalance is called.
+func WithAutoRebalance(on bool) MasterOption { return cluster.WithAutoRebalance(on) }
+
+// Aggregator is the optional middle tier of the master/slave topology: it
+// registers with the master as the upstream of a slave subtree, fans the
+// master's analyze requests out to its subtree, and merges the answers into
+// one reply. A dead aggregator costs nothing but the tree: the master falls
+// back to the slaves' direct connections mid-localization.
+type Aggregator = cluster.Aggregator
+
+// AggregatorOption configures an Aggregator.
+type AggregatorOption = cluster.AggregatorOption
+
+// WithSubtreeQuorum sets the aggregator's subtree answer quorum as a
+// fraction in (0, 1]; <= 0 (the default) waits for every requested slave
+// within the budget.
+func WithSubtreeQuorum(frac float64) AggregatorOption { return cluster.WithSubtreeQuorum(frac) }
+
+// WithAggregatorBackoff overrides the aggregator's master-reconnect backoff
+// bounds.
+func WithAggregatorBackoff(initial, max time.Duration) AggregatorOption {
+	return cluster.WithAggregatorBackoff(initial, max)
+}
+
+// WithAggregatorObs attaches an observability sink to the aggregator.
+func WithAggregatorObs(sink *ObservabilitySink) AggregatorOption {
+	return cluster.WithAggregatorObs(sink)
+}
+
+// NewAggregator creates an aggregator; call Start to listen for subtree
+// slaves and Connect to register with the master.
+func NewAggregator(name string, opts ...AggregatorOption) *Aggregator {
+	return cluster.NewAggregator(name, opts...)
+}
+
 // WithMasterObs attaches an observability sink to the master: every
 // Localize records a trace into the ring, updates the metrics registry,
 // and journals its verdict; slave lifecycle events are logged.
@@ -405,6 +464,12 @@ const (
 	StateReconnecting = cluster.StateReconnecting
 	StateClosed       = cluster.StateClosed
 )
+
+// WithVia names the aggregator this slave reports through: the slave
+// registers the name with the master (which then routes analyze requests for
+// it via that aggregator) and should additionally Connect to the
+// aggregator's own address.
+func WithVia(aggregator string) SlaveOption { return cluster.WithVia(aggregator) }
 
 // WithStateCallback registers a connection-state observer on the slave.
 func WithStateCallback(fn func(state ConnState, err error)) SlaveOption {

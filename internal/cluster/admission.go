@@ -3,7 +3,9 @@ package cluster
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrOverloaded reports that admission control shed the request before any
@@ -11,6 +13,35 @@ import (
 // was full (or waiting was pointless because the caller's deadline expired
 // first). Callers should back off rather than retry immediately.
 var ErrOverloaded = errors.New("cluster: overloaded, request shed")
+
+// OverloadedError is an overload shed carrying a backoff hint: RetryAfter
+// scales with the admission queue depth at shed time, so a saturated daemon
+// tells its clients how long to stay away instead of being hot-looped back
+// into the ground. errors.Is(err, ErrOverloaded) matches it.
+type OverloadedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", ErrOverloaded, e.RetryAfter)
+}
+
+// Is lets errors.Is treat every OverloadedError as ErrOverloaded.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// retryAfterQuantum is the per-queued-waiter backoff unit behind Retry-After
+// hints: each request already waiting ahead is charged one quantum.
+const retryAfterQuantum = 250 * time.Millisecond
+
+// retryAfterHint derives the backoff hint from the gate's backlog, capped at
+// max (<= 0 leaves the hint uncapped).
+func (g *gate) retryAfterHint(max time.Duration) time.Duration {
+	hint := time.Duration(g.depth()+1) * retryAfterQuantum
+	if max > 0 && hint > max {
+		hint = max
+	}
+	return hint
+}
 
 // ErrQuorumNotMet reports that fewer slaves answered before the deadline
 // than the configured quorum requires, so no diagnosis was produced.
@@ -44,6 +75,16 @@ func newGate(limit, queueCap int) *gate {
 		queueCap = 0
 	}
 	return &gate{limit: limit, queueCap: queueCap}
+}
+
+// depth returns the number of queued waiters (0 for a nil gate).
+func (g *gate) depth() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.waiters)
 }
 
 // tryAcquire claims a slot without waiting.

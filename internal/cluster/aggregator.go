@@ -1,0 +1,509 @@
+package cluster
+
+// The aggregator tier turns the master's fan-in into a tree (master →
+// aggregators → slaves): each aggregator accepts registrations from its own
+// subtree of slaves, and answers the master's subtree analyze requests by
+// fanning out to those slaves and merging their reports into per-slave
+// sub-answers. The merge is lossless — each sub-answer carries the slave's
+// own reports, clock echo, and answer latency — so the master's per-slave
+// accounting (quorum, clock-offset normalization, coverage, latency
+// histograms) is unchanged by the tree. Slaves keep a direct master
+// connection too; an aggregator dying mid-localization only costs the master
+// a fallback to direct asks.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fchain/internal/obs"
+)
+
+// Aggregator is one mid-tier fan-in node. It is addressed by name: slaves
+// register with it like they register with the master, and the master routes
+// a subtree analyze to it for every slave whose register frame carried
+// Via=name.
+type Aggregator struct {
+	name   string
+	quorum float64 // subtree answer quorum fraction; <= 0 waits for all
+
+	dial           func(addr string) (net.Conn, error)
+	backoffInitial time.Duration
+	backoffMax     time.Duration
+	obs            *obs.Sink
+
+	ln         net.Listener
+	reqCounter atomic.Uint64
+
+	mu       sync.Mutex
+	slaves   map[string]*slaveConn
+	cancelUp context.CancelFunc
+	upW      *connWriter
+	closed   bool
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// AggregatorOption configures an Aggregator.
+type AggregatorOption func(*Aggregator)
+
+// WithSubtreeQuorum sets the aggregator's subtree quorum as a fraction in
+// (0, 1]: a subtree analyze answers upstream once that share of the
+// requested slaves responded plus a short straggler grace, charging the rest
+// as per-slave errors. frac <= 0 (the default) waits for every requested
+// slave within the budget.
+func WithSubtreeQuorum(frac float64) AggregatorOption {
+	return func(a *Aggregator) {
+		if frac > 1 {
+			frac = 1
+		}
+		a.quorum = frac
+	}
+}
+
+// WithAggregatorDialer overrides how the aggregator dials the master; chaos
+// tests inject fault-wrapped connections through this.
+func WithAggregatorDialer(dial func(addr string) (net.Conn, error)) AggregatorOption {
+	return func(a *Aggregator) { a.dial = dial }
+}
+
+// WithAggregatorBackoff overrides the upstream reconnect backoff bounds.
+func WithAggregatorBackoff(initial, max time.Duration) AggregatorOption {
+	return func(a *Aggregator) {
+		if initial > 0 {
+			a.backoffInitial = initial
+		}
+		if max > 0 {
+			a.backoffMax = max
+		}
+	}
+}
+
+// WithAggregatorObs attaches an observability sink.
+func WithAggregatorObs(sink *obs.Sink) AggregatorOption {
+	return func(a *Aggregator) { a.obs = sink }
+}
+
+// NewAggregator creates an aggregator named name.
+func NewAggregator(name string, opts ...AggregatorOption) *Aggregator {
+	a := &Aggregator{
+		name: name,
+		dial: func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		},
+		backoffInitial: defaultBackoffInitial,
+		backoffMax:     defaultBackoffMax,
+		slaves:         make(map[string]*slaveConn),
+		stop:           make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Start begins listening for subtree slave registrations on addr.
+func (a *Aggregator) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: aggregator listen: %w", err)
+	}
+	a.Serve(ln)
+	return nil
+}
+
+// Serve starts the aggregator on an already-created listener (chaos tests
+// inject fault-wrapped listeners this way).
+func (a *Aggregator) Serve(ln net.Listener) {
+	a.ln = ln
+	a.wg.Add(1)
+	go a.acceptLoop()
+}
+
+// Addr returns the slave-facing listening address, valid after Start.
+func (a *Aggregator) Addr() string {
+	if a.ln == nil {
+		return ""
+	}
+	return a.ln.Addr().String()
+}
+
+// Slaves returns the names of the subtree slaves currently registered,
+// sorted.
+func (a *Aggregator) Slaves() []string {
+	a.mu.Lock()
+	out := make([]string, 0, len(a.slaves))
+	for name := range a.slaves {
+		out = append(out, name)
+	}
+	a.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+func (a *Aggregator) acceptLoop() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			return
+		}
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					a.obs.Logger().Error("aggregator connection handler panicked", "panic", fmt.Sprint(r))
+					_ = conn.Close()
+				}
+			}()
+			a.serveSlaveConn(conn)
+		}()
+	}
+}
+
+// serveSlaveConn handles one subtree slave's connection: register, then
+// route its responses to their pending asks.
+func (a *Aggregator) serveSlaveConn(conn net.Conn) {
+	defer conn.Close()
+	r := newReader(conn)
+	env, err := readFrame(r)
+	if err != nil || env.Type != typeRegister || env.Slave == "" {
+		return
+	}
+	sc := &slaveConn{
+		name:    env.Slave,
+		w:       newConnWriter(conn),
+		pending: make(map[uint64]chan *envelope),
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	if old := a.slaves[sc.name]; old != nil {
+		_ = old.w.conn.Close()
+		defer old.failAll(fmt.Sprintf("slave %s re-registered", sc.name))
+	}
+	a.slaves[sc.name] = sc
+	a.mu.Unlock()
+	a.obs.Logger().Info("subtree slave registered", "aggregator", a.name, "slave", sc.name)
+	defer func() {
+		a.mu.Lock()
+		if a.slaves[sc.name] == sc {
+			delete(a.slaves, sc.name)
+		}
+		a.mu.Unlock()
+		a.obs.Logger().Warn("subtree slave disconnected", "aggregator", a.name, "slave", sc.name)
+		sc.failAll(fmt.Sprintf("slave %s disconnected", sc.name))
+	}()
+	for {
+		env, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		switch env.Type {
+		case typeReports, typeError, typePong:
+			if ch, ok := sc.takePending(env.ID); ok {
+				ch <- env
+			}
+		case typePing:
+			_ = sc.w.write(&envelope{Type: typePong, ID: env.ID}, 5*time.Second)
+		}
+	}
+}
+
+// Connect dials the master, registers as an aggregator, and serves subtree
+// analyze requests in the background, re-dialing with capped exponential
+// backoff when the connection drops.
+func (a *Aggregator) Connect(masterAddr string) error {
+	w, err := a.dialRegister(masterAddr)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		cancel()
+		w.conn.Close()
+		return fmt.Errorf("cluster: aggregator %s is closed", a.name)
+	}
+	a.cancelUp = cancel
+	a.upW = w
+	a.mu.Unlock()
+	a.wg.Add(1)
+	go a.manageUpstream(ctx, masterAddr, w)
+	return nil
+}
+
+func (a *Aggregator) dialRegister(addr string) (*connWriter, error) {
+	conn, err := a.dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: aggregator dial: %w", err)
+	}
+	w := newConnWriter(conn)
+	reg := &envelope{Type: typeRegister, Slave: a.name, Role: roleAggregator}
+	if err := w.write(reg, 10*time.Second); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// manageUpstream serves the master connection and re-dials on failure until
+// ctx is canceled or the aggregator closes.
+func (a *Aggregator) manageUpstream(ctx context.Context, addr string, w *connWriter) {
+	defer a.wg.Done()
+	for {
+		err := a.serveUpstream(w)
+		w.conn.Close()
+		a.mu.Lock()
+		closed := a.closed
+		a.mu.Unlock()
+		if closed || ctx.Err() != nil {
+			return
+		}
+		a.obs.Logger().Warn("master connection lost", "aggregator", a.name, "err", err)
+		delay := a.backoffInitial
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-a.stop:
+				return
+			case <-time.After(jitter(delay)):
+			}
+			next, err := a.dialRegister(addr)
+			if err == nil {
+				a.mu.Lock()
+				if a.closed {
+					a.mu.Unlock()
+					next.conn.Close()
+					return
+				}
+				a.upW = next
+				a.mu.Unlock()
+				w = next
+				break
+			}
+			delay *= 2
+			if delay > a.backoffMax {
+				delay = a.backoffMax
+			}
+		}
+	}
+}
+
+// serveUpstream answers the master's requests until the connection fails.
+func (a *Aggregator) serveUpstream(w *connWriter) error {
+	r := newReader(w.conn)
+	for {
+		env, err := readFrame(r)
+		if err != nil {
+			return err
+		}
+		switch env.Type {
+		case typeAnalyze:
+			a.wg.Add(1)
+			go a.handleSubtreeAnalyze(w, env)
+		case typePing:
+			if err := w.write(&envelope{Type: typePong, ID: env.ID}, 5*time.Second); err != nil {
+				return err
+			}
+		default:
+			resp := &envelope{Type: typeError, ID: env.ID, Err: fmt.Sprintf("unknown request %q", env.Type)}
+			if err := w.write(resp, 10*time.Second); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// handleSubtreeAnalyze fans one analyze request out to the requested subtree
+// slaves and answers with one sub-entry per slave. The subtree quorum (plus
+// the same straggler grace the master uses) bounds how long a slow minority
+// can hold the whole subtree's answer; slaves this aggregator has never seen
+// — or that miss the budget — are answered as per-slave errors so the master
+// can fall back to its direct connections for exactly those members.
+func (a *Aggregator) handleSubtreeAnalyze(w *connWriter, env *envelope) {
+	defer a.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			a.obs.Logger().Error("subtree analyze panicked", "aggregator", a.name, "panic", fmt.Sprint(r))
+			_ = w.write(&envelope{Type: typeError, ID: env.ID, Code: codePanic,
+				Err: fmt.Sprintf("aggregator %s: analyze panicked: %v", a.name, r)}, 10*time.Second)
+		}
+	}()
+	budget := 30 * time.Second
+	if env.BudgetMS > 0 {
+		budget = time.Duration(env.BudgetMS) * time.Millisecond
+	}
+	deadline := time.Now().Add(budget)
+
+	a.mu.Lock()
+	conns := make(map[string]*slaveConn, len(env.Subtree))
+	for _, name := range env.Subtree {
+		if sc := a.slaves[name]; sc != nil {
+			conns[name] = sc
+		}
+	}
+	a.mu.Unlock()
+
+	subs := make([]subAnswer, 0, len(env.Subtree))
+	results := make(chan subAnswer, len(conns))
+	for _, name := range env.Subtree {
+		sc, ok := conns[name]
+		if !ok {
+			subs = append(subs, subAnswer{Slave: name,
+				Err: fmt.Sprintf("cluster: slave %s not connected to aggregator %s", name, a.name)})
+			continue
+		}
+		go func(sc *slaveConn) {
+			results <- a.askSubtreeSlave(sc, env.TV, env.LookBack, deadline)
+		}(sc)
+	}
+
+	need := 0
+	if a.quorum > 0 && len(conns) > 0 {
+		need = int(math.Ceil(a.quorum * float64(len(conns))))
+		if need < 1 {
+			need = 1
+		}
+		if need > len(conns) {
+			need = len(conns)
+		}
+	}
+	answered := 0
+	got := make(map[string]bool, len(conns))
+	collected := 0
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+collect:
+	for collected < len(conns) {
+		var s subAnswer
+		select {
+		case s = <-results:
+		case <-timer.C:
+			break collect
+		case <-a.stop:
+			break collect
+		}
+		collected++
+		got[s.Slave] = true
+		subs = append(subs, s)
+		if s.Err == "" {
+			answered++
+		}
+		if need > 0 && answered >= need {
+			grace := quorumGraceCap
+			if rem := time.Until(deadline) / 4; rem < grace {
+				grace = rem
+			}
+			if grace <= 0 {
+				break collect
+			}
+			gt := time.NewTimer(grace)
+			for collected < len(conns) {
+				select {
+				case s := <-results:
+					collected++
+					got[s.Slave] = true
+					subs = append(subs, s)
+				case <-gt.C:
+					break collect
+				case <-a.stop:
+					gt.Stop()
+					break collect
+				}
+			}
+			gt.Stop()
+			break collect
+		}
+	}
+	for name := range conns {
+		if !got[name] {
+			subs = append(subs, subAnswer{Slave: name,
+				Err: fmt.Sprintf("cluster: slave %s: deadline exceeded", name)})
+		}
+	}
+	sort.Slice(subs, func(i, j int) bool { return subs[i].Slave < subs[j].Slave })
+	a.obs.Registry().Counter("fchain_subtree_analyze_total", "Subtree analyze requests served.").Inc()
+	_ = w.write(&envelope{Type: typeReports, ID: env.ID, Sub: subs}, 30*time.Second)
+}
+
+// askSubtreeSlave sends one analyze to a subtree slave and waits for its
+// answer within the deadline, restating the remaining budget in the slave's
+// clock exactly like the master does.
+func (a *Aggregator) askSubtreeSlave(sc *slaveConn, tv int64, lookBack int, deadline time.Time) subAnswer {
+	wait := time.Until(deadline)
+	if wait <= 0 {
+		return subAnswer{Slave: sc.name, Err: fmt.Sprintf("cluster: slave %s: deadline exceeded", sc.name)}
+	}
+	budgetMS := wait.Milliseconds()
+	if budgetMS < 1 {
+		budgetMS = 1
+	}
+	id := a.reqCounter.Add(1)
+	ch := make(chan *envelope, 1)
+	if !sc.addPending(id, ch) {
+		return subAnswer{Slave: sc.name, Err: fmt.Sprintf("cluster: slave %s disconnected", sc.name)}
+	}
+	start := time.Now()
+	req := &envelope{Type: typeAnalyze, ID: id, TV: tv, LookBack: lookBack, BudgetMS: budgetMS}
+	if err := sc.w.write(req, wait); err != nil {
+		sc.removePending(id)
+		return subAnswer{Slave: sc.name, Err: err.Error()}
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case env := <-ch:
+		if env.Type == typeError {
+			return subAnswer{Slave: sc.name, Err: env.Err, Code: env.Code}
+		}
+		// UsedTV passes the slave's clock echo through untouched: the
+		// aggregator's own clock must never enter the master's offset math.
+		return subAnswer{Slave: sc.name, Reports: env.Reports, UsedTV: env.UsedTV,
+			WaitNS: time.Since(start).Nanoseconds()}
+	case <-timer.C:
+		sc.removePending(id)
+		return subAnswer{Slave: sc.name, Err: fmt.Sprintf("cluster: slave %s timed out", sc.name)}
+	case <-a.stop:
+		sc.removePending(id)
+		return subAnswer{Slave: sc.name, Err: "cluster: aggregator closed"}
+	}
+}
+
+// Close shuts the aggregator down and waits for its goroutines.
+func (a *Aggregator) Close() error {
+	a.mu.Lock()
+	if !a.closed {
+		a.closed = true
+		close(a.stop)
+	}
+	cancel := a.cancelUp
+	// Closing the upstream connection unblocks serveUpstream's pending read;
+	// without it wg.Wait would deadlock against a healthy master link.
+	if a.upW != nil {
+		_ = a.upW.conn.Close()
+	}
+	for _, sc := range a.slaves {
+		_ = sc.w.conn.Close()
+	}
+	a.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	var err error
+	if a.ln != nil {
+		err = a.ln.Close()
+	}
+	a.wg.Wait()
+	return err
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -45,12 +46,26 @@ type Master struct {
 	admit         *gate
 	slaveInflight int
 
+	// Sharded mode (shard.go): vnodes > 0 places every known component on a
+	// consistent-hash ring over the registered slaves, and membership
+	// changes trigger incremental rebalancing with checkpoint handoffs.
+	shardVnodes    int
+	handoffTimeout time.Duration
+	handoffRetries int
+	autoRebalance  bool
+
+	rebalanceMu  sync.Mutex    // serializes rebalance passes
+	rebalanceReq chan struct{} // buffered(1) trigger for the auto-rebalance loop
+	handoffHook  atomic.Pointer[func(comp, from, to string)]
+
 	reqCounter atomic.Uint64
 
 	mu      sync.Mutex
 	slaves  map[string]*slaveConn
-	known   map[string]bool // every component ever registered
-	evicted map[string]bool // slaves lost since their last registration
+	aggs    map[string]*slaveConn // registered aggregators by name
+	known   map[string]bool       // every component ever registered
+	owner   map[string]string     // sharded mode: component -> owning slave
+	evicted map[string]bool       // slaves lost since their last registration
 	closed  bool
 	history []DiagnosisRecord
 	svc     *Service // service-mode intake; nil until a Service attaches
@@ -153,10 +168,54 @@ func WithMasterObs(sink *obs.Sink) MasterOption {
 	return func(m *Master) { m.obs = sink }
 }
 
-// slaveConn is the master-side state of one registered slave.
+// WithSharding enables sharded placement: every known component is assigned
+// to exactly one slave by a consistent-hash ring with vnodes virtual nodes
+// per member (vnodes <= 0 selects DefaultVnodes), membership changes trigger
+// incremental rebalancing with checkpoint handoffs (see shard.go), and
+// Localize counts only each component's owner's report.
+func WithSharding(vnodes int) MasterOption {
+	return func(m *Master) {
+		if vnodes <= 0 {
+			vnodes = DefaultVnodes
+		}
+		m.shardVnodes = vnodes
+	}
+}
+
+// WithHandoffTimeout bounds each step of a model handoff (export, restore,
+// assign ack) during rebalancing (default 5s).
+func WithHandoffTimeout(d time.Duration) MasterOption {
+	return func(m *Master) {
+		if d > 0 {
+			m.handoffTimeout = d
+		}
+	}
+}
+
+// WithHandoffRetries sets how many extra attempts a failed handoff gets
+// before the recipient cold-starts the component (default 2).
+func WithHandoffRetries(n int) MasterOption {
+	return func(m *Master) {
+		if n >= 0 {
+			m.handoffRetries = n
+		}
+	}
+}
+
+// WithAutoRebalance controls whether membership changes trigger rebalancing
+// automatically (the default). Disabled, placement changes only when the
+// caller invokes Rebalance — tests use this to make move windows
+// deterministic.
+func WithAutoRebalance(on bool) MasterOption {
+	return func(m *Master) { m.autoRebalance = on }
+}
+
+// slaveConn is the master-side state of one registered peer (a slave or an
+// aggregator — both speak the same correlated request/response protocol).
 type slaveConn struct {
 	name       string
 	components []string
+	via        string // aggregator this slave also answers through ("" = direct only)
 	w          *connWriter
 
 	mu       sync.Mutex
@@ -288,10 +347,18 @@ func NewMaster(cfg core.Config, deps *depgraph.Graph, opts ...MasterOption) *Mas
 		brThreshold:   3,
 		brCooldown:    10 * time.Second,
 		slaveInflight: 8,
-		slaves:        make(map[string]*slaveConn),
-		evicted:       make(map[string]bool),
-		known:         make(map[string]bool),
-		stop:          make(chan struct{}),
+
+		handoffTimeout: 5 * time.Second,
+		handoffRetries: 2,
+		autoRebalance:  true,
+		rebalanceReq:   make(chan struct{}, 1),
+
+		slaves:  make(map[string]*slaveConn),
+		aggs:    make(map[string]*slaveConn),
+		evicted: make(map[string]bool),
+		known:   make(map[string]bool),
+		owner:   make(map[string]string),
+		stop:    make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(m)
@@ -319,6 +386,10 @@ func (m *Master) Serve(ln net.Listener) {
 	if m.hbInterval > 0 {
 		m.wg.Add(1)
 		go m.heartbeatLoop()
+	}
+	if m.sharded() && m.autoRebalance {
+		m.wg.Add(1)
+		go m.rebalanceLoop()
 	}
 }
 
@@ -369,9 +440,14 @@ func (m *Master) serveConn(conn net.Conn) {
 	if env.Type != typeRegister || env.Slave == "" {
 		return // malformed or impatient peer; drop it
 	}
+	if env.Role == roleAggregator {
+		m.serveAggregator(conn, r, env)
+		return
+	}
 	sc := &slaveConn{
 		name:       env.Slave,
 		components: append([]string(nil), env.Components...),
+		via:        env.Via,
 		w:          newConnWriter(conn),
 		pending:    make(map[uint64]chan *envelope),
 	}
@@ -393,10 +469,35 @@ func (m *Master) serveConn(conn net.Conn) {
 		m.known[comp] = true
 	}
 	registered := len(m.slaves)
+	var owned []string
+	if m.sharded() {
+		// The rejoining slave follows the current placement until the
+		// rebalance triggered below moves anything; pushing its owned set
+		// immediately re-creates its monitors (restoring from shared
+		// checkpoints where available) so it answers the next Localize.
+		for comp, own := range m.owner {
+			if own == sc.name {
+				owned = append(owned, comp)
+			}
+		}
+		sort.Strings(owned)
+	}
 	m.mu.Unlock()
-	m.obs.Logger().Info("slave registered", "slave", sc.name, "components", len(sc.components))
+	m.obs.Logger().Info("slave registered", "slave", sc.name, "components", len(sc.components), "via", sc.via)
 	m.obs.Registry().Gauge("fchain_slaves_registered", "Currently registered slaves.").Set(float64(registered))
 	_ = m.obs.EventJournal().Record("slave_registered", map[string]any{"slave": sc.name, "components": sc.components})
+	if m.sharded() {
+		m.obs.Registry().Gauge("fchain_cluster_members", "Slaves on the placement ring.").Set(float64(registered))
+		_ = m.obs.EventJournal().Record("member_joined", map[string]any{"slave": sc.name})
+		if owned != nil {
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				_, _ = m.call(sc, &envelope{Type: typeAssign, Components: owned}, m.handoffTimeout)
+			}()
+		}
+		m.triggerRebalance()
+	}
 	defer func() {
 		m.mu.Lock()
 		if m.slaves[sc.name] == sc {
@@ -406,20 +507,33 @@ func (m *Master) serveConn(conn net.Conn) {
 			}
 		}
 		remaining := len(m.slaves)
+		closed := m.closed
 		m.mu.Unlock()
 		m.obs.Logger().Warn("slave disconnected", "slave", sc.name)
 		m.obs.Registry().Gauge("fchain_slaves_registered", "Currently registered slaves.").Set(float64(remaining))
 		_ = m.obs.EventJournal().Record("slave_disconnected", map[string]any{"slave": sc.name})
+		if m.sharded() && !closed {
+			m.obs.Registry().Gauge("fchain_cluster_members", "Slaves on the placement ring.").Set(float64(remaining))
+			_ = m.obs.EventJournal().Record("member_evicted", map[string]any{"slave": sc.name})
+			m.triggerRebalance()
+		}
 		sc.failAll(fmt.Sprintf("slave %s disconnected", sc.name))
 	}()
 
+	m.servePeerFrames(r, sc)
+}
+
+// servePeerFrames routes a registered peer's inbound frames until the
+// connection dies: responses (reports, errors, pongs, handoff state and
+// acks) resolve their pending request; pings are answered in place.
+func (m *Master) servePeerFrames(r *bufio.Reader, sc *slaveConn) {
 	for {
 		env, err := readFrame(r)
 		if err != nil {
 			return
 		}
 		switch env.Type {
-		case typeReports, typeError, typePong:
+		case typeReports, typeError, typePong, typeState, typeAck:
 			if ch, ok := sc.takePending(env.ID); ok {
 				ch <- env
 			}
@@ -427,6 +541,46 @@ func (m *Master) serveConn(conn net.Conn) {
 			_ = sc.w.write(&envelope{Type: typePong, ID: env.ID}, 5*time.Second)
 		}
 	}
+}
+
+// serveAggregator handles one aggregator's upstream connection: it registers
+// into the aggregator tier (not the slave set — aggregators own no
+// components and do not count toward quorum) and is served like any other
+// correlated-request peer.
+func (m *Master) serveAggregator(conn net.Conn, r *bufio.Reader, env *envelope) {
+	sc := &slaveConn{
+		name:    env.Slave,
+		w:       newConnWriter(conn),
+		pending: make(map[uint64]chan *envelope),
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	if old := m.aggs[sc.name]; old != nil {
+		_ = old.w.conn.Close()
+		defer old.failAll(fmt.Sprintf("aggregator %s re-registered", sc.name))
+	}
+	m.aggs[sc.name] = sc
+	registered := len(m.aggs)
+	m.mu.Unlock()
+	m.obs.Logger().Info("aggregator registered", "aggregator", sc.name)
+	m.obs.Registry().Gauge("fchain_aggregators_registered", "Currently registered aggregators.").Set(float64(registered))
+	_ = m.obs.EventJournal().Record("aggregator_registered", map[string]any{"aggregator": sc.name})
+	defer func() {
+		m.mu.Lock()
+		if m.aggs[sc.name] == sc {
+			delete(m.aggs, sc.name)
+		}
+		remaining := len(m.aggs)
+		m.mu.Unlock()
+		m.obs.Logger().Warn("aggregator disconnected", "aggregator", sc.name)
+		m.obs.Registry().Gauge("fchain_aggregators_registered", "Currently registered aggregators.").Set(float64(remaining))
+		_ = m.obs.EventJournal().Record("aggregator_disconnected", map[string]any{"aggregator": sc.name})
+		sc.failAll(fmt.Sprintf("aggregator %s disconnected", sc.name))
+	}()
+	m.servePeerFrames(r, sc)
 }
 
 // heartbeatLoop probes every registered slave each interval and evicts the
@@ -442,8 +596,11 @@ func (m *Master) heartbeatLoop() {
 		case <-ticker.C:
 		}
 		m.mu.Lock()
-		conns := make([]*slaveConn, 0, len(m.slaves))
+		conns := make([]*slaveConn, 0, len(m.slaves)+len(m.aggs))
 		for _, sc := range m.slaves {
+			conns = append(conns, sc)
+		}
+		for _, sc := range m.aggs {
 			conns = append(conns, sc)
 		}
 		m.mu.Unlock()
@@ -663,7 +820,12 @@ func (m *Master) localize(ctx context.Context, tv int64, tenantName, app string)
 		m.obs.Logger().Warn("localize shed by admission control", "tv", tv, "err", err)
 		_ = m.obs.EventJournal().Record("localize_shed", map[string]any{"tv": tv})
 		if errors.Is(err, ErrOverloaded) {
-			return res, ErrOverloaded
+			// Retry-After hint: each request already queued ahead is one
+			// quantum of delay; the hint never exceeds the localize deadline
+			// (waiting longer than one full cycle is never necessary).
+			hint := m.admit.retryAfterHint(m.localizeTO)
+			res.RetryAfterMS = hint.Milliseconds()
+			return res, &OverloadedError{RetryAfter: hint}
 		}
 		return res, err
 	}
@@ -682,6 +844,10 @@ func (m *Master) localize(ctx context.Context, tv int64, tenantName, app string)
 	for _, sc := range m.slaves {
 		conns = append(conns, sc)
 	}
+	aggConns := make(map[string]*slaveConn, len(m.aggs))
+	for name, sc := range m.aggs {
+		aggConns[name] = sc
+	}
 	// The application's size counts every component ever registered: a
 	// slave that died does not shrink the application, and the
 	// external-factor check must not misread a partial view as "all
@@ -691,6 +857,17 @@ func (m *Master) localize(ctx context.Context, tv int64, tenantName, app string)
 	knownComps := make([]string, 0, len(m.known))
 	for comp := range m.known {
 		knownComps = append(knownComps, comp)
+	}
+	// Sharded mode: the placement at snapshot time decides which slave's
+	// report counts for each component. A component mid-rebalance can be
+	// reported by both its old and new owner for one window; filtering on
+	// the owner map keeps exactly one report per component.
+	var ownerOf map[string]string
+	if m.sharded() && len(m.owner) > 0 {
+		ownerOf = make(map[string]string, len(m.owner))
+		for comp, own := range m.owner {
+			ownerOf[comp] = own
+		}
 	}
 	m.mu.Unlock()
 	sort.Strings(knownComps)
@@ -708,35 +885,30 @@ func (m *Master) localize(ctx context.Context, tv int64, tenantName, app string)
 	if lookBack <= 0 {
 		lookBack = core.DefaultConfig().LookBack
 	}
-	type answer struct {
-		slave   string
-		reports []core.ComponentReport
-		usedTV  int64
-		retries int
-		waitNS  int64
-		err     error
-	}
-	answers := make(chan answer, len(conns))
+	// Group the fan-out into subtree units: slaves registered via a live
+	// aggregator are asked through it (one analyze frame per subtree, the
+	// aggregator answers with per-slave sub-entries); everything else — and
+	// every member of a subtree whose aggregator fails mid-localization —
+	// is asked over its always-present direct connection.
+	answers := make(chan slaveAnswer, len(conns))
+	var direct []*slaveConn
+	units := make(map[*slaveConn][]*slaveConn)
 	for _, sc := range conns {
+		if sc.via != "" {
+			if agg := aggConns[sc.via]; agg != nil && !agg.isDead() {
+				units[agg] = append(units[agg], sc)
+				continue
+			}
+		}
+		direct = append(direct, sc)
+	}
+	for _, sc := range direct {
 		sc := sc
-		go func() {
-			// The per-slave in-flight cap fails fast rather than queueing:
-			// a slave already saturated by overlapping Localize calls would
-			// only answer after this call's budget is gone anyway.
-			if !sc.acquireSlot(m.slaveInflight) {
-				answers <- answer{slave: sc.name, err: fmt.Errorf("cluster: slave %s at in-flight cap", sc.name)}
-				return
-			}
-			defer sc.releaseSlot(m.slaveInflight)
-			if m.brThreshold > 0 && sc.breakerOpen(m.brCooldown) {
-				answers <- answer{slave: sc.name, err: fmt.Errorf("cluster: circuit open for slave %s", sc.name)}
-				return
-			}
-			start := time.Now()
-			a := m.askSlave(ctx, sc, tv, lookBack, attempts, perAttempt)
-			sc.recordResult(a.err == nil, m.brThreshold)
-			answers <- answer{slave: sc.name, reports: a.reports, usedTV: a.usedTV, retries: a.retries, waitNS: time.Since(start).Nanoseconds(), err: a.err}
-		}()
+		go m.askDirect(ctx, sc, tv, lookBack, attempts, perAttempt, answers)
+	}
+	for agg, members := range units {
+		agg, members := agg, members
+		go m.askSubtree(ctx, agg, members, tv, lookBack, attempts, perAttempt, answers)
 	}
 	// The request fans out to every slave at once, so the pool width is the
 	// slave count; the select histogram records each slave's answer latency
@@ -761,11 +933,11 @@ func (m *Master) localize(ctx context.Context, tv int64, tenantName, app string)
 			need = len(conns)
 		}
 	}
-	collected := make([]answer, 0, len(conns))
+	collected := make([]slaveAnswer, 0, len(conns))
 	answered := 0
 collect:
 	for len(collected) < len(conns) {
-		var a answer
+		var a slaveAnswer
 		select {
 		case a = <-answers:
 		case <-ctx.Done():
@@ -812,7 +984,7 @@ collect:
 	}
 	for _, sc := range conns {
 		if !got[sc.name] {
-			collected = append(collected, answer{slave: sc.name, err: fmt.Errorf("cluster: slave %s: deadline exceeded", sc.name)})
+			collected = append(collected, slaveAnswer{slave: sc.name, err: fmt.Errorf("cluster: slave %s: deadline exceeded", sc.name)})
 		}
 	}
 	// Sort by slave name: fan-out answers arrive in racy order, and the ask
@@ -825,6 +997,9 @@ collect:
 		res.Retries += a.retries
 		ask := tr.Start(root, "ask:"+a.slave)
 		tr.AttrInt(ask, "retries", int64(a.retries))
+		if a.via != "" {
+			tr.Attr(ask, "via", a.via)
+		}
 		if a.err != nil {
 			tr.Attr(ask, "error", a.err.Error())
 			tr.End(ask)
@@ -853,6 +1028,9 @@ collect:
 			res.ClockOffsets[a.slave] = offset
 		}
 		for _, rep := range a.reports {
+			if own, placed := ownerOf[rep.Component]; placed && own != a.slave {
+				continue // stale owner mid-rebalance; the current owner's report counts
+			}
 			seen[rep.Component] = true
 			if offset != 0 {
 				rep.Onset -= offset
@@ -968,18 +1146,96 @@ func (m *Master) instrumentLocalize(tv int64, tenantName, app string, res *core.
 	_ = m.obs.EventJournal().Record("localize", ev)
 }
 
-// askResult is one slave's analyze outcome after retries.
+// slaveAnswer is one slave's outcome inside a Localize fan-out, whether it
+// arrived directly or through an aggregator (via names the aggregator then).
+// Exactly one slaveAnswer per registered slave reaches the collect loop.
+type slaveAnswer struct {
+	slave   string
+	via     string
+	reports []core.ComponentReport
+	usedTV  int64
+	retries int
+	waitNS  int64
+	err     error
+}
+
+// askDirect runs one slave's direct ask — in-flight cap, circuit breaker,
+// retries — and delivers exactly one slaveAnswer.
+func (m *Master) askDirect(ctx context.Context, sc *slaveConn, tv int64, lookBack, attempts int, perAttempt time.Duration, answers chan<- slaveAnswer) {
+	// The per-slave in-flight cap fails fast rather than queueing:
+	// a slave already saturated by overlapping Localize calls would
+	// only answer after this call's budget is gone anyway.
+	if !sc.acquireSlot(m.slaveInflight) {
+		answers <- slaveAnswer{slave: sc.name, err: fmt.Errorf("cluster: slave %s at in-flight cap", sc.name)}
+		return
+	}
+	defer sc.releaseSlot(m.slaveInflight)
+	if m.brThreshold > 0 && sc.breakerOpen(m.brCooldown) {
+		answers <- slaveAnswer{slave: sc.name, err: fmt.Errorf("cluster: circuit open for slave %s", sc.name)}
+		return
+	}
+	start := time.Now()
+	a := m.askSlave(ctx, sc, tv, lookBack, attempts, perAttempt, nil)
+	sc.recordResult(a.err == nil, m.brThreshold)
+	answers <- slaveAnswer{slave: sc.name, reports: a.reports, usedTV: a.usedTV, retries: a.retries, waitNS: time.Since(start).Nanoseconds(), err: a.err}
+}
+
+// askSubtree asks one aggregator for its whole subtree and fans the merged
+// answer back out into per-slave answers. Any member the aggregator could
+// not cover — including every member when the aggregator itself dies
+// mid-localization — falls back to a direct ask on the member's own
+// connection, so a dead aggregator degrades the tree to the flat topology
+// instead of blinding a whole subtree.
+func (m *Master) askSubtree(ctx context.Context, agg *slaveConn, members []*slaveConn, tv int64, lookBack, attempts int, perAttempt time.Duration, answers chan<- slaveAnswer) {
+	names := make([]string, len(members))
+	for i, sc := range members {
+		names[i] = sc.name
+	}
+	sort.Strings(names)
+	start := time.Now()
+	a := m.askSlave(ctx, agg, tv, lookBack, attempts, perAttempt, names)
+	agg.recordResult(a.err == nil, m.brThreshold)
+	elapsed := time.Since(start).Nanoseconds()
+	covered := make(map[string]subAnswer, len(a.sub))
+	if a.err == nil {
+		for _, s := range a.sub {
+			if s.Err == "" {
+				covered[s.Slave] = s
+			}
+		}
+	}
+	for _, sc := range members {
+		s, ok := covered[sc.name]
+		if !ok {
+			// Fallback budget: whatever remains of the deadline, one shot.
+			go m.askDirect(ctx, sc, tv, lookBack, 1, perAttempt, answers)
+			m.obs.Registry().Counter("fchain_aggregator_fallbacks_total",
+				"Subtree members re-asked directly after an aggregator failure.").Inc()
+			continue
+		}
+		wait := s.WaitNS
+		if wait <= 0 {
+			wait = elapsed
+		}
+		answers <- slaveAnswer{slave: sc.name, via: agg.name, reports: s.Reports, usedTV: s.UsedTV, retries: a.retries, waitNS: wait}
+	}
+}
+
+// askResult is one peer's analyze outcome after retries.
 type askResult struct {
 	reports []core.ComponentReport
-	usedTV  int64 // tv in the slave's clock, 0 when the slave did not echo it
+	sub     []subAnswer // aggregator answers: one entry per subtree slave
+	usedTV  int64       // tv in the slave's clock, 0 when the slave did not echo it
 	retries int
 	err     error
 }
 
 // askSlave sends the analyze request and waits for the reports, retrying
 // with a fresh request ID on timeout or error until the attempt budget or
-// the context runs out. A dead connection stops retrying immediately.
-func (m *Master) askSlave(ctx context.Context, sc *slaveConn, tv int64, lookBack, attempts int, perAttempt time.Duration) askResult {
+// the context runs out. A dead connection stops retrying immediately. A
+// non-nil subtree turns the request into an aggregator ask covering those
+// slave names.
+func (m *Master) askSlave(ctx context.Context, sc *slaveConn, tv int64, lookBack, attempts int, perAttempt time.Duration, subtree []string) askResult {
 	var lastErr error
 	used := 0
 	for attempt := 0; attempt < attempts; attempt++ {
@@ -1010,7 +1266,7 @@ func (m *Master) askSlave(ctx context.Context, sc *slaveConn, tv int64, lookBack
 			lastErr = fmt.Errorf("cluster: slave %s disconnected", sc.name)
 			break
 		}
-		req := &envelope{Type: typeAnalyze, ID: id, TV: tv, LookBack: lookBack, BudgetMS: budgetMS}
+		req := &envelope{Type: typeAnalyze, ID: id, TV: tv, LookBack: lookBack, BudgetMS: budgetMS, Subtree: subtree}
 		if err := sc.w.write(req, wait); err != nil {
 			sc.removePending(id)
 			lastErr = err
@@ -1026,7 +1282,7 @@ func (m *Master) askSlave(ctx context.Context, sc *slaveConn, tv int64, lookBack
 				}
 				continue
 			}
-			return askResult{reports: env.Reports, usedTV: env.UsedTV, retries: attempt}
+			return askResult{reports: env.Reports, sub: env.Sub, usedTV: env.UsedTV, retries: attempt}
 		case <-time.After(wait):
 			sc.removePending(id)
 			lastErr = fmt.Errorf("cluster: slave %s timed out", sc.name)
@@ -1049,6 +1305,9 @@ func (m *Master) Close() error {
 		close(m.stop)
 	}
 	for _, sc := range m.slaves {
+		_ = sc.w.conn.Close()
+	}
+	for _, sc := range m.aggs {
 		_ = sc.w.conn.Close()
 	}
 	m.mu.Unlock()

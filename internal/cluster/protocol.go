@@ -35,7 +35,22 @@ const (
 	// correlated by ID.
 	typeViolate = "violate"
 	typeVerdict = "verdict"
+	// Sharded-mode frames. The master pushes each slave its authoritative
+	// owned-component set with an assign frame (acked); a rebalance moves a
+	// component's model state with an export (donor answers with a state
+	// frame carrying its MonitorSnapshot) followed by a restore on the new
+	// owner (acked) — export → transfer → restore → ack → cutover.
+	typeAssign  = "assign"
+	typeExport  = "export"
+	typeState   = "state"
+	typeRestore = "restore"
+	typeAck     = "ack"
 )
+
+// roleAggregator marks a registration as an aggregator: the peer fans
+// analyze requests out to its own subtree of slaves and merges their
+// answers. An empty Role registers a plain slave.
+const roleAggregator = "aggregator"
 
 // envelope is the single frame shape for every message.
 type envelope struct {
@@ -43,9 +58,14 @@ type envelope struct {
 	// ID correlates an analyze request with its reports response.
 	ID uint64 `json:"id,omitempty"`
 
-	// Register fields.
+	// Register fields. Role distinguishes aggregators from plain slaves;
+	// Via names the aggregator a slave also answers through, so the master
+	// can group its analyze fan-out into subtrees while keeping this direct
+	// connection for fallback asks when that aggregator dies.
 	Slave      string   `json:"slave,omitempty"`
 	Components []string `json:"components,omitempty"`
+	Role       string   `json:"role,omitempty"`
+	Via        string   `json:"via,omitempty"`
 
 	// Analyze fields. BudgetMS carries the master's remaining deadline
 	// budget as a duration relative to frame arrival: the slave restates it
@@ -55,6 +75,19 @@ type envelope struct {
 	TV       int64 `json:"tv,omitempty"`
 	LookBack int   `json:"lookback,omitempty"`
 	BudgetMS int64 `json:"budget_ms,omitempty"`
+
+	// Subtree lists, on an analyze frame sent to an aggregator, the slave
+	// names the aggregator must cover; it answers with one Sub entry per
+	// requested slave (reports, echoed clock, or a per-slave error) so the
+	// master keeps exact per-slave coverage accounting through the tree.
+	Subtree []string    `json:"subtree,omitempty"`
+	Sub     []subAnswer `json:"sub,omitempty"`
+
+	// Handoff fields: Component names the model being moved, State carries
+	// its exported core.MonitorSnapshot (export response and restore
+	// request).
+	Component string          `json:"component,omitempty"`
+	State     json.RawMessage `json:"state,omitempty"`
 
 	// Reports fields. UsedTV echoes the violation time in the slave's own
 	// clock (the requested tv plus the slave's skew): the master subtracts
@@ -75,9 +108,27 @@ type envelope struct {
 	// Error fields. Code classifies structured failures so the master can
 	// react without parsing Err ("overloaded" = shed by slave admission
 	// control, "panic" = the analyze handler recovered a panic, and the
-	// service-mode intake codes below).
-	Err  string `json:"err,omitempty"`
-	Code string `json:"code,omitempty"`
+	// service-mode intake codes below). RetryAfterMS accompanies
+	// codeOverloaded sheds with the daemon's backoff hint, derived from its
+	// admission queue depth, so clients stop hot-looping into a saturated
+	// peer.
+	Err          string `json:"err,omitempty"`
+	Code         string `json:"code,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// subAnswer is one subtree slave's outcome inside an aggregator's merged
+// reports frame. Exactly one of Reports or Err is meaningful; UsedTV echoes
+// the slave's clock (not the aggregator's) so the master's per-slave offset
+// normalization is unchanged by the tree, and WaitNS carries the answer
+// latency the aggregator measured for the master's latency histogram.
+type subAnswer struct {
+	Slave   string                 `json:"slave"`
+	Reports []core.ComponentReport `json:"reports,omitempty"`
+	UsedTV  int64                  `json:"used_tv,omitempty"`
+	WaitNS  int64                  `json:"wait_ns,omitempty"`
+	Err     string                 `json:"err,omitempty"`
+	Code    string                 `json:"code,omitempty"`
 }
 
 // Error frame classification codes.

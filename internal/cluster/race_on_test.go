@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports whether the race detector is compiled in; scale tests
+// use it to skip fleets that are impractically slow under instrumentation.
+const raceEnabled = true

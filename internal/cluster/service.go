@@ -658,6 +658,7 @@ func (m *Master) handleViolate(w *connWriter, env *envelope) {
 	v, err := svc.Submit(ctx, env.Tenant, env.App, env.TV)
 	if err != nil {
 		code := ""
+		var retryAfterMS int64
 		switch {
 		case errors.Is(err, tenant.ErrUnknown):
 			code = codeUnknownTenant
@@ -667,8 +668,13 @@ func (m *Master) handleViolate(w *connWriter, env *envelope) {
 			code = codeDraining
 		case errors.Is(err, ErrOverloaded):
 			code = codeOverloaded
+			var oe *OverloadedError
+			if errors.As(err, &oe) {
+				retryAfterMS = oe.RetryAfter.Milliseconds()
+			}
 		}
-		_ = w.write(&envelope{Type: typeError, ID: env.ID, Code: code, Err: err.Error()}, 10*time.Second)
+		_ = w.write(&envelope{Type: typeError, ID: env.ID, Code: code, Err: err.Error(),
+			RetryAfterMS: retryAfterMS}, 10*time.Second)
 		return
 	}
 	raw, err := json.Marshal(v)
@@ -761,7 +767,7 @@ func (c *ServiceClient) Violate(ctx context.Context, tenantName, app string, tv 
 	select {
 	case env := <-ch:
 		if env.Type == typeError {
-			return nil, errorForCode(env.Code, env.Err)
+			return nil, errorForCode(env.Code, env.Err, env.RetryAfterMS)
 		}
 		var v Verdict
 		if err := json.Unmarshal(env.Verdict, &v); err != nil {
@@ -777,8 +783,9 @@ func (c *ServiceClient) Violate(ctx context.Context, tenantName, app string, tv 
 }
 
 // errorForCode maps a structured error frame back to a sentinel the caller
-// can errors.Is against.
-func errorForCode(code, msg string) error {
+// can errors.Is against; an overload shed keeps its Retry-After hint, so
+// errors.As(err, **OverloadedError) recovers the backoff duration.
+func errorForCode(code, msg string, retryAfterMS int64) error {
 	switch code {
 	case codeUnknownTenant:
 		return fmt.Errorf("%w: %s", tenant.ErrUnknown, msg)
@@ -787,6 +794,9 @@ func errorForCode(code, msg string) error {
 	case codeDraining:
 		return fmt.Errorf("%w: %s", ErrDraining, msg)
 	case codeOverloaded:
+		if retryAfterMS > 0 {
+			return &OverloadedError{RetryAfter: time.Duration(retryAfterMS) * time.Millisecond}
+		}
 		return fmt.Errorf("%w: %s", ErrOverloaded, msg)
 	case codeNoService:
 		return fmt.Errorf("%w: %s", ErrNoService, msg)

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net"
@@ -109,17 +110,30 @@ type Slave struct {
 	// analyzeGate bounds concurrent analyze work; nil admits everything.
 	analyzeGate *gate
 
+	// via names the aggregator this slave also answers through; it rides on
+	// every register frame so the master can group the slave into that
+	// aggregator's subtree while keeping the direct link for fallback asks.
+	via string
+
 	mu       sync.Mutex
 	monitors map[string]*core.Monitor
-	w        *connWriter // current link, nil while disconnected
-	addr     string
+	ups      []*upstream // every Connect call adds one managed upstream
 	closed   bool
-	cancel   context.CancelFunc
 	wg       sync.WaitGroup
 
 	pingMu      sync.Mutex
 	pingCounter uint64
 	pingWaiters map[uint64]chan struct{}
+}
+
+// upstream is one managed connection (to the master, or in tree mode also to
+// an aggregator): a slave in a hierarchical topology answers analyze
+// requests on every upstream identically, so the master can fall back to the
+// direct link when the aggregator dies mid-localization.
+type upstream struct {
+	addr   string
+	cancel context.CancelFunc
+	w      *connWriter // guarded by the slave's mu; nil while disconnected
 }
 
 // SlaveOption configures a Slave.
@@ -199,6 +213,15 @@ func WithCheckpointInterval(d time.Duration) SlaveOption {
 // everything.
 func WithSlaveAdmission(limit, queue int) SlaveOption {
 	return slaveOptionFunc(func(s *Slave) { s.analyzeGate = newGate(limit, queue) })
+}
+
+// WithVia tags the slave's registrations with the name of the aggregator it
+// also answers through: the master groups tagged slaves into that
+// aggregator's analyze subtree and uses this direct connection only for
+// fallback asks. The tag is advisory — an unknown or dead aggregator name
+// simply leaves the slave on the master's direct fan-out path.
+func WithVia(aggregator string) SlaveOption {
+	return slaveOptionFunc(func(s *Slave) { s.via = aggregator })
 }
 
 // WithSlaveObs attaches an observability sink: ingest and analyze counters
@@ -322,6 +345,19 @@ func (s *Slave) checkpointLoop() {
 // Name returns the slave's registration name.
 func (s *Slave) Name() string { return s.name }
 
+// Monitored returns the components this slave currently monitors, sorted.
+// In sharded mode the set follows the master's assignment pushes.
+func (s *Slave) Monitored() []string {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.monitors))
+	for comp := range s.monitors {
+		out = append(out, comp)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
 // Observe feeds one metric sample into the slave's models through the
 // strict path (finite values, strictly advancing timestamps — see
 // core.Monitor.Observe). It may be called before, after, or between
@@ -387,31 +423,40 @@ func (s *Slave) Analyze(tv int64) []core.ComponentReport {
 	return s.analyzeWithWindow(tv, 0)
 }
 
-// Connected reports whether the slave currently holds a live registered
-// connection to the master.
+// Connected reports whether the slave currently holds at least one live
+// registered upstream connection.
 func (s *Slave) Connected() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.w != nil
+	for _, up := range s.ups {
+		if up.w != nil {
+			return true
+		}
+	}
+	return false
 }
 
-// Connect dials the master, registers, and starts answering analyze
-// requests in the background. The initial dial is synchronous so callers
-// learn about a bad address immediately; afterwards a dropped connection is
-// re-dialed with capped exponential backoff until Close.
+// Connect dials an upstream (the master — or, in a tree topology, also an
+// aggregator: each Connect call adds an independently managed link, and the
+// slave answers analyze requests identically on all of them), registers, and
+// starts serving in the background. The initial dial is synchronous so
+// callers learn about a bad address immediately; afterwards a dropped
+// connection is re-dialed with capped exponential backoff until Close.
 func (s *Slave) Connect(addr string) error {
 	return s.ConnectContext(context.Background(), addr)
 }
 
-// ConnectContext is Connect with a lifetime: canceling ctx stops the
-// connection manager (including any in-progress backoff wait) exactly like
-// Close, while leaving local collection running.
+// ConnectContext is Connect with a lifetime: canceling ctx stops this
+// upstream's connection manager (including any in-progress backoff wait)
+// exactly like Close, while leaving local collection and other upstreams
+// running.
 func (s *Slave) ConnectContext(ctx context.Context, addr string) error {
 	w, err := s.dialRegister(addr)
 	if err != nil {
 		return err
 	}
 	cctx, cancel := context.WithCancel(ctx)
+	up := &upstream{addr: addr, cancel: cancel, w: w}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -419,13 +464,11 @@ func (s *Slave) ConnectContext(ctx context.Context, addr string) error {
 		w.conn.Close()
 		return fmt.Errorf("cluster: slave %s is closed", s.name)
 	}
-	s.addr = addr
-	s.cancel = cancel
-	s.w = w
+	s.ups = append(s.ups, up)
 	s.mu.Unlock()
 	s.notify(StateConnected, nil)
 	s.wg.Add(1)
-	go s.manageConn(cctx, w)
+	go s.manageConn(cctx, up, w)
 	return nil
 }
 
@@ -442,7 +485,7 @@ func (s *Slave) dialRegister(addr string) (*connWriter, error) {
 	}
 	s.mu.Unlock()
 	w := newConnWriter(conn)
-	reg := &envelope{Type: typeRegister, Slave: s.name, Components: components}
+	reg := &envelope{Type: typeRegister, Slave: s.name, Components: components, Via: s.via}
 	if err := w.write(reg, 10*time.Second); err != nil {
 		conn.Close()
 		return nil, err
@@ -467,17 +510,17 @@ func (s *Slave) notify(state ConnState, err error) {
 	}
 }
 
-// manageConn serves the current connection and, when it drops, re-dials with
-// capped exponential backoff and ±50% jitter until ctx is canceled or Close
-// is called.
-func (s *Slave) manageConn(ctx context.Context, w *connWriter) {
+// manageConn serves one upstream's current connection and, when it drops,
+// re-dials with capped exponential backoff and ±50% jitter until ctx is
+// canceled or Close is called.
+func (s *Slave) manageConn(ctx context.Context, up *upstream, w *connWriter) {
 	defer s.wg.Done()
 	for {
 		err := s.serveLoop(w)
 		w.conn.Close()
 		s.mu.Lock()
-		if s.w == w {
-			s.w = nil
+		if up.w == w {
+			up.w = nil
 		}
 		closed := s.closed
 		s.mu.Unlock()
@@ -489,7 +532,7 @@ func (s *Slave) manageConn(ctx context.Context, w *connWriter) {
 		if !s.reconnect {
 			return
 		}
-		next, ok := s.redial(ctx)
+		next, ok := s.redial(ctx, up.addr)
 		if !ok {
 			s.notify(StateClosed, nil)
 			return
@@ -501,7 +544,7 @@ func (s *Slave) manageConn(ctx context.Context, w *connWriter) {
 			s.notify(StateClosed, nil)
 			return
 		}
-		s.w = next
+		up.w = next
 		s.mu.Unlock()
 		w = next
 		s.notify(StateConnected, nil)
@@ -509,7 +552,7 @@ func (s *Slave) manageConn(ctx context.Context, w *connWriter) {
 }
 
 // redial retries dial+register with backoff until success or cancellation.
-func (s *Slave) redial(ctx context.Context) (*connWriter, bool) {
+func (s *Slave) redial(ctx context.Context, addr string) (*connWriter, bool) {
 	delay := s.backoffInitial
 	for {
 		s.notify(StateReconnecting, nil)
@@ -519,7 +562,7 @@ func (s *Slave) redial(ctx context.Context) (*connWriter, bool) {
 		case <-time.After(jitter(delay)):
 		}
 		s.mu.Lock()
-		addr, closed := s.addr, s.closed
+		closed := s.closed
 		s.mu.Unlock()
 		if closed {
 			return nil, false
@@ -562,6 +605,15 @@ func (s *Slave) serveLoop(w *connWriter) error {
 			// counter cannot hit zero while this Add races Close's Wait.
 			s.wg.Add(1)
 			go s.handleAnalyze(w, env)
+		case typeAssign:
+			s.wg.Add(1)
+			go s.handleAssign(w, env)
+		case typeExport:
+			s.wg.Add(1)
+			go s.handleExport(w, env)
+		case typeRestore:
+			s.wg.Add(1)
+			go s.handleRestore(w, env)
 		case typePing:
 			// Master-initiated liveness probe.
 			if err := w.write(&envelope{Type: typePong, ID: env.ID}, 5*time.Second); err != nil {
@@ -581,6 +633,121 @@ func (s *Slave) serveLoop(w *connWriter) error {
 			}
 		}
 	}
+}
+
+// handleAssign installs the master's authoritative owned-component set: the
+// sharded control plane decides placement centrally, and the slave follows —
+// monitors appear for newly assigned components and disappear for components
+// that moved away, which is what enforces per-slave ownership at Observe
+// (feeding an unowned component errors with "does not monitor").
+//
+// A newly assigned component cold-starts unless state arrives first: a live
+// handoff restore (typeRestore precedes the assign on this connection) wins,
+// and otherwise the slave tries the component's checkpoint file — checkpoint
+// names are per-component, not per-slave, so on shared checkpoint storage a
+// dead donor's last checkpoint still follows its components to the new
+// owner (the cold-start fallback of the handoff protocol).
+func (s *Slave) handleAssign(w *connWriter, env *envelope) {
+	defer s.wg.Done()
+	desired := make(map[string]bool, len(env.Components))
+	for _, comp := range env.Components {
+		desired[comp] = true
+	}
+	var added, removed []string
+	adopt := make(map[string]*core.Monitor)
+	for comp := range desired {
+		s.mu.Lock()
+		_, have := s.monitors[comp]
+		s.mu.Unlock()
+		if have {
+			continue
+		}
+		mon := core.NewMonitor(comp, s.cfg)
+		if s.checkpointDir != "" {
+			var snap core.MonitorSnapshot
+			if err := core.LoadCheckpoint(s.checkpointPath(comp), &snap); err == nil {
+				_ = mon.Restore(&snap) // best-effort; a bad checkpoint cold-starts
+			}
+		}
+		adopt[comp] = mon
+		added = append(added, comp)
+	}
+	s.mu.Lock()
+	for comp, mon := range adopt {
+		// A handoff restore that raced ahead of us holds fresher state than
+		// the checkpoint fallback; keep it.
+		if _, have := s.monitors[comp]; !have {
+			s.monitors[comp] = mon
+		}
+	}
+	for comp := range s.monitors {
+		if !desired[comp] {
+			delete(s.monitors, comp)
+			removed = append(removed, comp)
+		}
+	}
+	total := len(s.monitors)
+	s.mu.Unlock()
+	sort.Strings(added)
+	sort.Strings(removed)
+	if len(added) > 0 || len(removed) > 0 {
+		s.obs.Logger().Info("assignment updated", "slave", s.name,
+			"added", len(added), "removed", len(removed), "total", total)
+		_ = s.obs.EventJournal().Record("assign", map[string]any{
+			"slave": s.name, "added": added, "removed": removed, "total": total})
+	}
+	_ = w.write(&envelope{Type: typeAck, ID: env.ID}, 10*time.Second)
+}
+
+// handleExport answers a handoff export: the donor side of a rebalance
+// snapshots the component's full model state (Markov matrices, ring tails,
+// quality counters — the same MonitorSnapshot the checkpoint files hold) for
+// the master to restore on the new owner.
+func (s *Slave) handleExport(w *connWriter, env *envelope) {
+	defer s.wg.Done()
+	s.mu.Lock()
+	mon := s.monitors[env.Component]
+	s.mu.Unlock()
+	if mon == nil {
+		_ = w.write(&envelope{Type: typeError, ID: env.ID,
+			Err: fmt.Sprintf("slave %s does not monitor %q", s.name, env.Component)}, 10*time.Second)
+		return
+	}
+	data, err := json.Marshal(mon.Snapshot())
+	if err != nil {
+		_ = w.write(&envelope{Type: typeError, ID: env.ID,
+			Err: fmt.Sprintf("slave %s: export %q: %v", s.name, env.Component, err)}, 10*time.Second)
+		return
+	}
+	_ = s.obs.EventJournal().Record("handoff_export", map[string]any{
+		"slave": s.name, "component": env.Component, "bytes": len(data)})
+	_ = w.write(&envelope{Type: typeState, ID: env.ID, Component: env.Component, State: data}, 30*time.Second)
+}
+
+// handleRestore installs an exported snapshot as this slave's monitor for the
+// component — the recipient side of a handoff. An invalid snapshot is
+// refused (the master falls back to cold start); a duplicate restore simply
+// overwrites, so master-side retries are idempotent.
+func (s *Slave) handleRestore(w *connWriter, env *envelope) {
+	defer s.wg.Done()
+	var snap core.MonitorSnapshot
+	if err := json.Unmarshal(env.State, &snap); err != nil {
+		_ = w.write(&envelope{Type: typeError, ID: env.ID,
+			Err: fmt.Sprintf("slave %s: restore %q: %v", s.name, env.Component, err)}, 10*time.Second)
+		return
+	}
+	mon := core.NewMonitor(env.Component, s.cfg)
+	if err := mon.Restore(&snap); err != nil {
+		_ = w.write(&envelope{Type: typeError, ID: env.ID,
+			Err: fmt.Sprintf("slave %s: restore %q: %v", s.name, env.Component, err)}, 10*time.Second)
+		return
+	}
+	s.mu.Lock()
+	s.monitors[env.Component] = mon
+	s.mu.Unlock()
+	_ = s.obs.EventJournal().Record("handoff_restore", map[string]any{
+		"slave": s.name, "component": env.Component})
+	_ = w.write(&envelope{Type: typeAck, ID: env.ID, Component: env.Component}, 10*time.Second)
 }
 
 // slaveAnalyzeHook, when set, runs inside handleAnalyze after admission and
@@ -624,8 +791,10 @@ func (s *Slave) handleAnalyze(w *connWriter, env *envelope) {
 			s.obs.Registry().Counter("fchain_analyze_shed_total",
 				"Analyze requests shed by slave admission control.").Inc()
 			_ = s.obs.EventJournal().Record("analyze_shed", map[string]any{"slave": s.name, "tv": env.TV})
+			hint := s.analyzeGate.retryAfterHint(30 * time.Second)
 			_ = w.write(&envelope{Type: typeError, ID: env.ID, Code: codeOverloaded,
-				Err: fmt.Sprintf("slave %s overloaded", s.name)}, 10*time.Second)
+				Err:          fmt.Sprintf("slave %s overloaded", s.name),
+				RetryAfterMS: hint.Milliseconds()}, 10*time.Second)
 			return
 		}
 		defer s.analyzeGate.release()
@@ -724,7 +893,13 @@ func (s *Slave) analyzeBudget(tv int64, lookBack int, deadline time.Time) []core
 // waits up to timeout for the response.
 func (s *Slave) Ping(timeout time.Duration) error {
 	s.mu.Lock()
-	w := s.w
+	var w *connWriter
+	for _, up := range s.ups {
+		if up.w != nil {
+			w = up.w
+			break
+		}
+	}
 	s.mu.Unlock()
 	if w == nil {
 		return fmt.Errorf("cluster: slave %s is not connected", s.name)
@@ -759,14 +934,23 @@ func (s *Slave) Close() error {
 	s.mu.Lock()
 	alreadyClosed := s.closed
 	s.closed = true
-	w := s.w
-	s.w = nil
-	cancel := s.cancel
+	var cancels []context.CancelFunc
+	var writers []*connWriter
+	for _, up := range s.ups {
+		if up.cancel != nil {
+			cancels = append(cancels, up.cancel)
+		}
+		if up.w != nil {
+			writers = append(writers, up.w)
+			up.w = nil
+		}
+	}
+	s.ups = nil
 	s.mu.Unlock()
-	if cancel != nil {
+	for _, cancel := range cancels {
 		cancel()
 	}
-	if w != nil {
+	for _, w := range writers {
 		_ = w.conn.Close()
 	}
 	if !alreadyClosed {

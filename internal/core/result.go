@@ -52,6 +52,11 @@ type LocalizeResult struct {
 	// before any analysis ran.
 	Overloaded bool `json:"overloaded,omitempty"`
 
+	// RetryAfterMS is the backoff hint attached to an overload shed (0
+	// otherwise): how long the caller should wait before retrying, derived
+	// from the admission queue depth at shed time.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+
 	// Quarantined maps components to the metric streams skipped because a
 	// previous selection kernel panic quarantined them.
 	Quarantined map[string][]string `json:"quarantined_streams,omitempty"`

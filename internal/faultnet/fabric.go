@@ -1,0 +1,77 @@
+package faultnet
+
+import "sync"
+
+// Fabric names the proxied links of a test topology so chaos tests can
+// partition whole groups of processes at once instead of juggling individual
+// proxies: register each Proxy with the names of the two endpoints it
+// connects, then Partition the fabric into two sides — every link crossing
+// the cut is blacked out (new connections refused) and severed (live
+// connections killed) until Heal lifts the blackouts.
+type Fabric struct {
+	mu    sync.Mutex
+	links []fabricLink
+}
+
+// fabricLink is one registered endpoint pair and the proxy carrying it.
+type fabricLink struct {
+	a, b  string
+	proxy *Proxy
+}
+
+// NewFabric returns an empty fabric.
+func NewFabric() *Fabric { return &Fabric{} }
+
+// Link registers proxy as the connection between endpoints a and b (order
+// does not matter).
+func (f *Fabric) Link(a, b string, proxy *Proxy) {
+	f.mu.Lock()
+	f.links = append(f.links, fabricLink{a: a, b: b, proxy: proxy})
+	f.mu.Unlock()
+}
+
+// Partition cuts the fabric between the two endpoint groups: every
+// registered link with one endpoint in as and the other in bs is blacked out
+// and severed. Links inside either group — or touching endpoints in neither
+// — are untouched. Partitions compose; Heal lifts them all.
+func (f *Fabric) Partition(as, bs []string) {
+	inA := make(map[string]bool, len(as))
+	for _, name := range as {
+		inA[name] = true
+	}
+	inB := make(map[string]bool, len(bs))
+	for _, name := range bs {
+		inB[name] = true
+	}
+	for _, p := range f.crossing(inA, inB) {
+		p.SetBlackout(true)
+		p.Sever()
+	}
+}
+
+// Heal lifts every blackout on the fabric, letting reconnecting clients
+// through again (their backoff loops re-establish the links).
+func (f *Fabric) Heal() {
+	f.mu.Lock()
+	proxies := make([]*Proxy, len(f.links))
+	for i, l := range f.links {
+		proxies[i] = l.proxy
+	}
+	f.mu.Unlock()
+	for _, p := range proxies {
+		p.SetBlackout(false)
+	}
+}
+
+// crossing returns the proxies of links straddling the two groups.
+func (f *Fabric) crossing(inA, inB map[string]bool) []*Proxy {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []*Proxy
+	for _, l := range f.links {
+		if (inA[l.a] && inB[l.b]) || (inA[l.b] && inB[l.a]) {
+			out = append(out, l.proxy)
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package faultnet
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer starts a TCP echo target and returns its address.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 64)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					c.Write(buf[:n])
+				}
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// echoes reports whether a fresh connection through addr round-trips a
+// payload within the deadline.
+func echoes(t *testing.T, addr string) bool {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		return false
+	}
+	buf := make([]byte, 4)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	_, err = io_readFull(conn, buf)
+	return err == nil && string(buf) == "ping"
+}
+
+// TestFabricPartitionAndHeal pins the chaos helper's contract: Partition
+// kills the live connections crossing the cut and refuses new ones, links
+// not crossing the cut keep working, and Heal lets fresh connections
+// through again.
+func TestFabricPartitionAndHeal(t *testing.T) {
+	target := echoServer(t)
+
+	mkProxy := func() *Proxy {
+		p, err := NewProxy(target, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		return p
+	}
+	crossing := mkProxy() // master <-> slave-a: crosses the cut
+	inside := mkProxy()   // slave-a <-> slave-b: same side, untouched
+
+	fab := NewFabric()
+	fab.Link("master", "slave-a", crossing)
+	fab.Link("slave-a", "slave-b", inside)
+
+	// Hold a live connection over the crossing link so Sever has a victim.
+	live, err := net.Dial("tcp", crossing.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	if _, err := live.Write([]byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	live.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io_readFull(live, buf); err != nil {
+		t.Fatalf("echo before partition: %v", err)
+	}
+
+	fab.Partition([]string{"master"}, []string{"slave-a", "slave-b"})
+
+	// The live crossing connection must die.
+	live.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := live.Read(buf); err == nil {
+		t.Error("live connection survived the partition")
+	}
+	// New connections across the cut are refused for as long as the
+	// partition holds.
+	if echoes(t, crossing.Addr()) {
+		t.Error("new connection crossed the partition")
+	}
+	// The same-side link is untouched.
+	if !echoes(t, inside.Addr()) {
+		t.Error("partition severed a link inside one group")
+	}
+
+	fab.Heal()
+	if !echoes(t, crossing.Addr()) {
+		t.Error("healed link still refuses connections")
+	}
+}
+
+// TestFabricPartitionScopesToNamedGroups pins that links touching endpoints
+// in neither group are left alone even when partitions compose.
+func TestFabricPartitionScopesToNamedGroups(t *testing.T) {
+	target := echoServer(t)
+	other, err := NewProxy(target, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { other.Close() })
+
+	fab := NewFabric()
+	fab.Link("agg-a", "slave-x", other)
+	fab.Partition([]string{"master"}, []string{"agg-b"})
+	if !echoes(t, other.Addr()) {
+		t.Error("partition of unrelated groups severed a bystander link")
+	}
+}
