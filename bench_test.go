@@ -147,6 +147,37 @@ func BenchmarkModuleSelection(b *testing.B) {
 	}
 }
 
+// BenchmarkModuleSelectionStreaming measures selection in the streaming
+// engine's operating mode: one fresh second observed, then a full analysis
+// at the new stream head, so every iteration pays the honest incremental
+// cost (the memoized verdict never answers at an advancing head). Compare
+// with BenchmarkModuleSelection for what the per-violation burst costs when
+// the whole look-back context must be processed at tv-time.
+func BenchmarkModuleSelectionStreaming(b *testing.B) {
+	cfg := fchain.DefaultConfig()
+	cfg.Streaming = true
+	loc := fchain.NewLocalizer(cfg, []string{"c"})
+	kinds := fchain.Kinds()
+	for t := int64(0); t < 2000; t++ {
+		for _, k := range kinds {
+			if err := loc.Observe("c", t, k, float64(40+t%23)+float64(t%7)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var reports []fchain.ComponentReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := int64(2000 + i)
+		for _, k := range kinds {
+			if err := loc.Observe("c", ts, k, float64(40+ts%23)+float64(ts%7)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reports = loc.AnalyzeInto(reports, ts)
+	}
+}
+
 // BenchmarkModuleDiagnosis measures the integrated fault diagnosis over a
 // seven-component report set (Table II: "integrated fault diagnosis").
 func BenchmarkModuleDiagnosis(b *testing.B) {

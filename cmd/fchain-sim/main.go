@@ -24,19 +24,20 @@ import (
 
 func main() {
 	var (
-		app      = flag.String("app", "rubis", "benchmark application: rubis, systems, hadoop")
-		fault    = flag.String("fault", "cpuhog", "fault: memleak, cpuhog, nethog, diskhog, bottleneck, lbbug, offloadbug")
-		target   = flag.String("target", "", "faulty component (default: the paper's usual target)")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		inject   = flag.Int64("inject", 1500, "fault injection time (seconds)")
-		validate = flag.Bool("validate", false, "run online pinpointing validation")
-		saveDeps = flag.String("save-deps", "", "write the discovered dependency graph to this file")
-		emitCSV  = flag.String("emit-csv", "", "write the collected metric samples (component,time,metric,value) to this file — feedable to fchain-slave")
-		parallel = flag.Int("parallel", 0, "analysis workers (0 = all cores, 1 = serial; the diagnosis is identical either way)")
-		traceOut = flag.String("trace-out", "", "write the localization's full evidence trace (JSON span tree) to this file")
+		app       = flag.String("app", "rubis", "benchmark application: rubis, systems, hadoop")
+		fault     = flag.String("fault", "cpuhog", "fault: memleak, cpuhog, nethog, diskhog, bottleneck, lbbug, offloadbug")
+		target    = flag.String("target", "", "faulty component (default: the paper's usual target)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		inject    = flag.Int64("inject", 1500, "fault injection time (seconds)")
+		validate  = flag.Bool("validate", false, "run online pinpointing validation")
+		saveDeps  = flag.String("save-deps", "", "write the discovered dependency graph to this file")
+		emitCSV   = flag.String("emit-csv", "", "write the collected metric samples (component,time,metric,value) to this file — feedable to fchain-slave")
+		parallel  = flag.Int("parallel", 0, "analysis workers (0 = all cores, 1 = serial; the diagnosis is identical either way)")
+		traceOut  = flag.String("trace-out", "", "write the localization's full evidence trace (JSON span tree) to this file")
+		streaming = flag.Bool("streaming", false, "maintain streaming selection state on every sample (localization output is bit-identical either way)")
 	)
 	flag.Parse()
-	if err := run(*app, *fault, *target, *seed, *inject, *validate, *saveDeps, *emitCSV, *parallel, *traceOut); err != nil {
+	if err := run(*app, *fault, *target, *seed, *inject, *validate, *saveDeps, *emitCSV, *parallel, *traceOut, *streaming); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-sim:", err)
 		os.Exit(1)
 	}
@@ -106,7 +107,7 @@ func buildFault(name, target string, inject int64, rng *rand.Rand) (scenario.Fau
 	}
 }
 
-func run(app, faultName, target string, seed, inject int64, validate bool, saveDeps, emitCSV string, parallel int, traceOut string) error {
+func run(app, faultName, target string, seed, inject int64, validate bool, saveDeps, emitCSV string, parallel int, traceOut string, streaming bool) error {
 	sys, defaultTarget, discoverable, err := buildSystem(app, seed)
 	if err != nil {
 		return err
@@ -154,6 +155,7 @@ func run(app, faultName, target string, seed, inject int64, validate bool, saveD
 
 	cfg := fchain.DefaultConfig()
 	cfg.Parallelism = parallel
+	cfg.Streaming = streaming
 	loc := fchain.NewLocalizer(cfg, sys.Components())
 	for _, comp := range sys.Components() {
 		for _, k := range fchain.Kinds() {

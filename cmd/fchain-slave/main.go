@@ -74,15 +74,16 @@ func main() {
 		sharded    = flag.Bool("sharded", false, "start with no components of your own: the master assigns them over its consistent-hash ring (requires a master started with -vnodes)")
 		via        = flag.String("via", "", "aggregator name this slave reports through (tree topology)")
 		aggAddr    = flag.String("aggregator", "", "aggregator address to also connect to (required with -via)")
+		streaming  = flag.Bool("streaming", false, "maintain streaming selection state on every sample so analyze answers in ~O(diagnose); falls back to the batch kernel (bit-identically) whenever the state is cold")
 	)
 	flag.Parse()
-	if err := run(*name, *components, *master, *skew, *backoff, *backoffMax, *ckptDir, *ckptEvery, *reorder, *parallel, *inflight, *admitQ, *quarCool, *debugAddr, *journal, *logLevel, *sharded, *via, *aggAddr); err != nil {
+	if err := run(*name, *components, *master, *skew, *backoff, *backoffMax, *ckptDir, *ckptEvery, *reorder, *parallel, *inflight, *admitQ, *quarCool, *debugAddr, *journal, *logLevel, *sharded, *via, *aggAddr, *streaming); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-slave:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, components, master string, skew int64, backoff, backoffMax time.Duration, ckptDir string, ckptEvery time.Duration, reorder, parallel, inflight, admitQ int, quarCool time.Duration, debugAddr, journalPath, logLevel string, sharded bool, via, aggAddr string) error {
+func run(name, components, master string, skew int64, backoff, backoffMax time.Duration, ckptDir string, ckptEvery time.Duration, reorder, parallel, inflight, admitQ int, quarCool time.Duration, debugAddr, journalPath, logLevel string, sharded bool, via, aggAddr string, streaming bool) error {
 	if name == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -133,6 +134,7 @@ func run(name, components, master string, skew int64, backoff, backoffMax time.D
 	cfg.ReorderWindow = reorder
 	cfg.Parallelism = parallel
 	cfg.QuarantineCooldown = quarCool
+	cfg.Streaming = streaming
 	slave := fchain.NewSlave(name, comps, cfg, opts...)
 	if restored := slave.RestoredComponents(); len(restored) > 0 {
 		fmt.Printf("restored checkpointed models for %v\n", restored)

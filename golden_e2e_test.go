@@ -86,7 +86,7 @@ type chainEntry struct {
 // runGoldenScenario replays one scenario end to end — simulate, detect the
 // SLO violation, discover dependencies, feed the localizer, localize with
 // tracing — and renders the report bytes compared against the golden.
-func runGoldenScenario(t *testing.T, sc goldenScenario, parallelism int) []byte {
+func runGoldenScenario(t *testing.T, sc goldenScenario, parallelism int, streaming bool) []byte {
 	t.Helper()
 	sys, err := sc.build(sc.seed)
 	if err != nil {
@@ -105,6 +105,7 @@ func runGoldenScenario(t *testing.T, sc goldenScenario, parallelism int) []byte 
 
 	cfg := fchain.DefaultConfig()
 	cfg.Parallelism = parallelism
+	cfg.Streaming = streaming
 	loc := fchain.NewLocalizer(cfg, sys.Components())
 	for _, comp := range sys.Components() {
 		for _, k := range fchain.Kinds() {
@@ -152,7 +153,8 @@ func runGoldenScenario(t *testing.T, sc goldenScenario, parallelism int) []byte 
 
 // TestGoldenEndToEnd pins the pipeline's end-to-end behavior: each
 // canonical fault scenario must reproduce its committed verdict and
-// evidence trace exactly, with serial and 4-way-parallel analysis
+// evidence trace exactly, across the full execution matrix — serial and
+// 4-way-parallel analysis, batch and streaming selection — all four
 // producing byte-identical reports. Regenerate with
 // `go test ./... -update` after an intentional pipeline change.
 func TestGoldenEndToEnd(t *testing.T) {
@@ -163,10 +165,19 @@ func TestGoldenEndToEnd(t *testing.T) {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
 			t.Parallel()
-			serial := runGoldenScenario(t, sc, 1)
-			parallel := runGoldenScenario(t, sc, 4)
-			if !bytes.Equal(serial, parallel) {
-				t.Fatal("parallelism=4 report differs from serial: determinism contract broken")
+			serial := runGoldenScenario(t, sc, 1, false)
+			for _, v := range []struct {
+				name        string
+				parallelism int
+				streaming   bool
+			}{
+				{"parallel", 4, false},
+				{"streaming-serial", 1, true},
+				{"streaming-parallel", 4, true},
+			} {
+				if got := runGoldenScenario(t, sc, v.parallelism, v.streaming); !bytes.Equal(serial, got) {
+					t.Fatalf("%s report differs from serial batch: determinism contract broken", v.name)
+				}
 			}
 			golden.Assert(t, golden.Path(sc.name+".json"), serial)
 		})

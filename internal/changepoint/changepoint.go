@@ -40,8 +40,19 @@ type Config struct {
 	// searched for further change points (default 5).
 	MinSegment int
 	// Rand supplies the bootstrap shuffles; a deterministic source is used
-	// when nil.
+	// when nil. Ignored when Thresholds is set.
 	Rand *rand.Rand
+	// Thresholds, when positive, replaces the per-query bootstrap with the
+	// precomputed null-distribution tables (tables.go): the observed CUSUM
+	// range is normalized by σ̂√n and ranked against Thresholds fixed-seed
+	// simulated null samples for the segment's length. Detection then does
+	// no resampling and no RNG draws at query time — it is a pure function
+	// of the window contents, which is the property streaming selection
+	// relies on — at the same 1/Thresholds confidence granularity the
+	// bootstrap had. Zero keeps the classic bootstrap (the PAL/CUSUM
+	// baselines stay on it so the paper-faithful comparison schemes are
+	// untouched).
+	Thresholds int
 }
 
 func (c Config) withDefaults() Config {
@@ -54,7 +65,7 @@ func (c Config) withDefaults() Config {
 	if c.MinSegment < 3 {
 		c.MinSegment = 5
 	}
-	if c.Rand == nil {
+	if c.Rand == nil && c.Thresholds <= 0 {
 		c.Rand = rand.New(rand.NewSource(1))
 	}
 	return c
@@ -86,7 +97,7 @@ func Detect(vals []float64, cfg Config) []Point {
 // Detect call.
 func (sc *Scratch) Detect(vals []float64, cfg Config) []Point {
 	cfg = cfg.withDefaults()
-	if cap(sc.shuffled) < len(vals) {
+	if cfg.Thresholds <= 0 && cap(sc.shuffled) < len(vals) {
 		sc.shuffled = make([]float64, len(vals))
 	}
 	sc.points = sc.points[:0]
@@ -111,7 +122,12 @@ func (sc *Scratch) detectSegment(vals []float64, offset int, cfg Config) {
 	if idx <= 0 || idx >= len(vals)-1 {
 		return
 	}
-	conf := bootstrapConfidence(vals, sdiff, cfg, sc.shuffled[:len(vals)])
+	var conf float64
+	if cfg.Thresholds > 0 {
+		conf = tableConfidence(vals, sdiff, cfg.Thresholds)
+	} else {
+		conf = bootstrapConfidence(vals, sdiff, cfg, sc.shuffled[:len(vals)])
+	}
 	if conf < cfg.Confidence {
 		return
 	}

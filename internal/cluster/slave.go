@@ -94,6 +94,11 @@ type Slave struct {
 	ingestSamples *obs.Counter
 	ingestErrors  *obs.Counter
 
+	// streamColds holds the last exported value of the monotone streaming
+	// cold-fallback total, so concurrent analyzes each export only their own
+	// delta into the registry counter.
+	streamColds atomic.Uint64
+
 	// Crash-safe model persistence: with a checkpoint directory set, the
 	// slave restores each monitor from its last checkpoint at construction
 	// and re-checkpoints every checkpointInterval until Close.
@@ -852,6 +857,12 @@ func (s *Slave) analyzeBudget(tv int64, lookBack int, deadline time.Time) []core
 			truncated++
 		}
 	}
+	var sst core.StreamingStats
+	if s.cfg.Streaming {
+		for _, m := range monitors {
+			sst.Merge(m.StreamingStats())
+		}
+	}
 	if reg := s.obs.Registry(); reg != nil {
 		reg.Counter("fchain_analyze_requests_total", "Analyze requests served.").Inc()
 		reg.Counter("fchain_selection_tasks_total", "Per-metric selection tasks executed.").
@@ -866,6 +877,21 @@ func (s *Slave) analyzeBudget(tv int64, lookBack int, deadline time.Time) []core
 		if stats.Panics > 0 {
 			reg.Counter("fchain_quarantine_trips_total",
 				"Metric streams quarantined after selection kernel panics.").Add(int64(stats.Panics))
+		}
+		if s.cfg.Streaming {
+			reg.Gauge("fchain_streaming_bytes",
+				"Resident bytes of streaming-selection state across all streams.").
+				Set(float64(sst.Bytes))
+			reg.Gauge("fchain_streaming_hot",
+				"Streams whose change-point accumulator currently sees a confident shift.").
+				Set(float64(sst.Hot))
+			// Colds is a monotone total inside core; export the delta so the
+			// registry counter stays a counter across overlapping analyzes.
+			if prev := s.streamColds.Swap(sst.Colds); sst.Colds > prev {
+				reg.Counter("fchain_streaming_cold_total",
+					"Analyses that fell back to the batch kernel on cold streaming state.").
+					Add(int64(sst.Colds - prev))
+			}
 		}
 	}
 	if stats.Panics > 0 {
@@ -884,6 +910,12 @@ func (s *Slave) analyzeBudget(tv int64, lookBack int, deadline time.Time) []core
 	}
 	if truncated > 0 {
 		ev["truncated"] = truncated
+	}
+	if s.cfg.Streaming {
+		// Journaled alongside the registry export so the two can be
+		// reconciled after the fact.
+		ev["streaming_bytes"] = sst.Bytes
+		ev["streaming_cold_total"] = sst.Colds
 	}
 	_ = s.obs.EventJournal().Record("analyze", ev)
 	return reports

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"sync"
 
 	"fchain/internal/changepoint"
@@ -10,8 +9,8 @@ import (
 
 // arena is the scratch memory one analysis worker owns while it runs: the
 // materialized sample/error series the zero-copy window views point into,
-// the smoothing/detrending/percentile buffers, the change-point detector's
-// scratch, and a reseedable RNG for the bootstrap. Pooling arenas is what
+// the smoothing/detrending/percentile buffers, and the change-point
+// detector's scratch. Pooling arenas is what
 // keeps the hot localize path allocation-free once the buffers have grown to
 // the workload's window sizes.
 //
@@ -28,19 +27,9 @@ type arena struct {
 	pctile  []float64 // percentile sort buffer
 
 	cp changepoint.Scratch
-
-	// src/rng implement the deterministic per-(component, metric, tv)
-	// bootstrap source without a rand.New allocation per metric: the source
-	// is reseeded in place, which restores the exact stream rand.New would
-	// have produced for that seed.
-	src rand.Source
-	rng *rand.Rand
 }
 
-var arenaPool = sync.Pool{New: func() any {
-	src := rand.NewSource(1)
-	return &arena{src: src, rng: rand.New(src)}
-}}
+var arenaPool = sync.Pool{New: func() any { return &arena{} }}
 
 func getArena() *arena  { return arenaPool.Get().(*arena) }
 func putArena(a *arena) { arenaPool.Put(a) }
@@ -49,13 +38,5 @@ func putArena(a *arena) { arenaPool.Put(a) }
 // buffers and the change-point scratch mid-update; resetting costs the
 // grown buffers but guarantees the next task starts from a clean state.
 func (a *arena) reset() {
-	src := rand.NewSource(1)
-	*a = arena{src: src, rng: rand.New(src)}
-}
-
-// seededRand reseeds the arena's RNG and returns it. The returned *rand.Rand
-// is only valid until the next seededRand call on the same arena.
-func (a *arena) seededRand(seed int64) *rand.Rand {
-	a.src.Seed(seed)
-	return a.rng
+	*a = arena{}
 }

@@ -187,6 +187,18 @@ type Config struct {
 	// probe re-admits the stream; another panic re-trips the quarantine.
 	QuarantineCooldown time.Duration
 
+	// Streaming enables always-on streaming selection (stream.go): every
+	// Observe pays a small constant extra cost to keep per-metric sorted
+	// context multisets, an incremental CUSUM accumulator, and FFT/kernel
+	// memos warm, and Localize at the stream head then runs in roughly the
+	// cost of diagnosis alone. Output is bit-identical with the flag on or
+	// off — the fast paths substitute provably equal arithmetic and fall
+	// back to the batch kernel whenever the state is cold (after a restore,
+	// a collection gap, a look-back override, or an analysis at a
+	// historical tv). Off by default: pure-batch deployments that localize
+	// rarely keep the cheapest possible Observe.
+	Streaming bool
+
 	// Parallelism bounds the analysis worker pool that fans abnormal change
 	// point selection out per component and, within a component, per metric:
 	// 0 (the default) resolves to runtime.GOMAXPROCS(0) at analysis time, 1

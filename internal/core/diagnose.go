@@ -240,6 +240,16 @@ func (l *Localizer) Quality() map[string]DataQuality {
 	return out
 }
 
+// StreamingStats aggregates the streaming-selection telemetry across every
+// monitored component. All counters are zero when Config.Streaming is off.
+func (l *Localizer) StreamingStats() StreamingStats {
+	var st StreamingStats
+	for _, name := range l.names {
+		st.Merge(l.monitors[name].StreamingStats())
+	}
+	return st
+}
+
 // Analyze asks every monitor for its look-back report at tv. With more than
 // one component and cfg.Parallelism allowing it, the per-metric selection
 // tasks run on a bounded worker pool; the reports are bit-identical to the

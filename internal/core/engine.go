@@ -14,8 +14,9 @@ import (
 // selection kernels stay allocation-free under concurrency.
 //
 // Determinism contract: every task is a pure function of (monitor state at
-// materialize time, tv, cfg) — the bootstrap RNG is reseeded per task from
-// hashSeed(component, metric, tv) — and results are written to a
+// materialize time, tv, cfg) — change-point confidence comes from
+// deterministic per-window-length threshold tables, so no task holds RNG
+// state — and results are written to a
 // preallocated slot indexed by task, then assembled in canonical component
 // and metric order. Output is therefore bit-identical to the serial path at
 // any worker count. Tracing preserves the contract: each task records into

@@ -43,6 +43,10 @@ type metricShard struct {
 	lastT     int64
 	hasLast   bool
 
+	// stream is the per-metric streaming-selection state (stream.go), nil
+	// unless Config.Streaming is on.
+	stream *streamState
+
 	// Panic quarantine (overload.go): a stream whose selection kernel
 	// panicked is skipped until the cooldown elapses, then probed once.
 	quarantined   bool
@@ -50,14 +54,22 @@ type metricShard struct {
 	panicMsg      string
 }
 
-// push commits one validated sample to the shard's model and histories. The
-// caller holds the shard's lock.
+// push commits one validated sample to the shard's model and histories, and
+// advances the streaming state when one is attached. The caller holds the
+// shard's lock.
 func (sh *metricShard) push(t int64, v float64) {
 	predErr, _ := sh.model.Observe(v)
+	prevLast, prevHas := sh.lastT, sh.hasLast
+	if sh.stream != nil {
+		sh.stream.beforePush(sh)
+	}
 	sh.samples.Push(t, v)
 	sh.errs.Push(t, predErr)
 	sh.lastT = t
 	sh.hasLast = true
+	if sh.stream != nil {
+		sh.stream.afterPush(sh, v, prevLast, prevHas)
+	}
 }
 
 // apply commits one sanitized sample, severing the metric's dense history
@@ -70,6 +82,11 @@ func (sh *metricShard) apply(s ingest.Sample) {
 		sh.samples.Clear()
 		sh.errs.Clear()
 		sh.model.Break()
+		if sh.stream != nil {
+			// Everything the streaming state accumulated describes the
+			// severed pre-gap history; restart cold.
+			sh.stream.resetState()
+		}
 	}
 	sh.push(s.T, s.V)
 }
@@ -112,6 +129,9 @@ func NewMonitor(component string, cfg Config) *Monitor {
 		sh.samples = timeseries.NewRing(cfg.RingCapacity)
 		sh.errs = timeseries.NewRing(cfg.RingCapacity)
 		sh.sanitizer = ingest.NewSanitizer(cfg.ingestConfig())
+		if cfg.Streaming {
+			sh.stream = newStreamState(cfg)
+		}
 	}
 	return m
 }
@@ -217,6 +237,25 @@ func (m *Monitor) ObserveVector(t int64, vec *metric.Vector) error {
 		}
 	}
 	return nil
+}
+
+// TrendHints reports each metric model's precomputed short-horizon drift
+// tier (markov.Predictor.TrendHint): metric name → +1 rising / -1 falling,
+// with flat metrics omitted. It is O(metrics) — the models refresh the hint
+// on every Observe — so status endpoints can poll it freely between
+// localizations.
+func (m *Monitor) TrendHints() map[string]int {
+	out := make(map[string]int, metric.NumKinds)
+	for _, k := range metric.Kinds {
+		sh := &m.shards[k]
+		sh.mu.Lock()
+		h := sh.model.TrendHint()
+		sh.mu.Unlock()
+		if h != 0 {
+			out[k.String()] = h
+		}
+	}
+	return out
 }
 
 // materialize snapshots metric k's retained samples and prediction errors

@@ -316,7 +316,7 @@ func (m *Monitor) runKernel(tv int64, k metric.Kind, cfg Config, a *arena, tr *o
 	if tier == TierTrend {
 		ch, ok = m.trendMetric(tv, k, cfg, a)
 	} else {
-		ch, ok = m.selectMetric(tv, k, cfg, a, tr, sel)
+		ch, ok = m.selectMetric(tv, k, cfg, a, tr, sel, tier)
 	}
 	return ch, ok, metricOK
 }
@@ -388,10 +388,24 @@ func (m *Monitor) trendMetric(tv int64, k metric.Kind, cfg Config, a *arena) (Ab
 // selectMetric is the abnormal change point selection kernel behind
 // analyzeMetric. All working memory comes from the caller's arena, so a
 // warmed-up analysis allocates nothing; the monitor's shard lock is held only
-// inside materialize, never across the analysis. sel is the enclosing
+// inside materializeStream, never across the analysis. sel is the enclosing
 // select:<metric> span (-1 when untraced).
-func (m *Monitor) selectMetric(tv int64, k metric.Kind, cfg Config, a *arena, tr *obs.Trace, sel int) (AbnormalChange, bool) {
-	sv, se := m.materialize(k, a)
+//
+// Under Config.Streaming the kernel consults the shard's streaming state
+// (stream.go): a whole-kernel memo hit returns the cached verdict outright,
+// and a warm state answers the context percentiles in O(1) from the sorted
+// multisets. Both substitutions are bit-identical to the batch arithmetic,
+// so streaming changes timings, never outputs. Traced runs and active
+// fault-injection hooks always execute the real kernel.
+func (m *Monitor) selectMetric(tv int64, k metric.Kind, cfg Config, a *arena, tr *obs.Trace, sel int, tier AnalysisTier) (ch AbnormalChange, abnormal bool) {
+	memoEligible := tr == nil && analyzeHook.Load() == nil
+	sv, se, facts := m.materializeStream(tv, k, cfg, tier, a, memoEligible)
+	if facts.memoHit {
+		return facts.memoCh, facts.memoOK
+	}
+	if memoEligible {
+		defer func() { m.storeMemo(k, facts, tv, tier, cfg, ch, abnormal) }()
+	}
 	span := cfg.LookBack + cfg.BurstWindow
 	vals := sv.ViewRange(tv-int64(span)+1, tv+1)
 	errsSeries := se.ViewRange(tv-int64(span)+1, tv+1)
@@ -418,13 +432,14 @@ func (m *Monitor) selectMetric(tv int64, k metric.Kind, cfg Config, a *arena, tr
 		det = tr.Start(sel, "detect")
 	}
 	points := a.cp.Detect(smoothed, changepoint.Config{
-		Bootstraps: cfg.Bootstraps,
+		// Threshold tables instead of a per-query bootstrap: detection is a
+		// pure function of the window contents — no RNG, no reseeding, the
+		// same verdict whichever worker runs the task and whenever it runs.
+		// That purity is what lets streaming mode memoize kernel results,
+		// and it removes the dominant O(Bootstraps·n) term from every
+		// batch-mode query as well.
+		Thresholds: cfg.Bootstraps,
 		Confidence: cfg.CPConfidence,
-		// Deterministic per (component, metric, tv) for reproducibility:
-		// reseeding the arena's source restores the exact stream a fresh
-		// rand.New(rand.NewSource(seed)) would produce, whichever worker
-		// runs the task.
-		Rand: a.seededRand(hashSeed(m.component, int64(k), tv)),
 	})
 	if len(points) == 0 {
 		if tr != nil {
@@ -462,11 +477,17 @@ func (m *Monitor) selectMetric(tv int64, k metric.Kind, cfg Config, a *arena, tr
 	cvSeries := sv.ViewRange(sv.Start(), lookbackStart)
 	if cv := cvSeries.ValuesView(); len(cv) >= 8 {
 		contextValueStd = timeseries.Std(cv)
-		if p99, err := timeseries.PercentileScratch(cv, 99, &a.pctile); err == nil {
-			ctxP99 = p99
-		}
-		if p1, err := timeseries.PercentileScratch(cv, 1, &a.pctile); err == nil {
-			ctxP1 = p1
+		if facts.fast {
+			// O(1) from the sorted multiset: same multiset, same
+			// interpolation, same bits as the sort below.
+			ctxP99, ctxP1 = facts.p99, facts.p1
+		} else {
+			if p99, err := timeseries.PercentileScratch(cv, 99, &a.pctile); err == nil {
+				ctxP99 = p99
+			}
+			if p1, err := timeseries.PercentileScratch(cv, 1, &a.pctile); err == nil {
+				ctxP1 = p1
+			}
 		}
 	}
 	// Range escape: how long has the metric been dwelling beyond the levels
@@ -480,13 +501,20 @@ func (m *Monitor) selectMetric(tv int64, k metric.Kind, cfg Config, a *arena, tr
 	}
 	ctxSeries := se.ViewRange(se.Start(), lookbackStart)
 	if ctx := ctxSeries.ValuesView(); len(ctx) >= 8 {
-		p90, err := timeseries.PercentileScratch(ctx, 90, &a.pctile)
-		if err == nil {
-			contextFloor = cfg.SelfCalibration * p90
-		}
-		if _, hi, err := timeseries.MinMax(ctx); err == nil {
-			if f := cfg.ContextMaxFactor * hi; f > contextFloor {
+		if facts.fast {
+			contextFloor = cfg.SelfCalibration * facts.p90
+			if f := cfg.ContextMaxFactor * facts.maxE; f > contextFloor {
 				contextFloor = f
+			}
+		} else {
+			p90, err := timeseries.PercentileScratch(ctx, 90, &a.pctile)
+			if err == nil {
+				contextFloor = cfg.SelfCalibration * p90
+			}
+			if _, hi, err := timeseries.MinMax(ctx); err == nil {
+				if f := cfg.ContextMaxFactor * hi; f > contextFloor {
+					contextFloor = f
+				}
 			}
 		}
 	}
@@ -513,7 +541,7 @@ func (m *Monitor) selectMetric(tv int64, k metric.Kind, cfg Config, a *arena, tr
 			// metric, every application (paper §III-A scheme 6).
 			exp, fftExp = cfg.FixedThreshold, cfg.FixedThreshold
 		} else {
-			e, err := expectedErrorAt(raw, p.Index, cfg, a)
+			e, err := m.expectedErrorCached(k, raw, p.Index, vals.Start(), cfg, a)
 			if err != nil {
 				if tr != nil {
 					tr.Attr(flt, "cand:"+strconv.FormatInt(t, 10), "fft-error")
@@ -745,19 +773,28 @@ func predictionErrorNear(errs *timeseries.Series, idx int) float64 {
 // high-frequency variability, and a deterministic trend would otherwise
 // leak across the spectrum.
 func expectedErrorAt(raw []float64, idx int, cfg Config, a *arena) (float64, error) {
-	hi := idx
-	lo := idx - 2*cfg.BurstWindow
+	lo, hi := burstBounds(idx, len(raw), cfg)
+	a.detrend = detrendInto(a.detrend, raw[lo:hi])
+	return fftpkg.ExpectedError(a.detrend, cfg.TopFreqFrac, cfg.BurstPercentile)
+}
+
+// burstBounds returns the [lo, hi) slice of the raw window that
+// expectedErrorAt feeds the FFT for a change point at idx. Factored out so
+// the streaming FFT memo can key cache entries on the exact window without
+// computing it.
+func burstBounds(idx, n int, cfg Config) (lo, hi int) {
+	hi = idx
+	lo = idx - 2*cfg.BurstWindow
 	if lo < 0 {
 		lo = 0
 	}
 	if hi-lo < cfg.BurstWindow { // too little history before the point
 		hi = lo + 2*cfg.BurstWindow + 1
-		if hi > len(raw) {
-			hi = len(raw)
+		if hi > n {
+			hi = n
 		}
 	}
-	a.detrend = detrendInto(a.detrend, raw[lo:hi])
-	return fftpkg.ExpectedError(a.detrend, cfg.TopFreqFrac, cfg.BurstPercentile)
+	return lo, hi
 }
 
 // detrend returns a copy of vals with the least-squares line removed.
@@ -799,24 +836,6 @@ func detrendInto(dst, vals []float64) []float64 {
 		out[i] = v - (intercept + slope*float64(i))
 	}
 	return out
-}
-
-// hashSeed mixes identifying values into a deterministic RNG seed.
-func hashSeed(s string, a, b int64) int64 {
-	h := int64(1469598103934665603)
-	for _, c := range s {
-		h ^= int64(c)
-		h *= 1099511628211
-	}
-	h ^= a * 1099511628211
-	h ^= b * 16777619
-	if h == math.MinInt64 {
-		h++
-	}
-	if h < 0 {
-		h = -h
-	}
-	return h
 }
 
 // ExpectedErrorForWindow exposes the burstiness-adaptive expected

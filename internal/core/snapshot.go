@@ -130,5 +130,17 @@ func (m *Monitor) Restore(s *MonitorSnapshot) error {
 		sh.hasLast = true
 		sh.mu.Unlock()
 	}
+	// Rebuild streaming state from the restored rings. The rebuild is a pure
+	// function of the retained samples, so a restarted daemon's streaming
+	// state — and therefore its analysis output — matches what any other
+	// process restoring the same checkpoint computes.
+	for _, k := range metric.Kinds {
+		sh := &m.shards[k]
+		sh.mu.Lock()
+		if sh.stream != nil {
+			sh.stream.rebuild(sh)
+		}
+		sh.mu.Unlock()
+	}
 	return nil
 }

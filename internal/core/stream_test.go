@@ -1,0 +1,295 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"fchain/internal/metric"
+)
+
+// streamPair is a streaming monitor and a batch monitor fed identical
+// samples, for byte-equality differential tests.
+type streamPair struct {
+	stream *Monitor
+	batch  *Monitor
+}
+
+func newStreamPair(cfg Config) streamPair {
+	scfg := cfg
+	scfg.Streaming = true
+	bcfg := cfg
+	bcfg.Streaming = false
+	return streamPair{
+		stream: NewMonitor("comp", scfg),
+		batch:  NewMonitor("comp", bcfg),
+	}
+}
+
+func (p streamPair) observe(t *testing.T, ts int64, k metric.Kind, v float64) {
+	t.Helper()
+	if err := p.stream.Observe(ts, k, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.batch.Observe(ts, k, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// compare asserts the two monitors' reports at tv are byte-identical.
+func (p streamPair) compare(t *testing.T, tv int64, what string) ComponentReport {
+	t.Helper()
+	rs := p.stream.Analyze(tv)
+	rb := p.batch.Analyze(tv)
+	js, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(js) != string(jb) {
+		t.Fatalf("%s (tv=%d): streaming report differs from batch\nstreaming: %s\nbatch:     %s", what, tv, js, jb)
+	}
+	return rs
+}
+
+// signalAt synthesizes one metric sample: workload-looking fluctuation, with
+// a fault-like sustained shift on cpu and memory after the inject time.
+func signalAt(k metric.Kind, ts, inject int64, rng *rand.Rand) float64 {
+	base := float64(40+ts%23) + float64(ts%7) + rng.NormFloat64()*0.3
+	if ts >= inject {
+		switch k {
+		case metric.CPU:
+			base += 45
+		case metric.Memory:
+			base += float64(ts-inject) * 1.5 // gradual leak-style ramp
+		}
+	}
+	return base
+}
+
+// TestStreamingMatchesBatchEveryStep is the headline equality property:
+// analyses at every advancing stream head — warm fast path, FFT memo hits,
+// and all — marshal to exactly the bytes the batch kernel produces.
+func TestStreamingMatchesBatchEveryStep(t *testing.T) {
+	cfg := DefaultConfig()
+	p := newStreamPair(cfg)
+	rng := rand.New(rand.NewSource(42))
+	const inject = 520
+	sawAbnormal := false
+	for ts := int64(1); ts <= 600; ts++ {
+		for _, k := range metric.Kinds {
+			krng := rand.New(rand.NewSource(int64(k)*1000 + ts))
+			_ = rng
+			p.observe(t, ts, k, signalAt(k, ts, inject, krng))
+		}
+		if ts >= 400 && ts%7 == 0 || ts >= inject {
+			r := p.compare(t, ts, "advancing head")
+			if r.Abnormal() {
+				sawAbnormal = true
+			}
+		}
+	}
+	if !sawAbnormal {
+		t.Fatal("scenario never produced an abnormal report; equality test is vacuous")
+	}
+	st := p.stream.StreamingStats()
+	if st.Streams != len(metric.Kinds) {
+		t.Fatalf("Streams = %d, want %d", st.Streams, len(metric.Kinds))
+	}
+	if st.Bytes <= 0 {
+		t.Fatal("streaming state reports zero bytes")
+	}
+}
+
+// TestStreamingColdFallbacks: historical tv and overridden look-back windows
+// must take the batch path (cold counter moves) and still match batch bytes.
+func TestStreamingColdFallbacks(t *testing.T) {
+	cfg := DefaultConfig()
+	p := newStreamPair(cfg)
+	for ts := int64(1); ts <= 500; ts++ {
+		for _, k := range metric.Kinds {
+			krng := rand.New(rand.NewSource(int64(k)*1000 + ts))
+			p.observe(t, ts, k, signalAt(k, ts, 420, krng))
+		}
+	}
+	before := p.stream.StreamingStats().Colds
+
+	// Historical tv: the multisets track the stream head, not tv=450.
+	rs := p.stream.AnalyzeWindow(450, 0)
+	rb := p.batch.AnalyzeWindow(450, 0)
+	js, _ := json.Marshal(rs)
+	jb, _ := json.Marshal(rb)
+	if string(js) != string(jb) {
+		t.Fatalf("historical tv: streaming %s != batch %s", js, jb)
+	}
+
+	// Overridden look-back: boundary arithmetic no longer matches the state.
+	rs = p.stream.AnalyzeWindow(500, cfg.LookBack*2)
+	rb = p.batch.AnalyzeWindow(500, cfg.LookBack*2)
+	js, _ = json.Marshal(rs)
+	jb, _ = json.Marshal(rb)
+	if string(js) != string(jb) {
+		t.Fatalf("window override: streaming %s != batch %s", js, jb)
+	}
+
+	if after := p.stream.StreamingStats().Colds; after <= before {
+		t.Fatalf("cold fallbacks not counted: %d -> %d", before, after)
+	}
+}
+
+// TestStreamingMemo: re-localizing an unchanged stream at the same tv serves
+// the memoized verdict; one new sample invalidates it.
+func TestStreamingMemo(t *testing.T) {
+	cfg := DefaultConfig()
+	p := newStreamPair(cfg)
+	for ts := int64(1); ts <= 500; ts++ {
+		for _, k := range metric.Kinds {
+			krng := rand.New(rand.NewSource(int64(k)*1000 + ts))
+			p.observe(t, ts, k, signalAt(k, ts, 430, krng))
+		}
+	}
+	p.compare(t, 500, "first analysis")
+	hits0 := p.stream.StreamingStats().MemoHits
+	p.compare(t, 500, "repeat analysis")
+	hits1 := p.stream.StreamingStats().MemoHits
+	if hits1 < hits0+uint64(len(metric.Kinds)) {
+		t.Fatalf("repeat analysis at same tv should hit every metric memo: %d -> %d", hits0, hits1)
+	}
+	for _, k := range metric.Kinds {
+		krng := rand.New(rand.NewSource(int64(k)*1000 + 501))
+		p.observe(t, 501, k, signalAt(k, 501, 430, krng))
+	}
+	p.compare(t, 501, "after invalidation")
+}
+
+// TestStreamingRestoreMatchesBatch is the kill-and-restart drill: a monitor
+// rebuilt from a checkpoint mid-fault must report the exact onset the batch
+// kernel (and the uninterrupted streaming monitor) reports.
+func TestStreamingRestoreMatchesBatch(t *testing.T) {
+	cfg := DefaultConfig()
+	scfg := cfg
+	scfg.Streaming = true
+	p := newStreamPair(cfg)
+	const inject = 520
+	feed := func(m *Monitor, from, to int64) {
+		for ts := from; ts <= to; ts++ {
+			for _, k := range metric.Kinds {
+				krng := rand.New(rand.NewSource(int64(k)*1000 + ts))
+				if err := m.Observe(ts, k, signalAt(k, ts, inject, krng)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	feed(p.stream, 1, 530)
+	feed(p.batch, 1, 530)
+
+	// Kill: checkpoint the streaming monitor mid-manifestation; restart: a
+	// fresh streaming monitor restores it and the feed resumes.
+	snap := p.stream.Snapshot()
+	restored := NewMonitor("comp", scfg)
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.StreamingStats().Resets; got == 0 {
+		t.Fatal("restore did not rebuild streaming state")
+	}
+	feed(p.stream, 531, 560)
+	feed(p.batch, 531, 560)
+	feed(restored, 531, 560)
+
+	want := p.batch.Analyze(560)
+	for name, m := range map[string]*Monitor{"uninterrupted": p.stream, "restored": restored} {
+		got := m.Analyze(560)
+		jw, _ := json.Marshal(want)
+		jg, _ := json.Marshal(got)
+		if string(jw) != string(jg) {
+			t.Fatalf("%s streaming monitor differs from batch after restart\ngot:  %s\nwant: %s", name, jg, jw)
+		}
+		if !got.Abnormal() {
+			t.Fatalf("%s: fault not detected post-restart", name)
+		}
+		if got.Onset != want.Onset {
+			t.Fatalf("%s: onset %d, batch onset %d", name, got.Onset, want.Onset)
+		}
+	}
+}
+
+// TestStreamingGapResetsState is the chaos drill: a collection gap long
+// enough to sever the dense history (Ring.Clear + Predictor.Break) must
+// reset the streaming state, and post-gap analyses must still match batch.
+func TestStreamingGapResetsState(t *testing.T) {
+	cfg := DefaultConfig()
+	p := newStreamPair(cfg)
+	ingestBoth := func(ts int64) {
+		for _, k := range metric.Kinds {
+			krng := rand.New(rand.NewSource(int64(k)*1000 + ts))
+			v := signalAt(k, ts, 1<<40, krng)
+			if err := p.stream.Ingest(ts, k, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.batch.Ingest(ts, k, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for ts := int64(1); ts <= 300; ts++ {
+		ingestBoth(ts)
+	}
+	resets0 := p.stream.StreamingStats().Resets
+	// Jump far past MaxFillGap: the sanitizer severs the history.
+	for ts := int64(400); ts <= 700; ts++ {
+		ingestBoth(ts)
+	}
+	if resets1 := p.stream.StreamingStats().Resets; resets1 <= resets0 {
+		t.Fatalf("collection gap did not reset streaming state: %d -> %d", resets0, resets1)
+	}
+	p.compare(t, 700, "post-gap")
+}
+
+// TestStreamingSerialMatchesParallel: the engine property extended to
+// streaming monitors — worker count never changes bytes.
+func TestStreamingSerialMatchesParallel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Streaming = true
+	serial := cfg
+	serial.Parallelism = 1
+	par := cfg
+	par.Parallelism = 4
+	mkMonitors := func(c Config) []*Monitor {
+		ms := make([]*Monitor, 3)
+		for i := range ms {
+			ms[i] = NewMonitor(string(rune('a'+i)), c)
+		}
+		return ms
+	}
+	feed := func(ms []*Monitor) {
+		for ts := int64(1); ts <= 520; ts++ {
+			for i, m := range ms {
+				for _, k := range metric.Kinds {
+					krng := rand.New(rand.NewSource(int64(i+1)*100000 + int64(k)*1000 + ts))
+					inject := int64(1 << 40)
+					if i == 1 {
+						inject = 470
+					}
+					if err := m.Observe(ts, k, signalAt(k, ts, inject, krng)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	ms1, ms4 := mkMonitors(serial), mkMonitors(par)
+	feed(ms1)
+	feed(ms4)
+	r1, _ := AnalyzeMonitors(ms1, 520, 0, 1)
+	r4, _ := AnalyzeMonitors(ms4, 520, 0, 4)
+	j1, _ := json.Marshal(r1)
+	j4, _ := json.Marshal(r4)
+	if string(j1) != string(j4) {
+		t.Fatalf("streaming serial != parallel\nserial:   %s\nparallel: %s", j1, j4)
+	}
+}

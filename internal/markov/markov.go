@@ -48,6 +48,24 @@ type Predictor struct {
 	incWeight float64
 
 	observations int
+
+	// Short-horizon drift state, refreshed on every Observe: exponential
+	// moving averages of the signed sample-to-sample delta and its
+	// magnitude, plus the precomputed classification the two imply. They
+	// cost three multiply-adds per sample and give monitors an O(1)
+	// "is this metric drifting" answer without touching the ring history.
+	lastVal   float64
+	trendEMA  float64
+	absEMA    float64
+	trendHint int8
+
+	// Remap scratch: the previous transition matrix and a bin-center
+	// buffer, recycled so growing the discretization range of a warm
+	// predictor allocates nothing. spare is always dimensionally identical
+	// to counts (bins never changes after New) and never aliases it.
+	spare         [][]float64
+	spareSum      []float64
+	centerScratch []float64
 }
 
 // New returns a predictor with the given number of value bins and decay
@@ -69,11 +87,28 @@ func New(bins int, decay float64) *Predictor {
 func NewDefault() *Predictor { return New(DefaultBins, DefaultDecay) }
 
 func (p *Predictor) reset() {
-	p.counts = make([][]float64, p.bins)
-	for i := range p.counts {
-		p.counts[i] = make([]float64, p.bins)
+	old, oldSum := p.counts, p.rowSum
+	if len(p.spare) == p.bins {
+		p.counts, p.rowSum = p.spare, p.spareSum
+		for i := range p.counts {
+			clear(p.counts[i])
+		}
+		clear(p.rowSum)
+	} else {
+		// One flat backing array for the whole matrix: 2 allocations instead
+		// of bins+1, and the rows stay cache-adjacent. Full capacity slices
+		// keep an append on one row from bleeding into the next.
+		p.counts = make([][]float64, p.bins)
+		flat := make([]float64, p.bins*p.bins)
+		for i := range p.counts {
+			p.counts[i] = flat[i*p.bins : (i+1)*p.bins : (i+1)*p.bins]
+		}
+		p.rowSum = make([]float64, p.bins)
 	}
-	p.rowSum = make([]float64, p.bins)
+	// The matrix just replaced becomes the next reset's scratch; remapRange
+	// still reads it through its own reference after this returns, which is
+	// safe because the spare is only cleared at the next reset.
+	p.spare, p.spareSum = old, oldSum
 	p.hasLast = false
 	p.incWeight = 1
 }
@@ -143,13 +178,17 @@ func (p *Predictor) remapRange(newLo, newHi float64) {
 	old := p.counts
 	oldLo, oldHi := p.lo, p.hi
 	oldBins := p.bins
-	centers := make([]float64, oldBins)
+	if cap(p.centerScratch) < oldBins {
+		p.centerScratch = make([]float64, oldBins)
+	}
+	centers := p.centerScratch[:oldBins]
 	w := (oldHi - oldLo) / float64(oldBins)
 	for i := range centers {
 		centers[i] = oldLo + (float64(i)+0.5)*w
 	}
+	hadLast := p.hasLast
 	var lastCenter float64
-	if p.hasLast {
+	if hadLast {
 		lastCenter = centers[p.lastBin]
 	}
 	p.lo, p.hi = newLo, newHi
@@ -165,14 +204,14 @@ func (p *Predictor) remapRange(newLo, newHi float64) {
 			p.rowSum[ni] += c
 		}
 	}
-	if lastCenter != 0 || oldBins > 0 {
-		// Restore the chain position under the new discretization.
+	// Restore the chain position under the new discretization — but only if
+	// the chain had one going in. A position severed by Break must stay
+	// severed: resurrecting it here would charge a phantom transition (and a
+	// phantom trend delta) across the very gap Break was called for.
+	if hadLast {
 		p.lastBin = p.binOf(lastCenter)
 	}
-	// hasLast was cleared by reset; restore it if we had a position. We
-	// deliberately keep hasLast=false when the model had never observed a
-	// value (counts were all zero and lastCenter is meaningless).
-	p.hasLast = p.observations > 0
+	p.hasLast = hadLast
 }
 
 // Predict returns the model's prediction for the *next* value given the
@@ -229,12 +268,48 @@ func (p *Predictor) Observe(v float64) (predErr float64, predicted bool) {
 		}
 		p.counts[p.lastBin][cur] += p.incWeight
 		p.rowSum[p.lastBin] += p.incWeight
+		// Refresh the drift state. A severed chain (Break, gap) reaches
+		// here with hadPrev=false, so no phantom cross-gap delta is ever
+		// charged to the trend.
+		d := v - p.lastVal
+		p.trendEMA = trendAlpha*d + (1-trendAlpha)*p.trendEMA
+		p.absEMA = trendAlpha*math.Abs(d) + (1-trendAlpha)*p.absEMA
 	}
+	p.lastVal = v
+	p.refreshTrendHint()
 	p.lastBin = cur
 	p.hasLast = true
 	p.observations++
 	return predErr, predicted
 }
+
+// trendAlpha is the EMA weight of the newest delta in the drift state: an
+// effective horizon of ~10 samples, short enough to flip within a look-back
+// window, long enough to shrug off single-sample noise.
+const trendAlpha = 0.1
+
+// refreshTrendHint reclassifies the drift state; Observe calls it so
+// TrendHint itself is a plain field read.
+func (p *Predictor) refreshTrendHint() {
+	p.trendHint = 0
+	if p.observations < 8 || p.absEMA <= 0 {
+		return
+	}
+	switch r := p.trendEMA / p.absEMA; {
+	case r > 0.3:
+		p.trendHint = 1
+	case r < -0.3:
+		p.trendHint = -1
+	}
+}
+
+// TrendHint reports the model's precomputed short-horizon drift tier: +1
+// when the metric is persistently rising, -1 falling, 0 flat relative to
+// its own step-to-step noise. It is telemetry — a cheap always-fresh "which
+// way is this stream moving" signal for dashboards and stream triage — and
+// never feeds the selection kernel, whose verdicts stay a pure function of
+// the retained history.
+func (p *Predictor) TrendHint() int { return int(p.trendHint) }
 
 // Break severs the chain position without discarding learned transitions.
 // The slave calls it after a long collection gap: the pre-gap "previous

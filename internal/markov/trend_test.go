@@ -1,0 +1,91 @@
+package markov
+
+import "testing"
+
+func feedTrend(p *Predictor, n int, f func(i int) float64) {
+	for i := 0; i < n; i++ {
+		p.Observe(f(i))
+	}
+}
+
+func TestTrendHintClassification(t *testing.T) {
+	rising := New(DefaultBins, DefaultDecay)
+	feedTrend(rising, 50, func(i int) float64 { return float64(i) })
+	if got := rising.TrendHint(); got != 1 {
+		t.Fatalf("monotone ramp: TrendHint = %d, want +1", got)
+	}
+
+	falling := New(DefaultBins, DefaultDecay)
+	feedTrend(falling, 50, func(i int) float64 { return 1000 - float64(i) })
+	if got := falling.TrendHint(); got != -1 {
+		t.Fatalf("monotone decline: TrendHint = %d, want -1", got)
+	}
+
+	// Alternating steps: large per-sample movement, zero net drift.
+	flat := New(DefaultBins, DefaultDecay)
+	feedTrend(flat, 50, func(i int) float64 { return 50 + float64(i%2)*10 })
+	if got := flat.TrendHint(); got != 0 {
+		t.Fatalf("oscillating series: TrendHint = %d, want 0", got)
+	}
+}
+
+// TestTrendHintColdStart: the hint stays 0 until the model has seen enough
+// samples to mean anything, even when those first samples trend hard.
+func TestTrendHintColdStart(t *testing.T) {
+	p := New(DefaultBins, DefaultDecay)
+	feedTrend(p, 5, func(i int) float64 { return float64(i) * 100 })
+	if got := p.TrendHint(); got != 0 {
+		t.Fatalf("after 5 samples: TrendHint = %d, want 0 (still warming)", got)
+	}
+}
+
+// TestTrendHintBreakSeversDelta: a collection gap (Break) must not charge the
+// pre-gap → post-gap level jump to the trend. A flat metric that resumes flat
+// at a different level is still flat.
+func TestTrendHintBreakSeversDelta(t *testing.T) {
+	p := New(DefaultBins, DefaultDecay)
+	feedTrend(p, 40, func(i int) float64 { return 10 + float64(i%2) })
+	p.Break()
+	feedTrend(p, 40, func(i int) float64 { return 5000 + float64(i%2) })
+	if got := p.TrendHint(); got != 0 {
+		t.Fatalf("flat-gap-flat: TrendHint = %d, want 0 (level jump must not count)", got)
+	}
+}
+
+// TestSnapshotCarriesDriftState: the drift EMAs survive a checkpoint
+// round-trip, so a restarted daemon reports the same hint it reported before
+// the kill without re-warming.
+func TestSnapshotCarriesDriftState(t *testing.T) {
+	p := New(DefaultBins, DefaultDecay)
+	feedTrend(p, 50, func(i int) float64 { return float64(i) * 2 })
+	if p.TrendHint() != 1 {
+		t.Fatal("setup: expected rising hint")
+	}
+	q, err := FromSnapshot(p.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TrendHint() != p.TrendHint() {
+		t.Fatalf("restored TrendHint = %d, want %d", q.TrendHint(), p.TrendHint())
+	}
+	if q.lastVal != p.lastVal || q.trendEMA != p.trendEMA || q.absEMA != p.absEMA {
+		t.Fatalf("drift state not restored: got (%v, %v, %v), want (%v, %v, %v)",
+			q.lastVal, q.trendEMA, q.absEMA, p.lastVal, p.trendEMA, p.absEMA)
+	}
+}
+
+// TestSnapshotWithoutDriftFields: checkpoints written before the drift fields
+// existed (zero values) restore cleanly with a neutral hint.
+func TestSnapshotWithoutDriftFields(t *testing.T) {
+	p := New(DefaultBins, DefaultDecay)
+	feedTrend(p, 50, func(i int) float64 { return float64(i) })
+	s := p.Snapshot()
+	s.LastVal, s.TrendEMA, s.AbsEMA = 0, 0, 0
+	q, err := FromSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.TrendHint(); got != 0 {
+		t.Fatalf("restored legacy snapshot: TrendHint = %d, want 0", got)
+	}
+}

@@ -14,6 +14,7 @@ type Ring struct {
 	times []int64
 	head  int // index of oldest element
 	size  int
+	seq   uint64 // bumped on every mutation; see Seq
 }
 
 // NewRing returns a ring holding at most capacity samples. Capacities < 1
@@ -34,8 +35,25 @@ func (r *Ring) Cap() int { return len(r.vals) }
 // Len returns the number of retained samples.
 func (r *Ring) Len() int { return r.size }
 
+// Seq returns the ring's mutation sequence number: it advances on every
+// Push and Clear, so two reads observing the same Seq are guaranteed to
+// have seen identical contents. Streaming selection keys its memoized
+// per-window results on it to detect when a cached result is still exact.
+func (r *Ring) Seq() uint64 { return r.seq }
+
+// At returns the i-th retained sample, oldest first. It panics if i is out
+// of [0, Len()), matching slice-indexing semantics.
+func (r *Ring) At(i int) (t int64, v float64) {
+	if i < 0 || i >= r.size {
+		panic("timeseries: ring index out of range")
+	}
+	idx := (r.head + i) % len(r.vals)
+	return r.times[idx], r.vals[idx]
+}
+
 // Push appends a sample, evicting the oldest when full.
 func (r *Ring) Push(t int64, v float64) {
+	r.seq++
 	idx := (r.head + r.size) % len(r.vals)
 	r.vals[idx] = v
 	r.times[idx] = t
@@ -107,6 +125,7 @@ func (r *Ring) WindowBefore(end int64, w int) *Series {
 // history this way after a long collection gap: the pre-gap samples would
 // otherwise be misaligned with the post-gap dense indexing.
 func (r *Ring) Clear() {
+	r.seq++
 	r.head = 0
 	r.size = 0
 }

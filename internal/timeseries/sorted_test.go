@@ -1,0 +1,105 @@
+package timeseries
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSortedWindowMatchesPercentileScratch is the bit-equality contract
+// behind the streaming fast path: an incrementally maintained sorted window
+// must answer every percentile with exactly the bits a from-scratch
+// PercentileScratch over the same multiset produces.
+func TestSortedWindowMatchesPercentileScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var w SortedWindow
+		var live []float64
+		var scratch []float64
+		steps := 200 + rng.Intn(400)
+		for i := 0; i < steps; i++ {
+			// Mixed workload: mostly inserts, some removals of the oldest
+			// live value (mirroring ring eviction), with duplicate-prone
+			// quantized values so equal keys are exercised.
+			if len(live) > 0 && rng.Float64() < 0.3 {
+				v := live[0]
+				live = live[1:]
+				if !w.Remove(v) {
+					t.Fatalf("trial %d: Remove(%v) found nothing", trial, v)
+				}
+			} else {
+				v := float64(rng.Intn(40)) + rng.Float64()
+				if rng.Intn(4) == 0 {
+					v = float64(rng.Intn(10)) // exact duplicates
+				}
+				live = append(live, v)
+				w.Insert(v)
+			}
+			if w.Len() != len(live) {
+				t.Fatalf("trial %d: len %d != %d", trial, w.Len(), len(live))
+			}
+			if len(live) == 0 {
+				continue
+			}
+			for _, p := range []float64{0, 1, 50, 90, 99, 100} {
+				want, err := PercentileScratch(live, p, &scratch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := w.Percentile(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("trial %d step %d: p%v = %v, batch %v", trial, i, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSortedWindowRemoveMissing(t *testing.T) {
+	var w SortedWindow
+	w.Insert(1)
+	w.Insert(3)
+	if w.Remove(2) {
+		t.Fatal("removed a value that was never inserted")
+	}
+	if !w.Remove(3) || !w.Remove(1) || w.Len() != 0 {
+		t.Fatal("remove of present values failed")
+	}
+	if _, err := w.Percentile(50); err == nil {
+		t.Fatal("empty window percentile should error")
+	}
+}
+
+func TestRingSeqAndAt(t *testing.T) {
+	r := NewRing(4)
+	if r.Seq() != 0 {
+		t.Fatal("fresh ring should start at seq 0")
+	}
+	for i := int64(0); i < 6; i++ {
+		before := r.Seq()
+		r.Push(i, float64(i)*2)
+		if r.Seq() != before+1 {
+			t.Fatalf("push %d did not advance seq", i)
+		}
+	}
+	// Capacity 4, pushed 6: retains t=2..5 oldest-first.
+	for i := 0; i < r.Len(); i++ {
+		ts, v := r.At(i)
+		if want := int64(2 + i); ts != want || v != float64(want)*2 {
+			t.Fatalf("At(%d) = (%d, %v), want (%d, %v)", i, ts, v, want, float64(want)*2)
+		}
+	}
+	seq := r.Seq()
+	r.Clear()
+	if r.Seq() != seq+1 {
+		t.Fatal("Clear did not advance seq")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range should panic")
+		}
+	}()
+	r.At(0)
+}
