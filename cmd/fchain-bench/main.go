@@ -13,6 +13,10 @@
 //	fchain-bench -bench -json BENCH_2026-08-05.json  # measure + save report
 //	fchain-bench -check BENCH_2026-08-05.json        # fail on >30% regression
 //
+// Beyond the paper, -exp matrix runs the (topology × fault) accuracy matrix
+// over generated microservice meshes; `-exp matrix -runs 2 -omit-timing`
+// reproduces the committed results_matrix.txt byte for byte.
+//
 // The paper uses 30-40 runs per fault; the shapes stabilize from ~10.
 // Campaign runs are independently seeded and reassembled in seed order, so
 // -parallel never changes a report, only how fast it is produced.
@@ -29,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "", "experiment to run (fig2..fig12, table1, table2)")
+		exp        = flag.String("exp", "", "experiment to run (fig2..fig12, table1, table2, ablation, matrix)")
 		runs       = flag.Int("runs", 10, "fault-injection runs per fault for accuracy experiments")
 		all        = flag.Bool("all", false, "run every experiment")
 		list       = flag.Bool("list", false, "list experiment identifiers")

@@ -94,6 +94,7 @@ type config struct {
 	handoffTimeout time.Duration
 	handoffRetries int
 	autoRebalance  bool
+	meshProfile    bool
 }
 
 func main() {
@@ -123,6 +124,7 @@ func main() {
 	flag.IntVar(&cfg.vnodes, "vnodes", 0, "enable master-driven component placement over a consistent-hash ring with this many virtual nodes per slave (0 disables sharding; slaves then bring their own component lists)")
 	flag.DurationVar(&cfg.handoffTimeout, "handoff-timeout", 5*time.Second, "per-component checkpoint handoff deadline during a rebalance; an expired handoff cold-starts on the new owner")
 	flag.IntVar(&cfg.handoffRetries, "handoff-retries", 1, "extra attempts a failed checkpoint handoff gets before the new owner cold-starts")
+	flag.BoolVar(&cfg.meshProfile, "mesh-profile", false, "apply the generated-mesh monitoring profile (wider external-factor spread, relative-magnitude selection floor) instead of the paper defaults")
 	flag.BoolVar(&cfg.autoRebalance, "auto-rebalance", true, "with -vnodes: rebalance automatically on slave join/leave/eviction (off, placement changes only on the rebalance command)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
@@ -163,7 +165,11 @@ func run(cfg config) error {
 			fchain.WithHandoffRetries(cfg.handoffRetries),
 			fchain.WithAutoRebalance(cfg.autoRebalance))
 	}
-	master := fchain.NewMaster(fchain.DefaultConfig(), deps, masterOpts...)
+	coreCfg := fchain.DefaultConfig()
+	if cfg.meshProfile {
+		coreCfg = fchain.MeshConfig()
+	}
+	master := fchain.NewMaster(coreCfg, deps, masterOpts...)
 	var tenants []string
 	if cfg.tenants != "" {
 		for _, t := range strings.Split(cfg.tenants, ",") {

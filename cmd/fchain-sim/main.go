@@ -6,6 +6,12 @@
 //	fchain-sim -app rubis -fault cpuhog -seed 7
 //	fchain-sim -app systems -fault memleak -target pe3
 //	fchain-sim -app hadoop -fault diskhog -validate
+//
+// Instead of a benchmark application, -mesh runs the scenario on a generated
+// microservice mesh with a fault drawn from the template library:
+//
+//	fchain-sim -mesh "n=200,fanout=3,depth=5,seed=7" -fault gray-disk
+//	fchain-sim -mesh "n=100,cycle=0.1" -fault workload-surge
 package main
 
 import (
@@ -25,10 +31,11 @@ import (
 func main() {
 	var (
 		app       = flag.String("app", "rubis", "benchmark application: rubis, systems, hadoop")
-		fault     = flag.String("fault", "cpuhog", "fault: memleak, cpuhog, nethog, diskhog, bottleneck, lbbug, offloadbug")
+		mesh      = flag.String("mesh", "", `generated mesh parameters, e.g. "n=200,fanout=3,depth=5,seed=7" (overrides -app; -fault names a template)`)
+		fault     = flag.String("fault", "", "fault: memleak, cpuhog, nethog, diskhog, bottleneck, lbbug, offloadbug (default cpuhog); with -mesh, a template name (default gray-disk)")
 		target    = flag.String("target", "", "faulty component (default: the paper's usual target)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
-		inject    = flag.Int64("inject", 1500, "fault injection time (seconds)")
+		inject    = flag.Int64("inject", 0, "fault injection time (seconds; default 1500, or 2000 with -mesh)")
 		validate  = flag.Bool("validate", false, "run online pinpointing validation")
 		saveDeps  = flag.String("save-deps", "", "write the discovered dependency graph to this file")
 		emitCSV   = flag.String("emit-csv", "", "write the collected metric samples (component,time,metric,value) to this file — feedable to fchain-slave")
@@ -37,7 +44,24 @@ func main() {
 		streaming = flag.Bool("streaming", false, "maintain streaming selection state on every sample (localization output is bit-identical either way)")
 	)
 	flag.Parse()
-	if err := run(*app, *fault, *target, *seed, *inject, *validate, *saveDeps, *emitCSV, *parallel, *traceOut, *streaming); err != nil {
+	if *fault == "" {
+		if *mesh != "" {
+			*fault = "gray-disk"
+		} else {
+			*fault = "cpuhog"
+		}
+	}
+	if *inject == 0 {
+		if *mesh != "" {
+			// Generated-mesh workloads carry an 1800 s diurnal cycle; the
+			// localizer's context calibration must see one full period
+			// before injection.
+			*inject = 2000
+		} else {
+			*inject = 1500
+		}
+	}
+	if err := run(*app, *mesh, *fault, *target, *seed, *inject, *validate, *saveDeps, *emitCSV, *parallel, *traceOut, *streaming); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-sim:", err)
 		os.Exit(1)
 	}
@@ -107,18 +131,54 @@ func buildFault(name, target string, inject int64, rng *rand.Rand) (scenario.Fau
 	}
 }
 
-func run(app, faultName, target string, seed, inject int64, validate bool, saveDeps, emitCSV string, parallel int, traceOut string, streaming bool) error {
-	sys, defaultTarget, discoverable, err := buildSystem(app, seed)
-	if err != nil {
-		return err
-	}
-	if target == "" {
-		target = defaultTarget
-	}
-	rng := rand.New(rand.NewSource(seed))
-	fault, err := buildFault(faultName, target, inject, rng)
-	if err != nil {
-		return err
+func run(app, mesh, faultName, target string, seed, inject int64, validate bool, saveDeps, emitCSV string, parallel int, traceOut string, streaming bool) error {
+	var (
+		sys          *scenario.System
+		fault        scenario.Fault
+		discoverable = true
+		depTraceSec  = 600
+	)
+	cfg := fchain.DefaultConfig()
+	if mesh != "" {
+		m, msys, err := scenario.Mesh(mesh, seed)
+		if err != nil {
+			return err
+		}
+		sys = msys
+		fmt.Printf("generated mesh: %s\n", m)
+		fault, err = scenario.MeshFault(faultName, inject, m, seed)
+		if err != nil {
+			return err
+		}
+		// The mesh monitoring profile: wider external-factor spread for
+		// deep topologies, a relative-magnitude selection floor against
+		// per-component false positives at scale, and the template's
+		// declared look-back window.
+		cfg.ExternalSpread = scenario.MeshExternalSpread
+		cfg.MinRelMagnitude = scenario.MeshMinRelMagnitude
+		if lb := scenario.MeshFaultLookBack(faultName); lb > 0 {
+			cfg.LookBack = lb
+		}
+		// Discovery samples ~1 request journey per 1.3 s and wants ~10
+		// inbound flows per component before trusting edges; meshes have
+		// far more components than the paper apps.
+		depTraceSec = 2400
+		app = "mesh"
+	} else {
+		var defaultTarget string
+		var err error
+		sys, defaultTarget, discoverable, err = buildSystem(app, seed)
+		if err != nil {
+			return err
+		}
+		if target == "" {
+			target = defaultTarget
+		}
+		rng := rand.New(rand.NewSource(seed))
+		fault, err = buildFault(faultName, target, inject, rng)
+		if err != nil {
+			return err
+		}
 	}
 	if err := sys.Inject(fault); err != nil {
 		return err
@@ -133,7 +193,7 @@ func run(app, faultName, target string, seed, inject int64, validate bool, saveD
 	}
 	fmt.Printf("SLO violation detected at t=%d (%.0fs after injection)\n", tv, float64(tv-inject))
 
-	deps := fchain.DiscoverDependencies(sys.DependencyTrace(600, seed), fchain.DiscoverConfig{})
+	deps := fchain.DiscoverDependencies(sys.DependencyTrace(depTraceSec, seed), fchain.DiscoverConfig{})
 	if discoverable {
 		fmt.Printf("discovered dependencies: %s\n", deps)
 	} else {
@@ -153,7 +213,6 @@ func run(app, faultName, target string, seed, inject int64, validate bool, saveD
 		fmt.Println("metric samples written to", emitCSV)
 	}
 
-	cfg := fchain.DefaultConfig()
 	cfg.Parallelism = parallel
 	cfg.Streaming = streaming
 	loc := fchain.NewLocalizer(cfg, sys.Components())

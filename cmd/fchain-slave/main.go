@@ -55,35 +55,36 @@ import (
 
 func main() {
 	var (
-		name       = flag.String("name", "", "slave name (default: hostname)")
-		components = flag.String("components", "", "comma-separated component names monitored by this host")
-		master     = flag.String("master", "127.0.0.1:7070", "master address")
-		skew       = flag.Int64("skew", 0, "simulated clock skew in seconds (testing)")
-		backoff    = flag.Duration("backoff", 500*time.Millisecond, "initial reconnect backoff after a dropped master connection")
-		backoffMax = flag.Duration("backoff-max", 15*time.Second, "reconnect backoff cap")
-		ckptDir    = flag.String("checkpoint-dir", "", "directory for crash-safe model checkpoints (empty disables)")
-		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint interval")
-		reorder    = flag.Int("reorder-window", 5, "seconds a sample may arrive out of order before it is dropped (-1 disables reordering)")
-		parallel   = flag.Int("parallel", 0, "analysis workers per analyze request (0 = all cores, 1 = serial)")
-		inflight   = flag.Int("max-inflight", 0, "max concurrent analyze requests (0 = unlimited)")
-		admitQ     = flag.Int("admit-queue", 0, "analyze admission queue depth beyond -max-inflight (LIFO; overflow sheds the oldest waiter)")
-		quarCool   = flag.Duration("quarantine-cooldown", 30*time.Second, "how long a panicked metric stream stays quarantined before one probe re-admission")
-		debugAddr  = flag.String("debug-addr", "", "HTTP debug server address serving /metrics, /healthz, /trace/last and pprof (empty disables)")
-		journal    = flag.String("journal", "", "append machine-readable JSONL events to this file (empty disables)")
-		logLevel   = flag.String("log-level", "info", "stderr log level: debug, info, warn, error")
-		sharded    = flag.Bool("sharded", false, "start with no components of your own: the master assigns them over its consistent-hash ring (requires a master started with -vnodes)")
-		via        = flag.String("via", "", "aggregator name this slave reports through (tree topology)")
-		aggAddr    = flag.String("aggregator", "", "aggregator address to also connect to (required with -via)")
-		streaming  = flag.Bool("streaming", false, "maintain streaming selection state on every sample so analyze answers in ~O(diagnose); falls back to the batch kernel (bit-identically) whenever the state is cold")
+		name        = flag.String("name", "", "slave name (default: hostname)")
+		components  = flag.String("components", "", "comma-separated component names monitored by this host")
+		master      = flag.String("master", "127.0.0.1:7070", "master address")
+		skew        = flag.Int64("skew", 0, "simulated clock skew in seconds (testing)")
+		backoff     = flag.Duration("backoff", 500*time.Millisecond, "initial reconnect backoff after a dropped master connection")
+		backoffMax  = flag.Duration("backoff-max", 15*time.Second, "reconnect backoff cap")
+		ckptDir     = flag.String("checkpoint-dir", "", "directory for crash-safe model checkpoints (empty disables)")
+		ckptEvery   = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint interval")
+		reorder     = flag.Int("reorder-window", 5, "seconds a sample may arrive out of order before it is dropped (-1 disables reordering)")
+		parallel    = flag.Int("parallel", 0, "analysis workers per analyze request (0 = all cores, 1 = serial)")
+		inflight    = flag.Int("max-inflight", 0, "max concurrent analyze requests (0 = unlimited)")
+		admitQ      = flag.Int("admit-queue", 0, "analyze admission queue depth beyond -max-inflight (LIFO; overflow sheds the oldest waiter)")
+		quarCool    = flag.Duration("quarantine-cooldown", 30*time.Second, "how long a panicked metric stream stays quarantined before one probe re-admission")
+		debugAddr   = flag.String("debug-addr", "", "HTTP debug server address serving /metrics, /healthz, /trace/last and pprof (empty disables)")
+		journal     = flag.String("journal", "", "append machine-readable JSONL events to this file (empty disables)")
+		logLevel    = flag.String("log-level", "info", "stderr log level: debug, info, warn, error")
+		sharded     = flag.Bool("sharded", false, "start with no components of your own: the master assigns them over its consistent-hash ring (requires a master started with -vnodes)")
+		via         = flag.String("via", "", "aggregator name this slave reports through (tree topology)")
+		aggAddr     = flag.String("aggregator", "", "aggregator address to also connect to (required with -via)")
+		streaming   = flag.Bool("streaming", false, "maintain streaming selection state on every sample so analyze answers in ~O(diagnose); falls back to the batch kernel (bit-identically) whenever the state is cold")
+		meshProfile = flag.Bool("mesh-profile", false, "apply the generated-mesh monitoring profile (wider external-factor spread, relative-magnitude selection floor) instead of the paper defaults")
 	)
 	flag.Parse()
-	if err := run(*name, *components, *master, *skew, *backoff, *backoffMax, *ckptDir, *ckptEvery, *reorder, *parallel, *inflight, *admitQ, *quarCool, *debugAddr, *journal, *logLevel, *sharded, *via, *aggAddr, *streaming); err != nil {
+	if err := run(*name, *components, *master, *skew, *backoff, *backoffMax, *ckptDir, *ckptEvery, *reorder, *parallel, *inflight, *admitQ, *quarCool, *debugAddr, *journal, *logLevel, *sharded, *via, *aggAddr, *streaming, *meshProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-slave:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, components, master string, skew int64, backoff, backoffMax time.Duration, ckptDir string, ckptEvery time.Duration, reorder, parallel, inflight, admitQ int, quarCool time.Duration, debugAddr, journalPath, logLevel string, sharded bool, via, aggAddr string, streaming bool) error {
+func run(name, components, master string, skew int64, backoff, backoffMax time.Duration, ckptDir string, ckptEvery time.Duration, reorder, parallel, inflight, admitQ int, quarCool time.Duration, debugAddr, journalPath, logLevel string, sharded bool, via, aggAddr string, streaming, meshProfile bool) error {
 	if name == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -131,6 +132,9 @@ func run(name, components, master string, skew int64, backoff, backoffMax time.D
 		opts = append(opts, fchain.WithVia(via))
 	}
 	cfg := fchain.DefaultConfig()
+	if meshProfile {
+		cfg = fchain.MeshConfig()
+	}
 	cfg.ReorderWindow = reorder
 	cfg.Parallelism = parallel
 	cfg.QuarantineCooldown = quarCool

@@ -46,6 +46,7 @@ import (
 	"fchain/internal/cluster"
 	"fchain/internal/core"
 	"fchain/internal/depgraph"
+	"fchain/internal/faultlib"
 	"fchain/internal/ingest"
 	"fchain/internal/metric"
 	"fchain/internal/obs"
@@ -83,6 +84,20 @@ type Config = core.Config
 
 // DefaultConfig returns the paper's default parameters.
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// MeshConfig returns the default parameters with the generated-mesh
+// monitoring profile applied: a wider external-factor onset spread (deep
+// topologies stretch how long a mesh-wide shift takes to manifest
+// everywhere) and the relative-magnitude selection floor (hundreds of
+// monitored components compound the per-metric false-selection rate on
+// operationally meaningless shifts). Use it when monitoring scenario-factory
+// meshes; the paper applications keep DefaultConfig.
+func MeshConfig() Config {
+	cfg := core.DefaultConfig()
+	cfg.ExternalSpread = faultlib.MeshExternalSpread
+	cfg.MinRelMagnitude = faultlib.MeshMinRelMagnitude
+	return cfg
+}
 
 // Diagnosis is the output of fault localization: the pinpointed culprits,
 // the abnormal-change propagation chain, and the external-factor verdict.

@@ -2,6 +2,8 @@ package fchain_test
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"testing"
 
@@ -21,6 +23,15 @@ type goldenScenario struct {
 	seed    int64
 	inject  int64
 	sustain int // consecutive violating seconds before the SLO alarm fires
+
+	// meshSpec switches the scenario to a generated mesh (ParseMesh
+	// grammar); faultTpl then names the fault-template to draw. Mesh
+	// scenarios run under the mesh monitoring profile (wider
+	// external-factor spread, relative-magnitude floor, longer dependency
+	// capture) and pin the evidence trace by digest instead of full JSON —
+	// a 200-component trace would dwarf every other golden combined.
+	meshSpec string
+	faultTpl string
 }
 
 // Fault parameters are fixed constants (no RNG draw, unlike fchain-sim's
@@ -59,6 +70,17 @@ var goldenScenarios = []goldenScenario{
 		inject:  1400,
 		sustain: 3,
 	},
+	{
+		// A generated 200-component mesh under a gray disk failure: the
+		// scenario-factory path (meshgen topology, faultlib template, mesh
+		// monitoring profile) pinned end to end alongside the paper apps.
+		name: "mesh200-gray-disk", app: "mesh",
+		meshSpec: "n=200,fanout=3,depth=5,seed=21",
+		faultTpl: "gray-disk",
+		seed:     7,
+		inject:   2000,
+		sustain:  8,
+	},
 }
 
 // goldenReport is the committed JSON shape: the scenario's identity, the
@@ -74,7 +96,10 @@ type goldenReport struct {
 	Culprits []string      `json:"culprits"`
 	External bool          `json:"external"`
 	Chain    []chainEntry  `json:"chain"`
-	Trace    *fchain.Trace `json:"trace"`
+	Trace    *fchain.Trace `json:"trace,omitempty"`
+	// Mesh scenarios pin the normalized trace by size and digest.
+	TraceSpans  int    `json:"trace_spans,omitempty"`
+	TraceSHA256 string `json:"trace_sha256,omitempty"`
 }
 
 type chainEntry struct {
@@ -88,11 +113,36 @@ type chainEntry struct {
 // tracing — and renders the report bytes compared against the golden.
 func runGoldenScenario(t *testing.T, sc goldenScenario, parallelism int, streaming bool) []byte {
 	t.Helper()
-	sys, err := sc.build(sc.seed)
-	if err != nil {
-		t.Fatal(err)
+	cfg := fchain.DefaultConfig()
+	depTraceSec := 600
+	var (
+		sys   *scenario.System
+		fault scenario.Fault
+	)
+	if sc.meshSpec != "" {
+		m, msys, err := scenario.Mesh(sc.meshSpec, sc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys = msys
+		fault, err = scenario.MeshFault(sc.faultTpl, sc.inject, m, sc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.ExternalSpread = scenario.MeshExternalSpread
+		cfg.MinRelMagnitude = scenario.MeshMinRelMagnitude
+		if lb := scenario.MeshFaultLookBack(sc.faultTpl); lb > 0 {
+			cfg.LookBack = lb
+		}
+		depTraceSec = 2400
+	} else {
+		var err error
+		sys, err = sc.build(sc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fault = sc.fault(sc.inject)
 	}
-	fault := sc.fault(sc.inject)
 	if err := sys.Inject(fault); err != nil {
 		t.Fatal(err)
 	}
@@ -101,9 +151,8 @@ func runGoldenScenario(t *testing.T, sc goldenScenario, parallelism int, streami
 	if !found {
 		t.Fatalf("%s: no SLO violation within the horizon", sc.name)
 	}
-	deps := fchain.DiscoverDependencies(sys.DependencyTrace(600, sc.seed), fchain.DiscoverConfig{})
+	deps := fchain.DiscoverDependencies(sys.DependencyTrace(depTraceSec, sc.seed), fchain.DiscoverConfig{})
 
-	cfg := fchain.DefaultConfig()
 	cfg.Parallelism = parallelism
 	cfg.Streaming = streaming
 	loc := fchain.NewLocalizer(cfg, sys.Components())
@@ -135,7 +184,17 @@ func runGoldenScenario(t *testing.T, sc goldenScenario, parallelism int, streami
 		Verdict:  diag.String(),
 		Culprits: diag.CulpritNames(),
 		External: diag.ExternalFactor,
-		Trace:    trace.Normalize(),
+	}
+	if sc.meshSpec != "" {
+		norm, err := json.Marshal(trace.Normalize())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(norm)
+		report.TraceSpans = trace.SpanCount()
+		report.TraceSHA256 = hex.EncodeToString(sum[:])
+	} else {
+		report.Trace = trace.Normalize()
 	}
 	for _, r := range diag.Chain {
 		entry := chainEntry{Component: r.Component, Onset: r.Onset}

@@ -247,6 +247,201 @@ func (f *OffloadBug) Apply(t int64, c *Comp) {
 	}
 }
 
+// GrayDisk models a gray failure: a disk that is intermittently slow. The
+// fault duty-cycles — during on-phases it steals disk bandwidth and inflates
+// service time (I/O waits), during off-phases the component fully recovers —
+// so the SLO violation flaps and naive detectors that expect a persistent
+// shift miss it.
+type GrayDisk struct {
+	baseFault
+	MBps      float64 // stolen disk bandwidth during on-phases
+	Slowdown  float64 // service-time multiplier during on-phases
+	PeriodSec int64   // duty cycle length
+	OnSec     int64   // slow-phase length within each cycle
+}
+
+// NewGrayDisk injects an intermittently slow disk: every periodSec, the
+// targets spend onSec with mbps of disk bandwidth stolen and service slowed
+// by slowdown.
+func NewGrayDisk(start int64, mbps, slowdown float64, periodSec, onSec int64, targets ...string) *GrayDisk {
+	if periodSec < 2 {
+		periodSec = 2
+	}
+	if onSec < 1 {
+		onSec = 1
+	}
+	if onSec > periodSec {
+		onSec = periodSec
+	}
+	return &GrayDisk{
+		baseFault: baseFault{name: "gray-disk", targets: targets, start: start},
+		MBps:      mbps, Slowdown: slowdown, PeriodSec: periodSec, OnSec: onSec,
+	}
+}
+
+// Apply implements Fault.
+func (f *GrayDisk) Apply(t int64, c *Comp) {
+	if (t-f.start)%f.PeriodSec >= f.OnSec {
+		return
+	}
+	c.HogDiskRead += 0.6 * f.MBps
+	c.HogDiskWrite += 0.4 * f.MBps
+	if f.Slowdown > 1 {
+		c.Slowdown *= f.Slowdown
+	}
+}
+
+// RetryStorm models a cascading retry storm: a slowdown at one component
+// whose callers retry timed-out requests, amplifying the load on the
+// already-slow component and burning CPU (and network chatter) on the retry
+// bookkeeping upstream — load amplification travelling along reversed
+// dependency edges. The ground truth is the slow root plus its retrying
+// callers, all of which genuinely manifest the fault.
+type RetryStorm struct {
+	baseFault
+	RootSlowdown float64 // service-time multiplier at the slow root
+	RetryRate    float64 // extra retried requests per second landing on the root
+	RetryCPUFrac float64 // upstream per-request CPU inflation (fraction of its own cost)
+	RetryNetMBps float64 // upstream retry chatter (inbound MB/s)
+	root         string
+}
+
+// NewRetryStorm injects a slowdown at root; each upstream caller
+// retransmits, adding retryRate req/s onto the root and inflating every
+// upstream's per-request CPU cost by retryCPUFrac of its own cost.
+func NewRetryStorm(start int64, root string, upstreams []string, rootSlowdown, retryRate, retryCPUFrac, retryNetMBps float64) *RetryStorm {
+	targets := append([]string{root}, upstreams...)
+	return &RetryStorm{
+		baseFault:    baseFault{name: "retry-storm", targets: targets, start: start},
+		RootSlowdown: rootSlowdown,
+		RetryRate:    retryRate,
+		RetryCPUFrac: retryCPUFrac,
+		RetryNetMBps: retryNetMBps,
+		root:         root,
+	}
+}
+
+// Apply implements Fault.
+func (f *RetryStorm) Apply(t int64, c *Comp) {
+	if c.Spec.Name == f.root {
+		if f.RootSlowdown > 1 {
+			c.Slowdown *= f.RootSlowdown
+		}
+		// Retries are genuine requests: they arrive like external load and
+		// are merged into the queue (subject to capacity) this tick.
+		c.arrivals += f.RetryRate
+		return
+	}
+	c.ExtraCPUPerReq += f.RetryCPUFrac * c.Spec.CPUCostPerReq
+	c.HogNetIn += f.RetryNetMBps
+}
+
+// WorkloadSurge is a false-alarm trap, not a fault: a legitimate traffic
+// surge at the entry components. Every component works harder and the SLO
+// may be violated, but no component misbehaves — the ground truth is empty,
+// and a localizer is scored on *not* blaming anyone (FChain's external-
+// factor rule, paper §II-C).
+type WorkloadSurge struct {
+	baseFault
+	ExtraRate float64 // added external arrivals per second, split over targets
+	RampSec   int64   // seconds to reach the full surge (0 = instant)
+}
+
+var _ GroundTruther = (*WorkloadSurge)(nil)
+
+// NewWorkloadSurge adds extraRate req/s of legitimate traffic at the entry
+// components, ramping linearly over rampSec.
+func NewWorkloadSurge(start int64, extraRate float64, rampSec int64, entries ...string) *WorkloadSurge {
+	return &WorkloadSurge{
+		baseFault: baseFault{name: "workload-surge", targets: entries, start: start},
+		ExtraRate: extraRate,
+		RampSec:   rampSec,
+	}
+}
+
+// GroundTruth implements GroundTruther: nobody is at fault.
+func (f *WorkloadSurge) GroundTruth() []string { return []string{} }
+
+// Apply implements Fault.
+func (f *WorkloadSurge) Apply(t int64, c *Comp) {
+	frac := 1.0
+	if f.RampSec > 0 {
+		frac = float64(t-f.start+1) / float64(f.RampSec)
+		if frac > 1 {
+			frac = 1
+		}
+	}
+	c.arrivals += f.ExtraRate * frac / float64(len(f.targets))
+}
+
+// DegradeWaves is a pathological detector-validation fault in the spirit of
+// a reject-all handler: every component degrades, in staggered waves, so a
+// localization pipeline must (a) detect changepoints everywhere and (b) not
+// collapse the diagnosis into the external-factor verdict — the onset spread
+// across waves exceeds the external-factor window by construction.
+type DegradeWaves struct {
+	baseFault
+	Slowdown   float64 // service-time multiplier once a component's wave starts
+	StaggerSec int64   // delay between consecutive waves
+	waveOf     map[string]int64
+}
+
+// NewDegradeWaves degrades every component in waves: waves[i] starts at
+// start + i*staggerSec with the given slowdown.
+func NewDegradeWaves(start int64, slowdown float64, staggerSec int64, waves [][]string) *DegradeWaves {
+	var targets []string
+	waveOf := make(map[string]int64)
+	for i, wave := range waves {
+		for _, name := range wave {
+			targets = append(targets, name)
+			waveOf[name] = int64(i)
+		}
+	}
+	if staggerSec < 1 {
+		staggerSec = 1
+	}
+	return &DegradeWaves{
+		baseFault:  baseFault{name: "everything-degrades", targets: targets, start: start},
+		Slowdown:   slowdown,
+		StaggerSec: staggerSec,
+		waveOf:     waveOf,
+	}
+}
+
+// Apply implements Fault.
+func (f *DegradeWaves) Apply(t int64, c *Comp) {
+	if t >= f.start+f.waveOf[c.Spec.Name]*f.StaggerSec {
+		c.Slowdown *= f.Slowdown
+	}
+}
+
+// Named wraps a fault with a different label and (optionally) an explicit
+// ground truth, so one fault primitive can back several catalog templates
+// (e.g. a CPUHog across a host's tenants reported as "noisy-neighbor" with
+// all co-hosted components as ground truth).
+type Named struct {
+	Fault
+	Label string
+	Truth []string // nil = defer to the wrapped fault
+}
+
+var _ GroundTruther = (*Named)(nil)
+
+// Name implements Fault.
+func (n *Named) Name() string { return n.Label }
+
+// GroundTruth implements GroundTruther, deferring to the wrapped fault when
+// no explicit truth is set.
+func (n *Named) GroundTruth() []string {
+	if n.Truth != nil {
+		return append([]string(nil), n.Truth...)
+	}
+	if gt, ok := n.Fault.(GroundTruther); ok {
+		return gt.GroundTruth()
+	}
+	return n.Fault.Targets()
+}
+
 // ConcurrentName builds the conventional "concurrent-<fault>" label used in
 // the evaluation for multi-target variants.
 func ConcurrentName(name string) string {

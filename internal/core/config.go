@@ -112,6 +112,18 @@ type Config struct {
 	// signal deliberately excludes) never qualify (default 1.4).
 	ValueStdFactor float64
 
+	// MinRelMagnitude, when positive, discards candidate change points whose
+	// mean-shift magnitude is below MinRelMagnitude × the metric's mean
+	// absolute level over the pre-window context. Per-component monitoring
+	// at mesh scale needs it: with hundreds of monitored components, even a
+	// tiny per-metric false-selection rate on operationally meaningless
+	// shifts (a few percent of an idle metric's level) plants spurious
+	// onsets in the propagation chain every single run, and the earliest
+	// spurious onset steals the chain's source slot from the real fault.
+	// Zero (the default) disables the floor, preserving the paper
+	// configuration for the small benchmark applications.
+	MinRelMagnitude float64
+
 	// FixedThreshold, when positive, replaces the burstiness-adaptive
 	// expected prediction error with a fixed absolute threshold. It exists
 	// solely to realize the paper's Fixed-Filtering comparison scheme

@@ -490,6 +490,19 @@ func (m *Monitor) selectMetric(tv int64, k metric.Kind, cfg Config, a *arena, tr
 			}
 		}
 	}
+	// Relative-magnitude floor (opt-in, MinRelMagnitude > 0): a mean shift
+	// smaller than a fixed fraction of the metric's normal operating level
+	// is operationally meaningless even when it is statistically
+	// significant, and at mesh scale (hundreds of monitored components)
+	// such shifts otherwise pollute every propagation chain.
+	relFloor := 0.0
+	if cfg.MinRelMagnitude > 0 {
+		level := meanAbs(cvSeries.ValuesView())
+		if level == 0 {
+			level = meanAbs(smoothed)
+		}
+		relFloor = cfg.MinRelMagnitude * level
+	}
 	// Range escape: how long has the metric been dwelling beyond the levels
 	// it historically visited only 1% of the time?
 	dwellHigh, dwellLow := 0, 0
@@ -533,6 +546,12 @@ func (m *Monitor) selectMetric(tv int64, k metric.Kind, cfg Config, a *arena, tr
 		t := vals.TimeAt(p.Index)
 		if t < lookbackStart {
 			continue // context region, not the look-back window
+		}
+		if relFloor > 0 && math.Abs(p.Magnitude) < relFloor {
+			if tr != nil {
+				tr.Attr(flt, "cand:"+strconv.FormatInt(t, 10), "sub-floor")
+			}
+			continue // below the relative-magnitude floor
 		}
 		pe := predictionErrorNear(&errsSeries, p.Index)
 		var exp, fftExp float64
@@ -844,4 +863,17 @@ func detrendInto(dst, vals []float64) []float64 {
 func ExpectedErrorForWindow(window []float64, cfg Config) (float64, error) {
 	cfg = cfg.withDefaults()
 	return fftpkg.ExpectedError(detrend(window), cfg.TopFreqFrac, cfg.BurstPercentile)
+}
+
+// meanAbs is the mean absolute value of vals (0 for an empty slice) — the
+// "normal operating level" the MinRelMagnitude floor is relative to.
+func meanAbs(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += math.Abs(v)
+	}
+	return s / float64(len(vals))
 }

@@ -75,6 +75,48 @@ func TestDirectedPath(t *testing.T) {
 	}
 }
 
+func TestIsAcyclic(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("web", "app1", 1)
+	g.AddEdge("web", "app2", 1)
+	g.AddEdge("app1", "db", 1)
+	g.AddEdge("app2", "db", 1)
+	if !g.IsAcyclic() {
+		t.Error("diamond DAG reported cyclic")
+	}
+	g.AddEdge("db", "web", 1) // feedback edge closes a cycle
+	if g.IsAcyclic() {
+		t.Error("graph with db->web feedback reported acyclic")
+	}
+
+	empty := NewGraph()
+	if !empty.IsAcyclic() {
+		t.Error("empty graph reported cyclic")
+	}
+	empty.AddNode("lone")
+	if !empty.IsAcyclic() {
+		t.Error("single node reported cyclic")
+	}
+
+	// Self-edges are ignored by AddEdge, so they cannot create a cycle.
+	loop := NewGraph()
+	loop.AddEdge("a", "a", 1)
+	loop.AddEdge("a", "b", 1)
+	if !loop.IsAcyclic() {
+		t.Error("ignored self-edge reported as a cycle")
+	}
+
+	// A cycle in one component is found even with other acyclic components.
+	multi := NewGraph()
+	multi.AddEdge("x", "y", 1)
+	multi.AddEdge("p", "q", 1)
+	multi.AddEdge("q", "r", 1)
+	multi.AddEdge("r", "p", 1)
+	if multi.IsAcyclic() {
+		t.Error("cycle p->q->r->p not detected alongside acyclic component")
+	}
+}
+
 func TestUndirectedPathCoversBackPressure(t *testing.T) {
 	// db is downstream of app; back-pressure can push anomalies upstream,
 	// so a propagation path db ~> web must exist.

@@ -169,6 +169,35 @@ func (g *Graph) HasDirectedPath(from, to string) bool {
 	return false
 }
 
+// IsAcyclic reports whether the graph contains no directed cycle. The mesh
+// generator uses it to prove that a cycle-probability of zero yields a DAG
+// (and that a positive one eventually does not).
+func (g *Graph) IsAcyclic() bool {
+	state := make(map[string]int, len(g.nodes)) // 0=unseen 1=visiting 2=done
+	var visit func(n string) bool
+	visit = func(n string) bool {
+		state[n] = 1
+		for next := range g.edges[n] {
+			switch state[next] {
+			case 1:
+				return false
+			case 0:
+				if !visit(next) {
+					return false
+				}
+			}
+		}
+		state[n] = 2
+		return true
+	}
+	for n := range g.nodes {
+		if state[n] == 0 && !visit(n) {
+			return false
+		}
+	}
+	return true
+}
+
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	out := NewGraph()

@@ -41,15 +41,22 @@ func (o Outcome) Precision() float64 {
 	return float64(o.TP) / float64(o.TP+o.FP)
 }
 
-// Recall returns TP/(TP+FN), or 0 when there was nothing to find.
+// Recall returns TP/(TP+FN). When there was nothing to find (TP+FN == 0,
+// which by Score's construction means the ground truth was empty — a
+// false-alarm trap), recall is vacuously 1: missing nothing is not a miss.
+// Precision still penalizes any culprit blamed on such a trial, since every
+// pinpointed component is a false positive against an empty truth.
 func (o Outcome) Recall() float64 {
 	if o.TP+o.FN == 0 {
-		return 0
+		return 1
 	}
 	return float64(o.TP) / float64(o.TP+o.FN)
 }
 
-// Score compares pinpointed components against the ground truth.
+// Score compares pinpointed components against the ground truth. An empty
+// truth (a false-alarm trap) makes every pinpointed component a false
+// positive; with nothing pinpointed either, the outcome is all-zero
+// (precision 0/0 reported as 0, recall vacuously 1).
 func Score(pinpointed, truth []string) Outcome {
 	t := make(map[string]bool, len(truth))
 	for _, c := range truth {

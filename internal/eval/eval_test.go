@@ -41,8 +41,50 @@ func TestPrecisionRecall(t *testing.T) {
 		t.Errorf("Recall = %v", got)
 	}
 	var zero Outcome
-	if zero.Precision() != 0 || zero.Recall() != 0 {
-		t.Error("zero outcome should have 0 precision/recall")
+	if zero.Precision() != 0 {
+		t.Error("zero outcome should have 0 precision")
+	}
+	if zero.Recall() != 1 {
+		t.Error("zero outcome (empty truth, nothing pinpointed) should have vacuous recall 1")
+	}
+}
+
+// TestTrapScoring pins the false-alarm-trap scoring path: an empty ground
+// truth means any culprit is a false positive, recall is vacuously 1, and
+// precision is defined (0 when anyone was blamed, the 0/0 convention
+// otherwise).
+func TestTrapScoring(t *testing.T) {
+	silent := Score(nil, []string{})
+	if silent != (Outcome{}) {
+		t.Fatalf("silent trap outcome = %+v, want all-zero", silent)
+	}
+	if silent.Recall() != 1 {
+		t.Errorf("silent trap recall = %v, want vacuous 1", silent.Recall())
+	}
+	if silent.Precision() != 0 {
+		t.Errorf("silent trap precision = %v, want 0 (0/0 convention)", silent.Precision())
+	}
+
+	blamed := Score([]string{"m01-000", "m02-003"}, []string{})
+	if blamed.TP != 0 || blamed.FP != 2 || blamed.FN != 0 {
+		t.Fatalf("blamed trap outcome = %+v, want 2 pure false positives", blamed)
+	}
+	if blamed.Precision() != 0 {
+		t.Errorf("blamed trap precision = %v, want 0", blamed.Precision())
+	}
+	if blamed.Recall() != 1 {
+		t.Errorf("blamed trap recall = %v, want vacuous 1 (nothing was missable)", blamed.Recall())
+	}
+
+	// Aggregation across a campaign: trap FPs dilute precision but leave
+	// recall untouched.
+	agg := Outcome{TP: 3, FN: 1}
+	agg.Add(blamed)
+	if got := agg.Precision(); got != 0.6 {
+		t.Errorf("aggregate precision = %v, want 0.6", got)
+	}
+	if got := agg.Recall(); got != 0.75 {
+		t.Errorf("aggregate recall = %v, want 0.75", got)
 	}
 }
 

@@ -1,0 +1,3 @@
+package meshgen_test
+
+import _ "fchain/internal/golden" // registers the module-wide -update flag

@@ -11,11 +11,14 @@ package scenario
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 
 	"fchain/internal/apps"
 	"fchain/internal/cloudsim"
 	"fchain/internal/eval"
+	"fchain/internal/faultlib"
+	"fchain/internal/meshgen"
 	"fchain/internal/workload"
 )
 
@@ -103,6 +106,75 @@ func SystemS(seed int64) (*System, error) { return cloudsim.New(apps.SystemS(see
 // nodes, wave-style shuffle); SLO: job progress stall.
 func Hadoop(seed int64) (*System, error) { return cloudsim.New(apps.Hadoop(seed), seed) }
 
+// GeneratedMesh is a generated microservice mesh: a layered topology of
+// components with derived per-component capacities, a host placement, and a
+// latency SLO calibrated to the mesh's analytic baseline. See ParseMesh.
+type GeneratedMesh = meshgen.Mesh
+
+// MeshExternalSpread is the external-factor onset spread (seconds) tuned for
+// generated meshes: deep topologies stretch how long a mesh-wide workload
+// shift takes to manifest everywhere, so the paper's 6 s (calibrated on 4-9
+// component apps) is widened to 12 s.
+const MeshExternalSpread = faultlib.MeshExternalSpread
+
+// MeshMinRelMagnitude is the relative-magnitude selection floor
+// (Config.MinRelMagnitude) tuned for generated meshes: with hundreds of
+// monitored components, operationally meaningless shifts would otherwise
+// pollute every propagation chain. Genuine template faults sit far above it.
+const MeshMinRelMagnitude = faultlib.MeshMinRelMagnitude
+
+// ParseMesh generates a microservice mesh from a parameter string like
+// "n=200,fanout=3,depth=5,seed=7" (keys: n/components, fanout, depth, cycle,
+// hosts, seed, rate, util; empty string = defaults). The same string always
+// yields the same mesh.
+func ParseMesh(spec string) (*GeneratedMesh, error) {
+	p, err := meshgen.ParseParams(spec)
+	if err != nil {
+		return nil, err
+	}
+	return meshgen.Generate(p)
+}
+
+// Mesh generates a mesh from the parameter string and builds a running
+// simulation of it, realizing the workload trace with the given seed (the
+// topology depends only on the parameter string; the trace only on seed).
+func Mesh(spec string, seed int64) (*GeneratedMesh, *System, error) {
+	m, err := ParseMesh(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := cloudsim.New(m.SpecWithTrace(seed), seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, sys, nil
+}
+
+// FaultTemplates lists the fault-template library's names, usable with
+// MeshFault (gray failures, cascades, noisy neighbors, false-alarm traps).
+func FaultTemplates() []string { return faultlib.Names() }
+
+// MeshFault instantiates a named fault template against a generated mesh at
+// the given injection time. Target selection draws from the seed, so the
+// same (template, mesh, seed) triple always picks the same components.
+func MeshFault(name string, inject int64, m *GeneratedMesh, seed int64) (Fault, error) {
+	tpl, ok := faultlib.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown fault template %q (want one of %v)", name, faultlib.Names())
+	}
+	rng := rand.New(rand.NewSource(seed*7919 + 13))
+	return tpl.Make(inject, m, rng), nil
+}
+
+// MeshFaultLookBack returns the FChain look-back window a template requires
+// (0 = the 100 s default; slow leaks need 500 s).
+func MeshFaultLookBack(name string) int {
+	if tpl, ok := faultlib.Lookup(name); ok {
+		return tpl.LookBack
+	}
+	return 0
+}
+
 // Fault constructors (paper §III-A fault injection).
 var (
 	// NewMemLeak injects a memory leak of rateMB MB/s.
@@ -146,6 +218,10 @@ const (
 	// Ablation is an extension beyond the paper: it quantifies the
 	// contribution of each FChain design choice.
 	Ablation = "ablation"
+	// Matrix is an extension beyond the paper: the (topology × fault)
+	// accuracy matrix over generated microservice meshes — the committed
+	// results_matrix.txt artifact. Runs <= 0 defaults to 2 seeds per cell.
+	Matrix = "matrix"
 )
 
 // Experiments lists every reproducible table/figure identifier in paper
@@ -216,6 +292,10 @@ func RunWith(id string, opts RunOptions) (string, error) {
 		return eval.Table2()
 	case Ablation:
 		return eval.AblationTable(runs, cfg)
+	case Matrix:
+		// The matrix has its own default (2 runs per cell), so pass the
+		// caller's raw value rather than the 10-run accuracy default.
+		return eval.MatrixReport(opts.Runs, cfg)
 	default:
 		return "", fmt.Errorf("scenario: unknown experiment %q (want one of %v)", id, Experiments())
 	}

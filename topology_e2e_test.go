@@ -15,15 +15,43 @@ import (
 )
 
 // buildScenario replays one golden scenario up to its SLO violation and
-// returns the simulated system, the violation time, and the discovered
-// dependency graph — the shared inputs both cluster topologies feed from.
-func buildScenario(t *testing.T, sc goldenScenario) (*scenario.System, int64, *fchain.DependencyGraph) {
+// returns the simulated system, the violation time, the discovered
+// dependency graph, and the monitoring config the scenario calls for (mesh
+// scenarios analyze under the mesh profile) — the shared inputs both
+// cluster topologies feed from.
+func buildScenario(t *testing.T, sc goldenScenario) (*scenario.System, int64, *fchain.DependencyGraph, fchain.Config) {
 	t.Helper()
-	sys, err := sc.build(sc.seed)
-	if err != nil {
-		t.Fatal(err)
+	cfg := fchain.DefaultConfig()
+	depTraceSec := 600
+	var (
+		sys   *scenario.System
+		fault scenario.Fault
+	)
+	if sc.meshSpec != "" {
+		m, msys, err := scenario.Mesh(sc.meshSpec, sc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys = msys
+		fault, err = scenario.MeshFault(sc.faultTpl, sc.inject, m, sc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.ExternalSpread = scenario.MeshExternalSpread
+		cfg.MinRelMagnitude = scenario.MeshMinRelMagnitude
+		if lb := scenario.MeshFaultLookBack(sc.faultTpl); lb > 0 {
+			cfg.LookBack = lb
+		}
+		depTraceSec = 2400
+	} else {
+		var err error
+		sys, err = sc.build(sc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fault = sc.fault(sc.inject)
 	}
-	if err := sys.Inject(sc.fault(sc.inject)); err != nil {
+	if err := sys.Inject(fault); err != nil {
 		t.Fatal(err)
 	}
 	sys.RunUntil(sc.inject + 1100)
@@ -31,16 +59,16 @@ func buildScenario(t *testing.T, sc goldenScenario) (*scenario.System, int64, *f
 	if !found {
 		t.Fatalf("%s: no SLO violation within the horizon", sc.name)
 	}
-	deps := fchain.DiscoverDependencies(sys.DependencyTrace(600, sc.seed), fchain.DiscoverConfig{})
-	return sys, tv, deps
+	deps := fchain.DiscoverDependencies(sys.DependencyTrace(depTraceSec, sc.seed), fchain.DiscoverConfig{})
+	return sys, tv, deps, cfg
 }
 
 // clusterDiagnosis localizes the scenario through a cluster: one slave per
 // component, flat (nAggs == 0) or fanned out through aggregators, and
 // returns the diagnosis rendered as canonical JSON.
-func clusterDiagnosis(t *testing.T, sys *scenario.System, tv int64, deps *fchain.DependencyGraph, nAggs int) []byte {
+func clusterDiagnosis(t *testing.T, sys *scenario.System, tv int64, deps *fchain.DependencyGraph, cfg fchain.Config, nAggs int) []byte {
 	t.Helper()
-	master := fchain.NewMaster(fchain.DefaultConfig(), deps)
+	master := fchain.NewMaster(cfg, deps)
 	if err := master.Start("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +94,7 @@ func clusterDiagnosis(t *testing.T, sys *scenario.System, tv int64, deps *fchain
 		if nAggs > 0 {
 			opts = append(opts, fchain.WithVia("agg-"+string(rune('a'+i%nAggs))))
 		}
-		sl := fchain.NewSlave("host-"+comp, []string{comp}, fchain.DefaultConfig(), opts...)
+		sl := fchain.NewSlave("host-"+comp, []string{comp}, cfg, opts...)
 		for _, k := range fchain.Kinds() {
 			s, err := sys.Series(comp, k)
 			if err != nil {
@@ -127,9 +155,9 @@ func TestTopologyDiagnosisParity(t *testing.T) {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
 			t.Parallel()
-			sys, tv, deps := buildScenario(t, sc)
-			flat := clusterDiagnosis(t, sys, tv, deps, 0)
-			tree := clusterDiagnosis(t, sys, tv, deps, 2)
+			sys, tv, deps, cfg := buildScenario(t, sc)
+			flat := clusterDiagnosis(t, sys, tv, deps, cfg, 0)
+			tree := clusterDiagnosis(t, sys, tv, deps, cfg, 2)
 			if !bytes.Equal(flat, tree) {
 				t.Errorf("tree diagnosis differs from flat:\n flat: %s\n tree: %s", flat, tree)
 			}
