@@ -12,6 +12,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"fchain"
@@ -287,7 +288,10 @@ func runCheck(baselinePath string, threshold float64) error {
 	if err := slaveAnswerCheck(); err != nil {
 		return err
 	}
-	return idleOverheadCheck(idleOverheadLimit)
+	if err := idleOverheadCheck(idleOverheadLimit); err != nil {
+		return err
+	}
+	return replOverheadCheck(replOverheadLimit)
 }
 
 // streamingSpeedupRatio is the floor on how much faster the streaming
@@ -414,6 +418,133 @@ func idleOverheadCheck(maxOverhead float64) error {
 		plain, budgeted, overhead*100, maxOverhead*100)
 	if overhead > maxOverhead {
 		return fmt.Errorf("deadline-budgeted selection is %.2f%% slower than plain when idle (limit %.0f%%)",
+			overhead*100, maxOverhead*100)
+	}
+	return nil
+}
+
+// replOverheadLimit caps how much warm-standby replication may slow the
+// Observe hot path: ingestion against a live replicator ticking on the same
+// monitor must track ingestion on an unreplicated monitor within this
+// fraction.
+const replOverheadLimit = 0.05
+
+// replWindowSeconds is how many seconds of samples each replicator tick
+// extracts in replOverheadCheck: one 30-second replication interval's worth
+// against 1 Hz samples, the shape a deployed delta actually has. The
+// benchmark loop ingests millions of samples per wall second, so extraction
+// is window-pinned rather than floor-chasing — letting the replicator chase
+// the real head would hand it megabytes per tick, a workload no deployment
+// produces, and on a single-CPU worker the timed loop would be billed for
+// it.
+const replWindowSeconds = 30
+
+// replOverheadCheck verifies replication is free where it matters. Delta
+// extraction runs on the slave's replication goroutine, not inside Observe
+// — the only cost the ingestion hot path can see is contention on the shard
+// locks DeltaInto holds while it extracts. So the replicated side times the
+// same Observe loop as the plain side while a background replicator pulls a
+// deployment-shaped delta (replWindowSeconds behind the live head) from the
+// same monitor every millisecond — 100x denser than the tightest cadence
+// the tests ship with — and the interleaved best-of-five gap (machine speed
+// cancels out) must stay under replOverheadLimit.
+func replOverheadCheck(maxOverhead float64) error {
+	mkMonitor := func() *core.Monitor {
+		mon := core.NewMonitor("c", core.DefaultConfig())
+		for t := int64(0); t < 2000; t++ {
+			for _, k := range metric.Kinds {
+				if err := mon.Observe(t, k, float64(40+t%23)+float64(t%7)); err != nil {
+					panic(err)
+				}
+			}
+		}
+		return mon
+	}
+	plainMon, replMon := mkMonitor(), mkMonitor()
+	var plainTS, replTS atomic.Int64
+	plainTS.Store(2000)
+	replTS.Store(2000)
+	observeRun := func(mon *core.Monitor, ts *atomic.Int64) func(n int) {
+		return func(n int) {
+			for i := 0; i < n; i++ {
+				t := ts.Load()
+				for _, k := range metric.Kinds {
+					if err := mon.Observe(t, k, float64(40+t%23)); err != nil {
+						panic(err)
+					}
+				}
+				ts.Store(t + 1)
+			}
+		}
+	}
+	plainRun, replRun := observeRun(plainMon, &plainTS), observeRun(replMon, &replTS)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var delta core.ReplDelta
+		floors := make(map[string]int64, len(metric.Kinds))
+		ticker := time.NewTicker(time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+			}
+			// Published samples end at head-1, and the window floor sits far
+			// inside the retention ring — but if this goroutine is preempted
+			// mid-extraction, the timed loop can wrap the ring past the now
+			// stale floor and DeltaInto reports the gap (ok=false), exactly as
+			// it would to a real replicator. The tick just retries with a
+			// fresh head, the cheap analogue of the slave's full resend.
+			head := replTS.Load()
+			for _, k := range metric.Kinds {
+				floors[k.String()] = head - replWindowSeconds
+			}
+			replMon.DeltaInto(&delta, floors)
+		}
+	}()
+	measure("warmup", plainRun)
+	measure("warmup", replRun)
+	// An op here is ~400ns — far below the timing noise of a shared or
+	// virtualized worker, where CPU-frequency phases and hypervisor steal
+	// swing whole 200ms passes by more than the gate. So instead of timing
+	// the two sides in separate passes, alternate them in ~2ms chunks inside
+	// one long run and compare the summed times: any noise envelope slower
+	// than a chunk pair lands on both sides equally and cancels, and faster
+	// jitter averages out over the ~1600 chunks.
+	// ABBA ordering: alternating which side goes first in each pair cancels
+	// any systematic second-chunk effect (scheduler wakeups, boost decay).
+	const chunkIters = 5000
+	const chunks = 800
+	var plainNS, replNS int64
+	var iters int64
+	timed := func(fn func(n int)) int64 {
+		start := time.Now()
+		fn(chunkIters)
+		return time.Since(start).Nanoseconds()
+	}
+	for c := 0; c < chunks; c++ {
+		if c%2 == 0 {
+			plainNS += timed(plainRun)
+			replNS += timed(replRun)
+		} else {
+			replNS += timed(replRun)
+			plainNS += timed(plainRun)
+		}
+		iters += chunkIters
+	}
+	close(stop)
+	<-done
+	plain := float64(plainNS) / float64(iters)
+	replicated := float64(replNS) / float64(iters)
+	overhead := replicated/plain - 1
+	fmt.Printf("replication observe overhead: plain %.0f ns/op, replicated %.0f ns/op (%+.2f%%, limit %.0f%%)\n",
+		plain, replicated, overhead*100, maxOverhead*100)
+	if overhead > maxOverhead {
+		return fmt.Errorf("observe against a 1ms replicator is %.2f%% slower than plain (limit %.0f%%)",
 			overhead*100, maxOverhead*100)
 	}
 	return nil

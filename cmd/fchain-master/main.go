@@ -94,6 +94,8 @@ type config struct {
 	handoffTimeout time.Duration
 	handoffRetries int
 	autoRebalance  bool
+	standby        bool
+	replMaxLag     time.Duration
 	meshProfile    bool
 }
 
@@ -126,6 +128,8 @@ func main() {
 	flag.IntVar(&cfg.handoffRetries, "handoff-retries", 1, "extra attempts a failed checkpoint handoff gets before the new owner cold-starts")
 	flag.BoolVar(&cfg.meshProfile, "mesh-profile", false, "apply the generated-mesh monitoring profile (wider external-factor spread, relative-magnitude selection floor) instead of the paper defaults")
 	flag.BoolVar(&cfg.autoRebalance, "auto-rebalance", true, "with -vnodes: rebalance automatically on slave join/leave/eviction (off, placement changes only on the rebalance command)")
+	flag.BoolVar(&cfg.standby, "standby", false, "with -vnodes: assign every component a warm standby slave and promote it in place when the primary dies (pair with the slaves' -repl-interval)")
+	flag.DurationVar(&cfg.replMaxLag, "repl-max-lag", 0, "with -standby: maximum standby replication lag still promotable warm; a staler standby cold-starts instead (0 = no bound)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-master:", err)
@@ -164,6 +168,11 @@ func run(cfg config) error {
 			fchain.WithHandoffTimeout(cfg.handoffTimeout),
 			fchain.WithHandoffRetries(cfg.handoffRetries),
 			fchain.WithAutoRebalance(cfg.autoRebalance))
+		if cfg.standby {
+			masterOpts = append(masterOpts,
+				fchain.WithStandby(true),
+				fchain.WithReplMaxLag(cfg.replMaxLag))
+		}
 	}
 	coreCfg := fchain.DefaultConfig()
 	if cfg.meshProfile {

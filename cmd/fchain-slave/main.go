@@ -75,16 +75,17 @@ func main() {
 		via         = flag.String("via", "", "aggregator name this slave reports through (tree topology)")
 		aggAddr     = flag.String("aggregator", "", "aggregator address to also connect to (required with -via)")
 		streaming   = flag.Bool("streaming", false, "maintain streaming selection state on every sample so analyze answers in ~O(diagnose); falls back to the batch kernel (bit-identically) whenever the state is cold")
+		replEvery   = flag.Duration("repl-interval", 0, "ship owned components' state deltas to their warm standbys every interval (0 disables; requires a master started with -standby)")
 		meshProfile = flag.Bool("mesh-profile", false, "apply the generated-mesh monitoring profile (wider external-factor spread, relative-magnitude selection floor) instead of the paper defaults")
 	)
 	flag.Parse()
-	if err := run(*name, *components, *master, *skew, *backoff, *backoffMax, *ckptDir, *ckptEvery, *reorder, *parallel, *inflight, *admitQ, *quarCool, *debugAddr, *journal, *logLevel, *sharded, *via, *aggAddr, *streaming, *meshProfile); err != nil {
+	if err := run(*name, *components, *master, *skew, *backoff, *backoffMax, *ckptDir, *ckptEvery, *reorder, *parallel, *inflight, *admitQ, *quarCool, *debugAddr, *journal, *logLevel, *sharded, *via, *aggAddr, *streaming, *meshProfile, *replEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "fchain-slave:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, components, master string, skew int64, backoff, backoffMax time.Duration, ckptDir string, ckptEvery time.Duration, reorder, parallel, inflight, admitQ int, quarCool time.Duration, debugAddr, journalPath, logLevel string, sharded bool, via, aggAddr string, streaming, meshProfile bool) error {
+func run(name, components, master string, skew int64, backoff, backoffMax time.Duration, ckptDir string, ckptEvery time.Duration, reorder, parallel, inflight, admitQ int, quarCool time.Duration, debugAddr, journalPath, logLevel string, sharded bool, via, aggAddr string, streaming, meshProfile bool, replEvery time.Duration) error {
 	if name == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -130,6 +131,9 @@ func run(name, components, master string, skew int64, backoff, backoffMax time.D
 	}
 	if via != "" {
 		opts = append(opts, fchain.WithVia(via))
+	}
+	if replEvery > 0 {
+		opts = append(opts, fchain.WithReplication(replEvery))
 	}
 	cfg := fchain.DefaultConfig()
 	if meshProfile {

@@ -384,6 +384,18 @@ func WithHandoffRetries(n int) MasterOption { return cluster.WithHandoffRetries(
 // Rebalance is called.
 func WithAutoRebalance(on bool) MasterOption { return cluster.WithAutoRebalance(on) }
 
+// WithStandby gives every placed component a warm standby owner (sharded
+// mode only): the ring assigns a second, distinct slave per component,
+// primaries stream state deltas to it (enable WithReplication on the
+// slaves), and when a primary dies rebalancing promotes the caught-up
+// standby in place — no checkpoint read, no handoff round-trip.
+func WithStandby(on bool) MasterOption { return cluster.WithStandby(on) }
+
+// WithReplMaxLag bounds how stale a standby may be and still be promoted
+// warm: a standby whose last clean replication tick is older than d falls
+// back to a cold start instead (<= 0, the default, disables the bound).
+func WithReplMaxLag(d time.Duration) MasterOption { return cluster.WithReplMaxLag(d) }
+
 // Aggregator is the optional middle tier of the master/slave topology: it
 // registers with the master as the upstream of a slave subtree, fans the
 // master's analyze requests out to its subtree, and merges the answers into
@@ -466,6 +478,15 @@ func WithBackoff(initial, max time.Duration) SlaveOption { return cluster.WithBa
 
 // WithReconnect toggles the slave's automatic reconnection (default on).
 func WithReconnect(on bool) SlaveOption { return cluster.WithReconnect(on) }
+
+// WithReplication enables warm-standby replication: every interval the
+// slave ships each owned component's state delta (new samples since the
+// last acked ship, or a full snapshot after a gap) upstream for relay to
+// the component's standby (<= 0 disables; pair with the master's
+// WithStandby).
+func WithReplication(interval time.Duration) SlaveOption {
+	return cluster.WithReplication(interval)
+}
 
 // WithCheckpointDir enables crash-safe persistence: the slave checkpoints
 // every component's models and ring tails to dir (periodically and on

@@ -58,6 +58,22 @@ type Master struct {
 	rebalanceReq chan struct{} // buffered(1) trigger for the auto-rebalance loop
 	handoffHook  atomic.Pointer[func(comp, from, to string)]
 
+	// Warm-standby replication (standbyOn): every component gets a standby
+	// owner next to its primary on the ring, primaries ship state deltas
+	// upstream, and the master relays each to the standby. replSent/replAcked
+	// track the per-component sequence numbers relayed and acked — a
+	// component is warm-promotable only while the two match — and replTickAt
+	// records each slave's last clean replication tick, bounding how stale
+	// its standbys can be (replMaxLag; 0 = no bound). replMu is never held
+	// together with mu.
+	standbyOn  bool
+	replMaxLag time.Duration
+	replMu     sync.Mutex
+	standbyOf  map[string]string
+	replSent   map[string]uint64
+	replAcked  map[string]uint64
+	replTickAt map[string]time.Time
+
 	reqCounter atomic.Uint64
 
 	mu      sync.Mutex
@@ -202,6 +218,29 @@ func WithHandoffRetries(n int) MasterOption {
 	}
 }
 
+// WithStandby gives every placed component a warm standby owner (sharded
+// mode only): rebalancing assigns each component a second, distinct slave on
+// the ring, slaves replicate state deltas to it through the master (see
+// WithReplication on the slave), and when the primary dies or is evicted the
+// rebalance promotes the standby's shadow monitor in place — no checkpoint
+// read, no handoff round-trip — falling back to the cold-start path only
+// when the standby is gone, behind on acks, or past the lag bound.
+func WithStandby(on bool) MasterOption {
+	return func(m *Master) { m.standbyOn = on }
+}
+
+// WithReplMaxLag bounds how stale a standby may be and still be promoted
+// warm: promotion requires the dead primary's last clean replication tick to
+// be at most d old. d <= 0 (the default) disables the bound — promotion then
+// only requires every relayed frame to be acked.
+func WithReplMaxLag(d time.Duration) MasterOption {
+	return func(m *Master) {
+		if d > 0 {
+			m.replMaxLag = d
+		}
+	}
+}
+
 // WithAutoRebalance controls whether membership changes trigger rebalancing
 // automatically (the default). Disabled, placement changes only when the
 // caller invokes Rebalance — tests use this to make move windows
@@ -217,6 +256,13 @@ type slaveConn struct {
 	components []string
 	via        string // aggregator this slave also answers through ("" = direct only)
 	w          *connWriter
+
+	// replQ carries this slave's inbound replicate frames to a dedicated
+	// drainer goroutine: relaying blocks on the standby's ack, so it cannot
+	// run on the reader (pings would starve), and per-frame goroutines would
+	// lose the per-component ordering the delta replay depends on. Nil for
+	// aggregators. The reader is the only sender and closes it on exit.
+	replQ chan *envelope
 
 	mu       sync.Mutex
 	pending  map[uint64]chan *envelope
@@ -359,6 +405,11 @@ func NewMaster(cfg core.Config, deps *depgraph.Graph, opts ...MasterOption) *Mas
 		known:   make(map[string]bool),
 		owner:   make(map[string]string),
 		stop:    make(chan struct{}),
+
+		standbyOf:  make(map[string]string),
+		replSent:   make(map[string]uint64),
+		replAcked:  make(map[string]uint64),
+		replTickAt: make(map[string]time.Time),
 	}
 	for _, o := range opts {
 		o(m)
@@ -450,6 +501,7 @@ func (m *Master) serveConn(conn net.Conn) {
 		via:        env.Via,
 		w:          newConnWriter(conn),
 		pending:    make(map[uint64]chan *envelope),
+		replQ:      make(chan *envelope, replQueueDepth),
 	}
 	m.mu.Lock()
 	if m.closed {
@@ -489,11 +541,25 @@ func (m *Master) serveConn(conn net.Conn) {
 	if m.sharded() {
 		m.obs.Registry().Gauge("fchain_cluster_members", "Slaves on the placement ring.").Set(float64(registered))
 		_ = m.obs.EventJournal().Record("member_joined", map[string]any{"slave": sc.name})
-		if owned != nil {
+		var shadow []string
+		if m.standbyOn {
+			m.replMu.Lock()
+			for comp, st := range m.standbyOf {
+				if st == sc.name {
+					shadow = append(shadow, comp)
+				}
+			}
+			m.replMu.Unlock()
+			sort.Strings(shadow)
+		}
+		if owned != nil || shadow != nil {
 			m.wg.Add(1)
 			go func() {
 				defer m.wg.Done()
-				_, _ = m.call(sc, &envelope{Type: typeAssign, Components: owned}, m.handoffTimeout)
+				// ReplReset covers everything owned: a reconnecting slave may
+				// hold floors from before the outage while its components'
+				// standbys moved, so it re-ships full state once.
+				_, _ = m.call(sc, &envelope{Type: typeAssign, Components: owned, Shadow: shadow, ReplReset: owned}, m.handoffTimeout)
 			}()
 		}
 		m.triggerRebalance()
@@ -520,7 +586,10 @@ func (m *Master) serveConn(conn net.Conn) {
 		sc.failAll(fmt.Sprintf("slave %s disconnected", sc.name))
 	}()
 
+	m.wg.Add(1)
+	go m.drainReplicate(sc)
 	m.servePeerFrames(r, sc)
+	close(sc.replQ) // the reader above is the only sender
 }
 
 // servePeerFrames routes a registered peer's inbound frames until the
@@ -537,10 +606,128 @@ func (m *Master) servePeerFrames(r *bufio.Reader, sc *slaveConn) {
 			if ch, ok := sc.takePending(env.ID); ok {
 				ch <- env
 			}
+		case typeReplicate:
+			if sc.replQ == nil {
+				break // aggregators do not replicate
+			}
+			select {
+			case sc.replQ <- env:
+			default:
+				// Overflow: NAK instead of blocking the reader; the primary
+				// recovers with a full resend on a later tick.
+				_ = sc.w.write(&envelope{Type: typeError, ID: env.ID, Component: env.Component,
+					Code: codeReplFull, Err: "cluster: replication relay queue full"}, 5*time.Second)
+			}
 		case typePing:
 			_ = sc.w.write(&envelope{Type: typePong, ID: env.ID}, 5*time.Second)
 		}
 	}
+}
+
+// replQueueDepth bounds a slave's queued replicate frames awaiting relay. A
+// full 10k-component sync at one frame per component fits with headroom;
+// overflow NAKs rather than blocks.
+const replQueueDepth = 16384
+
+// drainReplicate relays one slave's replicate frames in arrival order until
+// its connection dies. Ordering matters: an incremental delta only applies
+// on top of the exact state the previous frame left behind.
+func (m *Master) drainReplicate(sc *slaveConn) {
+	defer m.wg.Done()
+	for env := range sc.replQ {
+		m.relayReplicate(sc, env)
+	}
+}
+
+// relayReplicate forwards one replication frame from its primary to the
+// component's standby and reports the outcome back to the primary: an ack
+// advances the primary's floors (already advanced optimistically) and the
+// master's acked sequence, a codeReplFull error makes the primary resend the
+// full snapshot. A frame with no live standby to receive it is acked without
+// advancing the acked sequence, so the component simply stays cold for
+// promotion purposes until a standby catches up. A clean-tick marker (empty
+// Component) timestamps the slave's replication round for the lag bound.
+func (m *Master) relayReplicate(primary *slaveConn, env *envelope) {
+	if env.Component == "" {
+		now := time.Now()
+		m.replMu.Lock()
+		prev := m.replTickAt[primary.name]
+		m.replTickAt[primary.name] = now
+		m.replMu.Unlock()
+		lag := time.Duration(0)
+		if !prev.IsZero() {
+			lag = now.Sub(prev)
+		}
+		m.obs.Registry().GaugeWith("fchain_repl_lag_seconds",
+			"Seconds between a slave's consecutive clean replication ticks, sampled at each tick.",
+			map[string]string{"slave": primary.name}).Set(lag.Seconds())
+		_ = m.obs.EventJournal().Record("repl_tick", map[string]any{
+			"slave": primary.name, "lag_seconds": lag.Seconds()})
+		_ = primary.w.write(&envelope{Type: typeAck, ID: env.ID}, 5*time.Second)
+		return
+	}
+	comp := env.Component
+	m.replMu.Lock()
+	if env.Seq > m.replSent[comp] {
+		m.replSent[comp] = env.Seq
+	}
+	st := m.standbyOf[comp]
+	m.replMu.Unlock()
+	if !m.standbyOn {
+		// Replication without standby placement configured: ack so the
+		// primary does not resend forever; nothing will ever consume these.
+		_ = primary.w.write(&envelope{Type: typeAck, ID: env.ID, Component: comp, Seq: env.Seq}, 5*time.Second)
+		return
+	}
+	var stConn *slaveConn
+	if st != "" && st != primary.name {
+		m.mu.Lock()
+		stConn = m.slaves[st]
+		m.mu.Unlock()
+	}
+	if stConn == nil || stConn.isDead() {
+		// A standby is expected but unreachable (not yet placed, or down).
+		// NAK so the primary keeps offering the full snapshot: that is what
+		// lets a late-assigned or recovered standby warm up even when no new
+		// samples arrive to trigger further deltas.
+		_ = primary.w.write(&envelope{Type: typeError, ID: env.ID, Component: comp, Code: codeReplFull,
+			Err: fmt.Sprintf("cluster: no live standby for %q", comp)}, 5*time.Second)
+		return
+	}
+	m.obs.Registry().Counter("fchain_repl_bytes_total",
+		"Replication delta bytes relayed to standbys.").Add(int64(len(env.State)))
+	_ = m.obs.EventJournal().Record("repl_relay", map[string]any{
+		"component": comp, "from": primary.name, "to": st, "seq": env.Seq, "bytes": len(env.State)})
+	if _, err := m.call(stConn, &envelope{Type: typeReplicate, Component: comp, Seq: env.Seq, State: env.State}, m.handoffTimeout); err != nil {
+		_ = primary.w.write(&envelope{Type: typeError, ID: env.ID, Component: comp, Code: codeReplFull,
+			Err: fmt.Sprintf("cluster: relay to standby %s: %v", st, err)}, 5*time.Second)
+		return
+	}
+	m.replMu.Lock()
+	if env.Seq > m.replAcked[comp] {
+		m.replAcked[comp] = env.Seq
+	}
+	m.replMu.Unlock()
+	_ = primary.w.write(&envelope{Type: typeAck, ID: env.ID, Component: comp, Seq: env.Seq}, 5*time.Second)
+}
+
+// Standby returns the slave currently standing by for comp; ok is false when
+// comp has no standby (standby mode off, fewer than two slaves, or no
+// rebalance has placed it yet).
+func (m *Master) Standby(comp string) (standby string, ok bool) {
+	m.replMu.Lock()
+	defer m.replMu.Unlock()
+	standby, ok = m.standbyOf[comp]
+	return standby, ok
+}
+
+// StandbyCaughtUp reports whether comp's standby has acked every replication
+// frame relayed so far (at least one): the condition under which a dead
+// primary's component is promoted warm.
+func (m *Master) StandbyCaughtUp(comp string) bool {
+	m.replMu.Lock()
+	defer m.replMu.Unlock()
+	return m.replSent[comp] > 0 && m.replAcked[comp] == m.replSent[comp]
 }
 
 // serveAggregator handles one aggregator's upstream connection: it registers

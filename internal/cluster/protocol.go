@@ -45,6 +45,15 @@ const (
 	typeState   = "state"
 	typeRestore = "restore"
 	typeAck     = "ack"
+	// Warm-standby replication frame. A primary slave ships one component's
+	// state delta (a core.ReplDelta in State, sequenced by Seq) upstream; the
+	// master relays it to the component's standby over the standby's own
+	// connection and echoes the standby's ack (or a codeReplFull error asking
+	// for a full resend) back to the primary. A replicate frame with an empty
+	// Component is the primary's clean-tick marker: every delta of this
+	// replication round precedes it, so the master can track per-slave
+	// replication lag from marker arrivals.
+	typeReplicate = "replicate"
 )
 
 // roleAggregator marks a registration as an aggregator: the peer fans
@@ -85,9 +94,24 @@ type envelope struct {
 
 	// Handoff fields: Component names the model being moved, State carries
 	// its exported core.MonitorSnapshot (export response and restore
-	// request).
+	// request). Replicate frames reuse both — State then carries a
+	// core.ReplDelta — plus Seq, the primary's per-component replication
+	// sequence number, which the master records as sent on relay and acked on
+	// the standby's response; a component is warm-promotable only while the
+	// two match.
 	Component string          `json:"component,omitempty"`
 	State     json.RawMessage `json:"state,omitempty"`
+	Seq       uint64          `json:"seq,omitempty"`
+
+	// Shadow lists, on an assign frame, the components this slave stands by
+	// for: it keeps (or will receive) shadow monitors for them and drops
+	// shadows for anything absent. Like Components, the list is
+	// authoritative. ReplReset lists owned components whose standby changed
+	// in this placement: the owner forgets its shipped floors so the next
+	// replication tick re-ships the full snapshot — without it, a quiet
+	// component (no new samples) would never warm its new standby.
+	Shadow    []string `json:"shadow,omitempty"`
+	ReplReset []string `json:"repl_reset,omitempty"`
 
 	// Reports fields. UsedTV echoes the violation time in the slave's own
 	// clock (the requested tv plus the slave's skew): the master subtracts
@@ -135,6 +159,11 @@ type subAnswer struct {
 const (
 	codeOverloaded    = "overloaded"
 	codePanic         = "panic"
+	// codeReplFull asks the replication primary for a full-snapshot resend:
+	// the standby's shadow is missing (or its Base precondition failed), or
+	// the relay could not reach it coherently. The primary reacts by
+	// forgetting its shipped floors for the component.
+	codeReplFull = "repl_full"
 	codeUnknownTenant = "unknown_tenant"
 	codeQuota         = "quota"
 	codeDraining      = "draining"

@@ -162,6 +162,73 @@ const BalanceBound = 1.25
 // result is a pure function of (members, keys, vnodes) — deterministic
 // across processes. bound <= 1 selects BalanceBound. The result maps every
 // key; it is empty only when the ring is.
+// AssignStandby maps every key to a warm-standby member: the first member at
+// or clockwise after the key's hash that is distinct from the key's primary
+// owner and whose standby load is still under ceil(bound × keys/members).
+// Like AssignBounded, keys are placed in hash order so the result is a pure
+// function of (members, keys, primary, vnodes) — deterministic across
+// processes — and a membership change moves only the standbys whose owning
+// arc (or overflow fallback) changed, about 1/n of them. When every distinct
+// member is already at the cap the first distinct member is taken anyway:
+// with two members the single non-primary member necessarily backs every key,
+// and coverage beats balance for a standby. primary is consulted only for
+// exclusion (standby ≠ primary always holds); keys without a primary entry
+// are excluded from nothing. Rings with fewer than two members return an
+// empty map — there is nowhere distinct to stand by.
+func (r *Ring) AssignStandby(keys []string, primary map[string]string, bound float64) map[string]string {
+	if len(r.members) < 2 || len(keys) == 0 {
+		return map[string]string{}
+	}
+	if bound <= 1 {
+		bound = BalanceBound
+	}
+	capPer := int(math.Ceil(bound * float64(len(keys)) / float64(len(r.members))))
+	if capPer < 1 {
+		capPer = 1
+	}
+	type keyHash struct {
+		hash uint64
+		key  string
+	}
+	hashed := make([]keyHash, len(keys))
+	for i, k := range keys {
+		hashed[i] = keyHash{ringHash(k), k}
+	}
+	sort.Slice(hashed, func(i, j int) bool {
+		if hashed[i].hash != hashed[j].hash {
+			return hashed[i].hash < hashed[j].hash
+		}
+		return hashed[i].key < hashed[j].key
+	})
+	load := make(map[string]int, len(r.members))
+	out := make(map[string]string, len(keys))
+	for _, kh := range hashed {
+		prim := primary[kh.key]
+		i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh.hash })
+		fallback := ""
+		for step := 0; step < len(r.points); step++ {
+			p := r.points[(i+step)%len(r.points)]
+			if p.member == prim {
+				continue
+			}
+			if fallback == "" {
+				fallback = p.member
+			}
+			if load[p.member] < capPer {
+				load[p.member]++
+				out[kh.key] = p.member
+				fallback = ""
+				break
+			}
+		}
+		if fallback != "" {
+			load[fallback]++
+			out[kh.key] = fallback
+		}
+	}
+	return out
+}
+
 func (r *Ring) AssignBounded(keys []string, bound float64) map[string]string {
 	if len(r.points) == 0 || len(keys) == 0 {
 		return map[string]string{}

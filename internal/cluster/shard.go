@@ -163,6 +163,98 @@ func (m *Master) rebalanceOnce() (int, error) {
 	}
 	want := ring.AssignBounded(comps, BalanceBound)
 
+	// Warm-standby failover: a component leaving a dead donor is promoted in
+	// place on its caught-up standby instead of moving to the ring's choice.
+	// The standby's shadow monitor already holds the donor's replicated state,
+	// so phase 1 has nothing to transfer and the slave's handleAssign adopts
+	// the shadow without touching the checkpoint directory. A missing, dead,
+	// or lagging standby falls back to the existing cold path.
+	promoted := make(map[string]bool)
+	if m.standbyOn {
+		m.replMu.Lock()
+		standbyOf := make(map[string]string, len(m.standbyOf))
+		for comp, st := range m.standbyOf {
+			standbyOf[comp] = st
+		}
+		replSent := make(map[string]uint64, len(m.replSent))
+		for comp, seq := range m.replSent {
+			replSent[comp] = seq
+		}
+		replAcked := make(map[string]uint64, len(m.replAcked))
+		for comp, seq := range m.replAcked {
+			replAcked[comp] = seq
+		}
+		replTickAt := make(map[string]time.Time, len(m.replTickAt))
+		for slave, at := range m.replTickAt {
+			replTickAt[slave] = at
+		}
+		m.replMu.Unlock()
+		now := time.Now()
+		for _, comp := range comps {
+			from := oldOwner[comp]
+			if from == "" || from == want[comp] {
+				continue
+			}
+			if donor := conns[from]; donor != nil && !donor.isDead() {
+				continue // live donor: a plain move, phase 1 carries the state
+			}
+			st := standbyOf[comp]
+			stConn := conns[st]
+			stLive := st != "" && stConn != nil && !stConn.isDead()
+			caughtUp := replSent[comp] > 0 && replAcked[comp] == replSent[comp]
+			fresh := m.replMaxLag <= 0 || now.Sub(replTickAt[from]) <= m.replMaxLag
+			if stLive && caughtUp && fresh {
+				want[comp] = st
+				promoted[comp] = true
+				m.obs.Registry().CounterWith("fchain_failover_total",
+					"Dead-owner failovers by recovery mode.", map[string]string{"mode": "warm"}).Inc()
+				_ = m.obs.EventJournal().Record("failover", map[string]any{
+					"component": comp, "from": from, "to": st, "mode": "warm"})
+				continue
+			}
+			if stLive && caughtUp && !fresh {
+				_ = m.obs.EventJournal().Record("replica_lagging", map[string]any{
+					"component": comp, "standby": st, "primary": from,
+					"lag_seconds": now.Sub(replTickAt[from]).Seconds()})
+			}
+			m.obs.Registry().CounterWith("fchain_failover_total",
+				"Dead-owner failovers by recovery mode.", map[string]string{"mode": "cold"}).Inc()
+			_ = m.obs.EventJournal().Record("failover", map[string]any{
+				"component": comp, "from": from, "to": want[comp], "mode": "cold"})
+		}
+	}
+
+	// Recompute standby placement over the post-failover primaries, and the
+	// per-slave shadow lists phase 2 will push. A promoted component's shadow
+	// was consumed by its promotion, and a moved primary restarts its
+	// replication sequence, so both cases reset the sent/acked bookkeeping —
+	// the warm gate must not trust acks addressed to a previous placement.
+	var newStandby map[string]string
+	shadowOf := make(map[string][]string)
+	resetComps := make(map[string]bool)
+	standbyChanged := false
+	if m.standbyOn {
+		newStandby = ring.AssignStandby(comps, want, BalanceBound)
+		for comp, st := range newStandby {
+			shadowOf[st] = append(shadowOf[st], comp)
+		}
+		for _, comps := range shadowOf {
+			sort.Strings(comps)
+		}
+		m.replMu.Lock()
+		if len(newStandby) != len(m.standbyOf) {
+			standbyChanged = true
+		} else {
+			for comp, st := range newStandby {
+				if m.standbyOf[comp] != st {
+					standbyChanged = true
+					break
+				}
+			}
+		}
+		m.replMu.Unlock()
+	}
+
 	var moves []rebalanceMove
 	for _, comp := range comps {
 		to := want[comp]
@@ -170,7 +262,7 @@ func (m *Master) rebalanceOnce() (int, error) {
 			moves = append(moves, rebalanceMove{comp: comp, from: from, to: to})
 		}
 	}
-	if len(moves) == 0 {
+	if len(moves) == 0 && !standbyChanged {
 		return 0, nil
 	}
 	_ = m.obs.EventJournal().Record("rebalance_started", map[string]any{
@@ -183,6 +275,9 @@ func (m *Master) rebalanceOnce() (int, error) {
 	// by its pre-move owner.
 	handoffs := 0
 	for _, mv := range moves {
+		if promoted[mv.comp] {
+			continue // the standby's shadow is the state; nothing to transfer
+		}
 		if m.handoff(mv, conns) {
 			handoffs++
 		}
@@ -192,11 +287,36 @@ func (m *Master) rebalanceOnce() (int, error) {
 	// then push every slave its authoritative owned set. handleAssign keeps
 	// a monitor restored by phase 1 (or falls back to the shared-checkpoint
 	// copy when the donor died before exporting) and drops what moved away.
+	if m.standbyOn {
+		// Reset replication bookkeeping before the cutover so acks addressed
+		// to the old placement can never satisfy the warm gate: any component
+		// whose primary or standby changed starts from sequence zero and must
+		// be re-warmed by its (new) primary's next full ship. The same set
+		// rides the assign pushes as ReplReset so quiet owners (no new
+		// samples) forget their floors and actually re-ship.
+		m.replMu.Lock()
+		for comp := range m.replSent {
+			if _, ok := newStandby[comp]; !ok {
+				delete(m.replSent, comp)
+				delete(m.replAcked, comp)
+			}
+		}
+		for comp, st := range newStandby {
+			if m.standbyOf[comp] != st || oldOwner[comp] != want[comp] {
+				resetComps[comp] = true
+				delete(m.replSent, comp)
+				delete(m.replAcked, comp)
+			}
+		}
+		m.standbyOf = newStandby
+		m.replMu.Unlock()
+	}
 	m.mu.Lock()
 	for comp, to := range want {
 		m.owner[comp] = to
 	}
 	assign := make(map[string][]string, len(m.slaves))
+	replReset := make(map[string][]string)
 	push := make(map[string]*slaveConn, len(m.slaves))
 	for name, sc := range m.slaves {
 		assign[name] = nil // a slave owning nothing still needs the empty push
@@ -205,6 +325,9 @@ func (m *Master) rebalanceOnce() (int, error) {
 	for comp, own := range m.owner {
 		if _, ok := push[own]; ok {
 			assign[own] = append(assign[own], comp)
+			if resetComps[comp] {
+				replReset[own] = append(replReset[own], comp)
+			}
 		}
 	}
 	m.mu.Unlock()
@@ -212,13 +335,14 @@ func (m *Master) rebalanceOnce() (int, error) {
 	for name, sc := range push {
 		owned := assign[name]
 		sort.Strings(owned)
+		sort.Strings(replReset[name])
 		wg.Add(1)
-		go func(sc *slaveConn, owned []string) {
+		go func(sc *slaveConn, owned, shadow, reset []string) {
 			defer wg.Done()
-			if _, err := m.call(sc, &envelope{Type: typeAssign, Components: owned}, m.handoffTimeout); err != nil {
+			if _, err := m.call(sc, &envelope{Type: typeAssign, Components: owned, Shadow: shadow, ReplReset: reset}, m.handoffTimeout); err != nil {
 				m.obs.Logger().Warn("assignment push failed", "slave", sc.name, "err", err)
 			}
-		}(sc, owned)
+		}(sc, owned, shadowOf[name], replReset[name])
 	}
 	wg.Wait()
 

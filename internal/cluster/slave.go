@@ -112,6 +112,21 @@ type Slave struct {
 	// checkpoint snapshots running on different goroutines synchronize on
 	// the shard mutexes and contend only per metric touched.
 
+	// Warm-standby replication (primary side): with replInterval > 0 the
+	// slave ships every owned component's state delta upstream each tick; the
+	// master relays each frame to the component's standby. replFloors holds,
+	// per component, the last-shipped timestamp per metric (the incremental
+	// delta extraction floor; a missing component entry forces a full
+	// snapshot), and replSeq the per-component frame sequence. Floors advance
+	// optimistically on send — a NAK (codeReplFull) from the relay deletes
+	// the component's floors so the next tick resends the full snapshot.
+	replInterval time.Duration
+	stopRepl     chan struct{}
+	replID       atomic.Uint64 // frame IDs for slave-originated replicate frames
+	replMu       sync.Mutex
+	replFloors   map[string]map[string]int64
+	replSeq      map[string]uint64
+
 	// analyzeGate bounds concurrent analyze work; nil admits everything.
 	analyzeGate *gate
 
@@ -122,6 +137,11 @@ type Slave struct {
 
 	mu       sync.Mutex
 	monitors map[string]*core.Monitor
+	// shadows are the warm-standby monitors this slave keeps for components
+	// owned elsewhere: built purely from relayed replication deltas, never
+	// from the checkpoint dir (the primary owns that file), and promoted to
+	// live monitors in place when an assign push hands the component over.
+	shadows map[string]*core.Monitor
 	ups      []*upstream // every Connect call adds one managed upstream
 	closed   bool
 	wg       sync.WaitGroup
@@ -209,6 +229,21 @@ func WithCheckpointInterval(d time.Duration) SlaveOption {
 	})
 }
 
+// WithReplication enables warm-standby replication: every interval the slave
+// ships each owned component's state delta upstream (a full snapshot first,
+// incremental sample replays after), and the master relays each frame to the
+// component's standby. Replication reads monitor state only at tick time —
+// the per-sample Observe/Ingest hot path is untouched (the fchain-bench
+// -check replication guard holds it to ≤5% overhead). d <= 0 (the default)
+// disables replication.
+func WithReplication(interval time.Duration) SlaveOption {
+	return slaveOptionFunc(func(s *Slave) {
+		if interval > 0 {
+			s.replInterval = interval
+		}
+	})
+}
+
 // WithSlaveAdmission bounds concurrent analyze work on the slave: at most
 // limit requests analyze at once, at most queue more wait (LIFO — the
 // request with the freshest deadline budget is served first; an overflowing
@@ -250,10 +285,14 @@ func NewSlave(name string, components []string, cfg core.Config, opts ...SlaveOp
 		backoffMax:     defaultBackoffMax,
 		reconnect:      true,
 		monitors:       make(map[string]*core.Monitor, len(components)),
+		shadows:        make(map[string]*core.Monitor),
 		pingWaiters:    make(map[uint64]chan struct{}),
 
 		checkpointInterval: 30 * time.Second,
 		stopCkpt:           make(chan struct{}),
+		stopRepl:           make(chan struct{}),
+		replFloors:         make(map[string]map[string]int64),
+		replSeq:            make(map[string]uint64),
 	}
 	for _, c := range components {
 		s.monitors[c] = core.NewMonitor(c, cfg)
@@ -269,6 +308,10 @@ func NewSlave(name string, components []string, cfg core.Config, opts ...SlaveOp
 		s.restoreCheckpoints()
 		s.wg.Add(1)
 		go s.checkpointLoop()
+	}
+	if s.replInterval > 0 {
+		s.wg.Add(1)
+		go s.replLoop()
 	}
 	return s
 }
@@ -345,6 +388,169 @@ func (s *Slave) checkpointLoop() {
 			_ = s.CheckpointNow()
 		}
 	}
+}
+
+// replLoop ships replication deltas for every owned component each interval
+// until Close. The extraction buffer is reused across ticks so steady-state
+// replication allocates only the frames it actually sends.
+func (s *Slave) replLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.replInterval)
+	defer ticker.Stop()
+	var buf core.ReplDelta
+	for {
+		select {
+		case <-s.stopRepl:
+			return
+		case <-ticker.C:
+			s.replicateOnce(&buf)
+		}
+	}
+}
+
+// replicateOnce runs one replication tick: for each owned component it ships
+// either an incremental delta (samples since the shipped floors) or a full
+// snapshot (first ship, or after a gap/NAK), then a clean-tick marker frame
+// so the master can bound this slave's replication lag. Floors advance
+// optimistically after each successful write; the master's per-frame
+// response only matters when it is a codeReplFull NAK, which serveLoop
+// answers by deleting the component's floors.
+func (s *Slave) replicateOnce(buf *core.ReplDelta) {
+	s.mu.Lock()
+	var w *connWriter
+	for _, up := range s.ups {
+		if up.w != nil {
+			w = up.w
+			break
+		}
+	}
+	monitors := make(map[string]*core.Monitor, len(s.monitors))
+	for comp, mon := range s.monitors {
+		monitors[comp] = mon
+	}
+	s.mu.Unlock()
+	if w == nil {
+		return
+	}
+	// Forget floors for components that moved away since the last tick.
+	s.replMu.Lock()
+	for comp := range s.replFloors {
+		if _, owned := monitors[comp]; !owned {
+			delete(s.replFloors, comp)
+			delete(s.replSeq, comp)
+		}
+	}
+	s.replMu.Unlock()
+	names := make([]string, 0, len(monitors))
+	for comp := range monitors {
+		names = append(names, comp)
+	}
+	sort.Strings(names)
+	for _, comp := range names {
+		mon := monitors[comp]
+		s.replMu.Lock()
+		floors := s.replFloors[comp]
+		seq := s.replSeq[comp] + 1
+		s.replMu.Unlock()
+		var (
+			payload  []byte
+			err      error
+			fullLast map[string]int64
+		)
+		changed, incremental := mon.DeltaInto(buf, floors)
+		switch {
+		case incremental && !changed:
+			continue // nothing new this tick
+		case incremental:
+			payload, err = json.Marshal(buf)
+		default:
+			snap := mon.Snapshot()
+			payload, err = json.Marshal(&core.ReplDelta{Component: comp, Full: snap})
+			fullLast = snap.LastT
+		}
+		if err != nil {
+			s.obs.Logger().Warn("replication delta marshal failed", "slave", s.name, "component", comp, "err", err)
+			continue
+		}
+		frame := &envelope{Type: typeReplicate, ID: s.replID.Add(1), Slave: s.name,
+			Component: comp, Seq: seq, State: payload}
+		if err := w.write(frame, 10*time.Second); err != nil {
+			return // connection trouble; next tick retries on whatever link is up
+		}
+		s.replMu.Lock()
+		s.replSeq[comp] = seq
+		if fullLast != nil {
+			s.replFloors[comp] = fullLast
+		} else if floors != nil {
+			for name, samples := range buf.Samples {
+				if len(samples) > 0 {
+					floors[name] = samples[len(samples)-1].T
+				}
+			}
+		}
+		s.replMu.Unlock()
+	}
+	_ = w.write(&envelope{Type: typeReplicate, ID: s.replID.Add(1), Slave: s.name}, 10*time.Second)
+}
+
+// handleReplicate applies one relayed replication delta to this slave's
+// shadow monitor for the component (standby side). A delta for a component
+// without a shadow needs a Full frame to bootstrap one; an incremental frame
+// whose Base precondition fails — missing samples between primary and shadow
+// — is refused with codeReplFull so the relay NAKs the primary into a full
+// resend. Called inline from serveLoop: per-connection ordering is what
+// keeps one component's deltas applying in ship order.
+func (s *Slave) handleReplicate(w *connWriter, env *envelope) {
+	var delta core.ReplDelta
+	if err := json.Unmarshal(env.State, &delta); err != nil {
+		_ = w.write(&envelope{Type: typeError, ID: env.ID, Component: env.Component, Code: codeReplFull,
+			Err: fmt.Sprintf("slave %s: replicate %q: %v", s.name, env.Component, err)}, 10*time.Second)
+		return
+	}
+	comp := env.Component
+	s.mu.Lock()
+	_, owned := s.monitors[comp]
+	mon := s.shadows[comp]
+	s.mu.Unlock()
+	if owned {
+		// A stale relay from a placement we already own; drop it quietly (the
+		// ack keeps the primary from resending, and the next rebalance stops
+		// pointing its replication at us).
+		_ = w.write(&envelope{Type: typeAck, ID: env.ID, Component: comp, Seq: env.Seq}, 10*time.Second)
+		return
+	}
+	if mon == nil {
+		if delta.Full == nil {
+			_ = w.write(&envelope{Type: typeError, ID: env.ID, Component: comp, Code: codeReplFull,
+				Err: fmt.Sprintf("slave %s: no shadow for %q", s.name, comp)}, 10*time.Second)
+			return
+		}
+		mon = core.NewMonitor(comp, s.cfg)
+	}
+	if err := mon.ApplyDelta(&delta); err != nil {
+		_ = w.write(&envelope{Type: typeError, ID: env.ID, Component: comp, Code: codeReplFull,
+			Err: fmt.Sprintf("slave %s: replicate %q: %v", s.name, comp, err)}, 10*time.Second)
+		return
+	}
+	s.mu.Lock()
+	if _, nowOwned := s.monitors[comp]; !nowOwned {
+		s.shadows[comp] = mon
+	}
+	s.mu.Unlock()
+	_ = w.write(&envelope{Type: typeAck, ID: env.ID, Component: comp, Seq: env.Seq}, 10*time.Second)
+}
+
+// Shadowed returns the components this slave currently keeps warm-standby
+// shadow monitors for, sorted.
+func (s *Slave) Shadowed() []string {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.shadows))
+	for comp := range s.shadows {
+		out = append(out, comp)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
 }
 
 // Name returns the slave's registration name.
@@ -619,6 +825,23 @@ func (s *Slave) serveLoop(w *connWriter) error {
 		case typeRestore:
 			s.wg.Add(1)
 			go s.handleRestore(w, env)
+		case typeReplicate:
+			// Inline, not a goroutine: per-connection ordering is the only
+			// thing serializing one component's deltas, and applying a few
+			// replayed samples is far cheaper than an analyze pass.
+			s.handleReplicate(w, env)
+		case typeAck:
+			// Relay ack for a replicate frame; floors already advanced
+			// optimistically on send, so there is nothing to do.
+		case typeError:
+			// The only correlated requests a slave originates are replicate
+			// frames; a codeReplFull response means the standby needs a full
+			// resend, which forgetting the floors arranges next tick.
+			if env.Code == codeReplFull && env.Component != "" {
+				s.replMu.Lock()
+				delete(s.replFloors, env.Component)
+				s.replMu.Unlock()
+			}
 		case typePing:
 			// Master-initiated liveness probe.
 			if err := w.write(&envelope{Type: typePong, ID: env.ID}, 5*time.Second); err != nil {
@@ -658,13 +881,26 @@ func (s *Slave) handleAssign(w *connWriter, env *envelope) {
 	for _, comp := range env.Components {
 		desired[comp] = true
 	}
-	var added, removed []string
+	var added, removed, promoted []string
 	adopt := make(map[string]*core.Monitor)
 	for comp := range desired {
 		s.mu.Lock()
 		_, have := s.monitors[comp]
+		shadow := s.shadows[comp]
+		if !have && shadow != nil {
+			// Warm promotion: the shadow monitor already holds the dead
+			// owner's replicated state, so the component goes live in place —
+			// no checkpoint read, no handoff round-trip.
+			delete(s.shadows, comp)
+		}
 		s.mu.Unlock()
 		if have {
+			continue
+		}
+		if shadow != nil {
+			adopt[comp] = shadow
+			added = append(added, comp)
+			promoted = append(promoted, comp)
 			continue
 		}
 		mon := core.NewMonitor(comp, s.cfg)
@@ -676,6 +912,10 @@ func (s *Slave) handleAssign(w *connWriter, env *envelope) {
 		}
 		adopt[comp] = mon
 		added = append(added, comp)
+	}
+	shadowSet := make(map[string]bool, len(env.Shadow))
+	for _, comp := range env.Shadow {
+		shadowSet[comp] = true
 	}
 	s.mu.Lock()
 	for comp, mon := range adopt {
@@ -691,13 +931,42 @@ func (s *Slave) handleAssign(w *connWriter, env *envelope) {
 			removed = append(removed, comp)
 		}
 	}
+	// The shadow list is as authoritative as the owned list: shadows for
+	// components we no longer stand by for — or now own — are dropped. New
+	// shadow components need no monitor yet; the first relayed full snapshot
+	// bootstraps one.
+	for comp := range s.shadows {
+		if !shadowSet[comp] || desired[comp] {
+			delete(s.shadows, comp)
+		}
+	}
 	total := len(s.monitors)
 	s.mu.Unlock()
+	if len(env.ReplReset) > 0 {
+		// These components' standbys changed (or we just reconnected):
+		// forgetting the floors makes the next replication tick re-ship a
+		// full snapshot even when no new samples have arrived, which is the
+		// only way a quiet component's new standby ever warms up.
+		s.replMu.Lock()
+		for _, comp := range env.ReplReset {
+			delete(s.replFloors, comp)
+		}
+		s.replMu.Unlock()
+	}
 	sort.Strings(added)
 	sort.Strings(removed)
+	sort.Strings(promoted)
+	for _, comp := range promoted {
+		_ = s.obs.EventJournal().Record("replica_promoted", map[string]any{
+			"slave": s.name, "component": comp})
+	}
+	if len(promoted) > 0 {
+		s.obs.Registry().Counter("fchain_replica_promotions_total",
+			"Shadow monitors promoted to live ownership.").Add(int64(len(promoted)))
+	}
 	if len(added) > 0 || len(removed) > 0 {
 		s.obs.Logger().Info("assignment updated", "slave", s.name,
-			"added", len(added), "removed", len(removed), "total", total)
+			"added", len(added), "removed", len(removed), "promoted", len(promoted), "total", total)
 		_ = s.obs.EventJournal().Record("assign", map[string]any{
 			"slave": s.name, "added": added, "removed": removed, "total": total})
 	}
@@ -987,6 +1256,7 @@ func (s *Slave) Close() error {
 	}
 	if !alreadyClosed {
 		close(s.stopCkpt)
+		close(s.stopRepl)
 		if s.checkpointDir != "" {
 			_ = s.CheckpointNow()
 		}

@@ -1,0 +1,179 @@
+package core
+
+// Replication deltas for warm-standby owners. A primary slave ships each
+// component's state to its standby on a batched interval; rather than
+// re-serializing the full MonitorSnapshot every tick, the steady-state frame
+// carries only the samples observed since the previous ship, and the standby
+// replays them through its shadow monitor's strict Observe path. Monitor
+// state is a pure function of the observed sample sequence plus the config
+// (the same invariant the checkpoint-restore and handoff paths already rely
+// on), so replay reproduces the primary's model, ring, and streaming state
+// byte-identically — there is no separate "apply a model diff" code path to
+// keep in sync with Observe.
+//
+// The incremental path is only sound while the primary's bounded ring still
+// retains every sample past the shipped floor. Eviction past the floor, a
+// gap sever (Clear), or a brand-new metric all force a full-snapshot frame;
+// the standby likewise rejects any delta whose Base precondition does not
+// match its shadow state (ErrReplGap), and the primary answers a rejection
+// by resending the full snapshot. Either endpoint can therefore lose state
+// at any time and the channel self-heals on the next tick.
+
+import (
+	"errors"
+	"fmt"
+
+	"fchain/internal/metric"
+)
+
+// ErrReplGap rejects a replication delta whose Base precondition does not
+// match the shadow monitor's state: samples are missing between the two, so
+// replay would silently diverge. The primary resolves it by shipping a full
+// snapshot.
+var ErrReplGap = errors.New("core: replication gap")
+
+// ReplSample is one (timestamp, value) observation inside a delta.
+type ReplSample struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// ReplDelta is one replication frame's payload. Exactly one of two shapes is
+// meaningful: Full carries a complete MonitorSnapshot (first ship, or
+// recovery after a gap), or Base+Samples carry an incremental sample replay.
+// Base records, per metric name, the primary's last-shipped timestamp — the
+// precondition the standby's shadow must match before replaying Samples;
+// metrics the primary has never observed are absent from Base.
+type ReplDelta struct {
+	Component string                  `json:"component"`
+	Full      *MonitorSnapshot        `json:"full,omitempty"`
+	Base      map[string]int64        `json:"base,omitempty"`
+	Samples   map[string][]ReplSample `json:"samples,omitempty"`
+}
+
+// DeltaInto fills d with the samples observed since floors (metric name →
+// last shipped timestamp, as maintained by the caller from previous deltas)
+// and reports whether anything new was extracted. ok=false means the
+// incremental path is unsound — nil floors (nothing shipped yet), a metric
+// that gained its first samples since the last ship, a gap sever, or ring
+// eviction past the floor — and the caller must ship a full Snapshot
+// instead. d's maps and slices are reused across calls, so steady-state
+// extraction allocates nothing (see the alloc guard test).
+//
+// DeltaInto does not advance floors; the caller advances them only after the
+// frame is handed to the transport, so a failed send re-extracts the same
+// samples next tick.
+func (m *Monitor) DeltaInto(d *ReplDelta, floors map[string]int64) (changed, ok bool) {
+	if floors == nil {
+		return false, false
+	}
+	d.Component = m.component
+	d.Full = nil
+	if d.Base == nil {
+		d.Base = make(map[string]int64, metric.NumKinds)
+	}
+	if d.Samples == nil {
+		d.Samples = make(map[string][]ReplSample, metric.NumKinds)
+	}
+	for _, k := range metric.Kinds {
+		name := k.String()
+		sh := &m.shards[k]
+		sh.mu.Lock()
+		floor, haveFloor := floors[name]
+		if !sh.hasLast {
+			sh.mu.Unlock()
+			if haveFloor {
+				// The shadow holds samples for a metric we no longer have any
+				// state for; only a full snapshot can reconcile that.
+				return false, false
+			}
+			delete(d.Base, name)
+			d.Samples[name] = d.Samples[name][:0]
+			continue
+		}
+		if !haveFloor || sh.lastT < floor {
+			sh.mu.Unlock()
+			return false, false
+		}
+		if sh.lastT == floor {
+			d.Base[name] = floor
+			d.Samples[name] = d.Samples[name][:0]
+			sh.mu.Unlock()
+			continue
+		}
+		ring := sh.samples
+		n := ring.Len()
+		oldest := int64(0)
+		if n > 0 {
+			oldest, _ = ring.At(0)
+		}
+		if n == 0 || oldest > floor {
+			// Eviction or a gap sever dropped samples past the floor; the
+			// replay sequence is broken.
+			sh.mu.Unlock()
+			return false, false
+		}
+		// Binary search for the first retained sample newer than the floor
+		// (timestamps are strictly ascending within a ring).
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if t, _ := ring.At(mid); t <= floor {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		buf := d.Samples[name][:0]
+		for i := lo; i < n; i++ {
+			t, v := ring.At(i)
+			buf = append(buf, ReplSample{T: t, V: v})
+		}
+		d.Samples[name] = buf
+		d.Base[name] = floor
+		changed = true
+		sh.mu.Unlock()
+	}
+	return changed, true
+}
+
+// ApplyDelta applies one replication frame to this (shadow) monitor. A Full
+// frame replaces the state wholesale via Restore. An incremental frame first
+// verifies every metric's Base precondition against the shadow's last
+// accepted timestamps — any mismatch returns ErrReplGap without mutating
+// anything — then replays the samples through the strict Observe path,
+// which reproduces the primary's post-ship state exactly.
+//
+// Concurrent ApplyDelta calls for the same monitor are the caller's problem:
+// the replication channel delivers one component's frames in order.
+func (m *Monitor) ApplyDelta(d *ReplDelta) error {
+	if d == nil {
+		return fmt.Errorf("core: nil replication delta")
+	}
+	if d.Full != nil {
+		return m.Restore(d.Full)
+	}
+	if d.Component != m.component {
+		return fmt.Errorf("core: delta is for component %q, monitor is %q", d.Component, m.component)
+	}
+	for _, k := range metric.Kinds {
+		name := k.String()
+		sh := &m.shards[k]
+		sh.mu.Lock()
+		has, last := sh.hasLast, sh.lastT
+		sh.mu.Unlock()
+		base, haveBase := d.Base[name]
+		if haveBase != has || (haveBase && base != last) {
+			return fmt.Errorf("%w: %s shadow at t=%d (present=%v), delta base t=%d (present=%v)",
+				ErrReplGap, name, last, has, base, haveBase)
+		}
+	}
+	for _, k := range metric.Kinds {
+		for _, s := range d.Samples[k.String()] {
+			if err := m.Observe(s.T, k, s.V); err != nil {
+				return fmt.Errorf("%w: replay %s: %v", ErrReplGap, k, err)
+			}
+		}
+	}
+	return nil
+}

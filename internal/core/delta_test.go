@@ -1,0 +1,247 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"fchain/internal/metric"
+)
+
+// feedAll observes one sample per metric kind at time t, derived
+// deterministically from (t, kind) so different feeds agree.
+func feedAll(t *testing.T, m *Monitor, ts int64) {
+	t.Helper()
+	for _, k := range metric.Kinds {
+		v := float64((ts*int64(k)*7)%13) + 0.25*float64(int(k))
+		if err := m.Observe(ts, k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// monitorJSON snapshots m and marshals it: two monitors with equal bytes here
+// hold byte-identical model, history, and streaming state.
+func monitorJSON(t *testing.T, m *Monitor) []byte {
+	t.Helper()
+	raw, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// advanceFloors mimics the primary slave's bookkeeping: after a delta is
+// shipped, each metric's floor moves to its last shipped sample.
+func advanceFloors(floors map[string]int64, d *ReplDelta) {
+	for name, samples := range d.Samples {
+		if len(samples) > 0 {
+			floors[name] = samples[len(samples)-1].T
+		}
+	}
+}
+
+// TestReplDeltaRoundTrip drives the full replication cycle — full snapshot,
+// then repeated incremental deltas across a JSON wire trip — and requires the
+// shadow monitor to match the primary byte-identically after every apply.
+// This is the property warm promotion rests on: a promoted shadow must answer
+// analyze exactly as the dead primary would have.
+func TestReplDeltaRoundTrip(t *testing.T) {
+	cfg := Config{}
+	primary := NewMonitor("c", cfg)
+	shadow := NewMonitor("c", cfg)
+
+	ts := int64(1)
+	for ; ts <= 50; ts++ {
+		feedAll(t, primary, ts)
+	}
+	snap := primary.Snapshot()
+	if err := shadow.ApplyDelta(&ReplDelta{Component: "c", Full: snap}); err != nil {
+		t.Fatalf("full apply: %v", err)
+	}
+	if a, b := monitorJSON(t, primary), monitorJSON(t, shadow); !bytes.Equal(a, b) {
+		t.Fatal("shadow differs from primary after full snapshot apply")
+	}
+	floors := make(map[string]int64, len(snap.LastT))
+	for name, last := range snap.LastT {
+		floors[name] = last
+	}
+
+	var d ReplDelta
+	for round := 0; round < 3; round++ {
+		for end := ts + 20; ts < end; ts++ {
+			feedAll(t, primary, ts)
+		}
+		changed, ok := primary.DeltaInto(&d, floors)
+		if !ok || !changed {
+			t.Fatalf("round %d: DeltaInto = (changed=%v, ok=%v), want incremental delta", round, changed, ok)
+		}
+		// Wire trip: the standby applies what JSON decoding reconstructs, not
+		// the primary's in-memory buffers.
+		raw, err := json.Marshal(&d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wire ReplDelta
+		if err := json.Unmarshal(raw, &wire); err != nil {
+			t.Fatal(err)
+		}
+		if err := shadow.ApplyDelta(&wire); err != nil {
+			t.Fatalf("round %d: incremental apply: %v", round, err)
+		}
+		advanceFloors(floors, &d)
+		if a, b := monitorJSON(t, primary), monitorJSON(t, shadow); !bytes.Equal(a, b) {
+			t.Fatalf("round %d: shadow diverged from primary after incremental apply", round)
+		}
+	}
+
+	// A tick with no new samples extracts nothing but stays on the
+	// incremental path.
+	if changed, ok := primary.DeltaInto(&d, floors); changed || !ok {
+		t.Fatalf("quiet tick: DeltaInto = (changed=%v, ok=%v), want (false, true)", changed, ok)
+	}
+}
+
+// TestReplDeltaFullFallbacks enumerates the conditions under which the
+// incremental path must refuse (ok=false) and force a full-snapshot ship.
+func TestReplDeltaFullFallbacks(t *testing.T) {
+	cfg := Config{RingCapacity: 8}
+
+	t.Run("nil floors", func(t *testing.T) {
+		m := NewMonitor("c", cfg)
+		feedAll(t, m, 1)
+		var d ReplDelta
+		if _, ok := m.DeltaInto(&d, nil); ok {
+			t.Fatal("nil floors must force a full ship")
+		}
+	})
+
+	t.Run("first samples since last ship", func(t *testing.T) {
+		m := NewMonitor("c", cfg)
+		floors := map[string]int64{} // shipped while the monitor was empty
+		feedAll(t, m, 1)
+		var d ReplDelta
+		if _, ok := m.DeltaInto(&d, floors); ok {
+			t.Fatal("a metric's first samples must force a full ship")
+		}
+	})
+
+	t.Run("eviction past the floor", func(t *testing.T) {
+		m := NewMonitor("c", cfg)
+		feedAll(t, m, 1)
+		floors := make(map[string]int64)
+		for _, k := range metric.Kinds {
+			floors[k.String()] = 1
+		}
+		// RingCapacity is 8: twenty more samples evict t=2, the first sample
+		// past the floor.
+		for ts := int64(2); ts <= 21; ts++ {
+			feedAll(t, m, ts)
+		}
+		var d ReplDelta
+		if _, ok := m.DeltaInto(&d, floors); ok {
+			t.Fatal("eviction past the floor must force a full ship")
+		}
+	})
+
+	t.Run("floor ahead of the monitor", func(t *testing.T) {
+		m := NewMonitor("c", cfg)
+		feedAll(t, m, 5)
+		floors := make(map[string]int64)
+		for _, k := range metric.Kinds {
+			floors[k.String()] = 9 // claims a ship the monitor never saw
+		}
+		var d ReplDelta
+		if _, ok := m.DeltaInto(&d, floors); ok {
+			t.Fatal("a floor ahead of the monitor's history must force a full ship")
+		}
+	})
+}
+
+// TestReplDeltaApplyRejectsGaps pins the standby-side safety net: a delta
+// whose Base precondition does not match the shadow's state is refused with
+// ErrReplGap before any mutation, so a NAK-and-full-resend always recovers.
+func TestReplDeltaApplyRejectsGaps(t *testing.T) {
+	cfg := Config{}
+
+	build := func(upTo int64) *Monitor {
+		m := NewMonitor("c", cfg)
+		for ts := int64(1); ts <= upTo; ts++ {
+			feedAll(t, m, ts)
+		}
+		return m
+	}
+	baseAt := func(ts int64) map[string]int64 {
+		out := make(map[string]int64)
+		for _, k := range metric.Kinds {
+			out[k.String()] = ts
+		}
+		return out
+	}
+
+	t.Run("empty shadow, incremental delta", func(t *testing.T) {
+		shadow := NewMonitor("c", cfg)
+		err := shadow.ApplyDelta(&ReplDelta{Component: "c", Base: baseAt(10),
+			Samples: map[string][]ReplSample{"cpu": {{T: 11, V: 1}}}})
+		if !errors.Is(err, ErrReplGap) {
+			t.Fatalf("err = %v, want ErrReplGap", err)
+		}
+	})
+
+	t.Run("base behind the shadow", func(t *testing.T) {
+		shadow := build(10)
+		before := monitorJSON(t, shadow)
+		err := shadow.ApplyDelta(&ReplDelta{Component: "c", Base: baseAt(5),
+			Samples: map[string][]ReplSample{"cpu": {{T: 6, V: 1}}}})
+		if !errors.Is(err, ErrReplGap) {
+			t.Fatalf("err = %v, want ErrReplGap", err)
+		}
+		if !bytes.Equal(before, monitorJSON(t, shadow)) {
+			t.Fatal("rejected delta mutated the shadow")
+		}
+	})
+
+	t.Run("base ahead of the shadow", func(t *testing.T) {
+		shadow := build(10)
+		err := shadow.ApplyDelta(&ReplDelta{Component: "c", Base: baseAt(20)})
+		if !errors.Is(err, ErrReplGap) {
+			t.Fatalf("err = %v, want ErrReplGap", err)
+		}
+	})
+
+	t.Run("wrong component", func(t *testing.T) {
+		shadow := build(3)
+		err := shadow.ApplyDelta(&ReplDelta{Component: "other", Base: baseAt(3)})
+		if err == nil || errors.Is(err, ErrReplGap) {
+			t.Fatalf("err = %v, want a non-gap component mismatch", err)
+		}
+	})
+}
+
+// TestReplDeltaSteadyStateAllocs is the perf ratchet on the extraction path:
+// once d's buffers are sized, re-extracting a delta must not allocate, so a
+// replication tick's cost on a quiet component is a few ring reads — nothing
+// the Observe hot path ever contends with.
+func TestReplDeltaSteadyStateAllocs(t *testing.T) {
+	m := NewMonitor("c", Config{})
+	for ts := int64(1); ts <= 100; ts++ {
+		feedAll(t, m, ts)
+	}
+	floors := make(map[string]int64)
+	for _, k := range metric.Kinds {
+		floors[k.String()] = 60 // every tick re-extracts the same 40-sample tail
+	}
+	var d ReplDelta
+	if changed, ok := m.DeltaInto(&d, floors); !changed || !ok {
+		t.Fatalf("warm-up DeltaInto = (%v, %v), want (true, true)", changed, ok)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if changed, ok := m.DeltaInto(&d, floors); !changed || !ok {
+			t.Fatal("steady-state extraction fell off the incremental path")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state DeltaInto allocates %.1f times per run, want 0", allocs)
+	}
+}
